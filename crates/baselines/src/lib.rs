@@ -1,0 +1,87 @@
+//! Baseline AQP engines the paper evaluates PairwiseHist against.
+//!
+//! Three families, each reproducing the *defining behaviour* of its published
+//! counterpart (full fidelity notes in DESIGN.md §2):
+//!
+//! * [`SamplingAqp`] — classical uniform-sampling AQP with CLT confidence bounds,
+//!   the reference point behind BlinkDB/VerdictDB-style systems (Table 1 context);
+//! * [`SpnAqp`] — a sum-product network in the style of DeepDB's RSPNs [20]:
+//!   k-means row clustering at sum nodes, correlation-partitioned column groups at
+//!   product nodes, per-column histogram leaves. Like DeepDB it supports
+//!   COUNT/SUM/AVG and **rejects OR predicates** (§2 of the paper documents that
+//!   DeepDB does not support OR despite claiming to);
+//! * [`KdeAqp`] — DBEst-style per-query-template models [21, 40]: kernel density
+//!   estimator for the predicate column plus piecewise regression of the aggregate
+//!   column, with DBEst's structural limits (one model per template, ≤ 2 columns,
+//!   no OR, no MIN/MAX/MEDIAN).
+//!
+//! All three expose [`AqpBaseline`], so the benchmark harness can drive every engine
+//! with the same parsed queries it gives PairwiseHist and the exact engine.
+
+mod kde;
+mod sampling;
+mod spn;
+
+pub use kde::{KdeAqp, KdeConfig};
+pub use sampling::SamplingAqp;
+pub use spn::{SpnAqp, SpnConfig};
+
+/// An approximate answer from a baseline engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Approx {
+    /// Point estimate.
+    pub value: f64,
+    /// Lower confidence bound (equal to `value` for engines without bounds).
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl Approx {
+    /// An estimate without bounds.
+    pub fn unbounded(value: f64) -> Self {
+        Self { value, lo: value, hi: value }
+    }
+
+    /// Whether the engine's bounds contain `truth`.
+    pub fn contains(&self, truth: f64) -> bool {
+        self.lo <= truth && truth <= self.hi
+    }
+}
+
+/// Why a baseline declined a query — the paper's §2/§6 catalogue of unsupported
+/// query shapes drives workload support accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Unsupported {
+    /// OR connectives (DeepDB, DBEst++).
+    OrPredicate,
+    /// Aggregate function outside the engine's repertoire.
+    Aggregate(String),
+    /// Too many / wrong-column predicates for the model.
+    Shape(String),
+    /// Malformed query for this schema.
+    Invalid(String),
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsupported::OrPredicate => write!(f, "OR predicates not supported"),
+            Unsupported::Aggregate(a) => write!(f, "aggregate {a} not supported"),
+            Unsupported::Shape(s) => write!(f, "unsupported query shape: {s}"),
+            Unsupported::Invalid(s) => write!(f, "invalid query: {s}"),
+        }
+    }
+}
+
+/// Common baseline interface: answer a parsed query approximately, or say why not.
+pub trait AqpBaseline {
+    /// Engine name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Executes a (scalar) query.
+    fn execute(&self, query: &ph_sql::Query) -> Result<Approx, Unsupported>;
+
+    /// Serialized model size in bytes (the paper's synopsis-size metric).
+    fn size_bytes(&self) -> usize;
+}

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks for query-path components: χ² criticals, Golomb
+//! coding, serialization round-trips — the small pieces whose costs compose into
+//! the sub-millisecond latency headline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ph_core::{PairwiseHist, PairwiseHistConfig};
+use ph_encoding::{golomb_decode, golomb_encode, BitReader, BitWriter};
+use ph_stats::chi2_critical;
+
+fn components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+
+    group.bench_function("chi2_critical", |b| {
+        let mut dof = 1u32;
+        b.iter(|| {
+            dof = dof % 30 + 1;
+            chi2_critical(0.001, dof as f64)
+        })
+    });
+
+    group.bench_function("golomb_roundtrip_1k", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for v in 0..1000u64 {
+                golomb_encode(&mut w, v % 97, 7);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc += golomb_decode(&mut r, 7).unwrap();
+            }
+            acc
+        })
+    });
+
+    let data = ph_datagen::generate("Gas", 30_000, 4).expect("dataset");
+    let ph = PairwiseHist::build(&data, &PairwiseHistConfig { ns: 30_000, ..Default::default() });
+    group.bench_function("synopsis_serialize", |b| b.iter(|| ph.to_bytes()));
+    let bytes = ph.to_bytes();
+    group.bench_function("synopsis_deserialize", |b| {
+        b.iter(|| PairwiseHist::from_bytes(&bytes, ph.preprocessor().clone()).unwrap())
+    });
+
+    // Incremental update path (S7 extension): ingest a 1k-row batch.
+    let batch = ph
+        .preprocessor()
+        .clone()
+        .encode(&ph_datagen::generate("Gas", 1_000, 5).expect("dataset"));
+    group.bench_function("ingest_1k_rows", |b| {
+        b.iter_batched(
+            || ph.clone(),
+            |mut fresh| {
+                fresh.ingest(&batch);
+                fresh
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, components);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenchmarks for synopsis construction (the Fig 11(d) metric at
+//! micro scale): stand-alone vs GD-seeded builds across sample sizes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ph_core::{PairwiseHist, PairwiseHistConfig};
+use ph_gd::{GdCompressor, Preprocessor};
+
+fn construction(c: &mut Criterion) {
+    let data = ph_datagen::generate("Power", 50_000, 1).expect("dataset");
+    let pre = Arc::new(Preprocessor::fit(&data));
+    let store = GdCompressor::new().compress(&pre.encode(&data));
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for ns in [5_000usize, 20_000, 50_000] {
+        group.bench_with_input(BenchmarkId::new("standalone", ns), &ns, |b, &ns| {
+            let cfg = PairwiseHistConfig { ns, ..Default::default() };
+            b.iter(|| PairwiseHist::build(&data, &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("gd_seeded", ns), &ns, |b, &ns| {
+            let cfg = PairwiseHistConfig { ns, ..Default::default() };
+            b.iter(|| PairwiseHist::build_from_gd(&store, pre.clone(), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

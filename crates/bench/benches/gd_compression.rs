@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks for the GreedyGD substrate: pre-processing, greedy
+//! compression, random row access and serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ph_gd::{GdCompressor, Preprocessor};
+
+fn gd(c: &mut Criterion) {
+    let data = ph_datagen::generate("Temp", 100_000, 3).expect("dataset");
+    let pre = Preprocessor::fit(&data);
+    let encoded = pre.encode(&data);
+    let store = GdCompressor::new().compress(&encoded);
+
+    let mut group = c.benchmark_group("gd");
+    group.throughput(Throughput::Elements(data.n_rows() as u64));
+    group.sample_size(10);
+    group.bench_function("preprocess_fit", |b| b.iter(|| Preprocessor::fit(&data)));
+    group.bench_function("encode", |b| b.iter(|| pre.encode(&data)));
+    group.bench_function("compress", |b| {
+        b.iter(|| GdCompressor::new().compress(&encoded))
+    });
+    group.bench_function("serialize", |b| b.iter(|| store.to_bytes()));
+    group.finish();
+
+    let mut group = c.benchmark_group("gd_access");
+    group.bench_function("random_row", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 2_654_435_761 + 1) % store.n_rows();
+            store.row(i)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gd);
+criterion_main!(benches);

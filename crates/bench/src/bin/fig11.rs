@@ -1,0 +1,140 @@
+//! Fig 11 reproduction: storage and runtime comparison on the scaled-up datasets —
+//! (a) synopsis size, (b) total storage with and without GD compression,
+//! (c) median query latency, (d) construction time.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin fig11 [-- --rows 1000000]
+//! ```
+
+use std::time::Instant;
+
+use ph_baselines::{AqpBaseline, KdeAqp, KdeConfig, SpnAqp, SpnConfig};
+use ph_bench::{
+    build_pipeline, error_stats, fmt_bytes, fmt_duration, ground_truths, kde_templates,
+    run_baseline, run_pairwisehist, scaled_dataset, Args, Table,
+};
+use ph_core::PairwiseHistConfig;
+use ph_workload::{generate as gen_workload, WorkloadConfig};
+
+fn main() {
+    let args = Args::capture();
+    let rows: usize = args.get("rows", 1_000_000);
+    let seed_rows: usize = args.get("seed-rows", 200_000);
+    let n_queries: usize = args.get("queries", 200);
+    let seed: u64 = args.get("seed", 13);
+
+    println!("== Fig 11: storage and runtime on the scaled-up datasets ==");
+    println!("   rows: {rows} (paper: 10^9, 40/130 GB)\n");
+
+    let mut size_t = Table::new(&["dataset", "PH 1m", "PH 100k", "DeepDB 1m", "DeepDB 100k", "DBEst 100k", "DBEst 10k"]);
+    let mut storage_t = Table::new(&["dataset", "raw", "GD compressed", "GD+synopsis", "reduction"]);
+    let mut latency_t = Table::new(&["dataset", "PH", "DeepDB", "DBEst++"]);
+    let mut build_t = Table::new(&["dataset", "GD compress", "PH 1m", "PH 100k", "DeepDB 1m", "DBEst 100k"]);
+
+    for name in ["Power", "Flights"] {
+        let data = scaled_dataset(name, seed_rows, rows, seed);
+        let queries = gen_workload(&data, &WorkloadConfig::scaled(n_queries, seed ^ 0xF11));
+        let truths = ground_truths(&data, &queries);
+
+        // PairwiseHist at both sample sizes (GD pipeline, timed).
+        let built_1m = build_pipeline(
+            &data,
+            &PairwiseHistConfig { ns: 1_000_000.min(rows), seed, ..Default::default() },
+        );
+        let t0 = Instant::now();
+        let ph_100k = ph_core::PairwiseHist::build_from_gd(
+            &built_1m.store,
+            built_1m.pre.clone(),
+            &PairwiseHistConfig { ns: 100_000.min(rows), seed, ..Default::default() },
+        );
+        let ph_100k_secs = t0.elapsed().as_secs_f64();
+
+        // Baselines (timed builds).
+        let t0 = Instant::now();
+        let spn_1m = SpnAqp::build(
+            &data,
+            &SpnConfig { sample_n: 1_000_000.min(rows), seed, ..Default::default() },
+        );
+        let spn_secs = t0.elapsed().as_secs_f64();
+        let spn_100k = SpnAqp::build(
+            &data,
+            &SpnConfig { sample_n: 100_000.min(rows), seed, ..Default::default() },
+        );
+        let templates = kde_templates(&queries);
+        let template_refs: Vec<(&str, &str)> =
+            templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let t0 = Instant::now();
+        let kde_100k = KdeAqp::build(
+            &data,
+            &template_refs,
+            &KdeConfig { sample_n: 100_000.min(rows), seed, ..Default::default() },
+        );
+        let kde_secs = t0.elapsed().as_secs_f64();
+        let kde_10k = KdeAqp::build(
+            &data,
+            &template_refs,
+            &KdeConfig { sample_n: 10_000.min(rows), seed, ..Default::default() },
+        );
+
+        // (a) synopsis sizes.
+        size_t.row(vec![
+            name.to_string(),
+            fmt_bytes(built_1m.ph.synopsis_size().total),
+            fmt_bytes(ph_100k.synopsis_size().total),
+            fmt_bytes(spn_1m.size_bytes()),
+            fmt_bytes(spn_100k.size_bytes()),
+            fmt_bytes(kde_100k.size_bytes()),
+            fmt_bytes(kde_10k.size_bytes()),
+        ]);
+
+        // (b) total storage: raw in-memory vs GD store + synopsis.
+        let raw = data.heap_size();
+        let gd = built_1m.store.stats().compressed_bytes as usize
+            + built_1m.pre.metadata_bytes();
+        let total = gd + built_1m.ph.synopsis_size().total;
+        storage_t.row(vec![
+            name.to_string(),
+            fmt_bytes(raw),
+            fmt_bytes(gd),
+            fmt_bytes(total),
+            format!("{:.1}x", raw as f64 / total as f64),
+        ]);
+
+        // (c) latency.
+        let ph_stats = error_stats(&run_pairwisehist(&built_1m.ph, &queries), &truths);
+        let spn_stats = error_stats(&run_baseline(&spn_1m, &queries), &truths);
+        let kde_stats = error_stats(&run_baseline(&kde_100k, &queries), &truths);
+        latency_t.row(vec![
+            name.to_string(),
+            format!("{:.3} ms", ph_stats.median_latency * 1e3),
+            format!("{:.3} ms", spn_stats.median_latency * 1e3),
+            format!("{:.3} ms", kde_stats.median_latency * 1e3),
+        ]);
+
+        // (d) construction time.
+        build_t.row(vec![
+            name.to_string(),
+            fmt_duration(built_1m.gd_secs),
+            fmt_duration(built_1m.ph_secs),
+            fmt_duration(ph_100k_secs),
+            fmt_duration(spn_secs),
+            fmt_duration(kde_secs),
+        ]);
+    }
+
+    println!("(a) Synopsis size");
+    size_t.print();
+    println!("\n(b) Total storage requirements");
+    storage_t.print();
+    println!("\n(c) Median query latency");
+    latency_t.print();
+    println!("\n(d) Construction time");
+    build_t.print();
+    println!();
+    println!(
+        "Paper reference: PH synopses >= 11x smaller (0.25 MB vs 2.75 MB Power@1m); total \
+         storage reduced 3.2-4.3x via compression; PH latency 0.94 ms median (3.5x faster \
+         than DeepDB, 15x than DBEst++, >300000x than exact SQLite); construction 1.2-4x \
+         faster than DeepDB, DBEst++ two orders of magnitude slower."
+    );
+}

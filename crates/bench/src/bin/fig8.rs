@@ -1,0 +1,92 @@
+//! Fig 8 reproduction: median query error and synopsis size across the 11
+//! evaluation datasets, for PairwiseHist, the DeepDB-like SPN and the DBEst-like
+//! KDE engine at 100k and 10k construction samples.
+//!
+//! Workload per dataset: 100 single-predicate COUNT/SUM/AVG queries with minimum
+//! selectivity 10⁻⁵ (§6.1).
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin fig8 [-- --rows 200000 --queries 100]
+//! ```
+
+use ph_baselines::{AqpBaseline, KdeAqp, KdeConfig, SpnAqp, SpnConfig};
+use ph_bench::{
+    build_pipeline, error_stats, fmt_bytes, ground_truths, kde_templates, run_baseline,
+    run_pairwisehist, Args, Table,
+};
+use ph_core::PairwiseHistConfig;
+use ph_workload::{generate as gen_workload, WorkloadConfig};
+
+fn main() {
+    let args = Args::capture();
+    let rows: usize = args.get("rows", 200_000);
+    let n_queries: usize = args.get("queries", 100);
+    let seed: u64 = args.get("seed", 8);
+
+    println!("== Fig 8: initial experiments across 11 datasets ==");
+    println!("   rows per dataset: {rows} (paper: full Table 4 sizes)");
+    println!();
+
+    let mut err_table = Table::new(&[
+        "dataset", "PH 100k", "PH 10k", "DeepDB 100k", "DeepDB 10k", "DBEst 100k", "DBEst 10k",
+    ]);
+    let mut size_table = Table::new(&[
+        "dataset", "PH 100k", "PH 10k", "DeepDB 100k", "DeepDB 10k", "DBEst 100k", "DBEst 10k",
+    ]);
+
+    for spec in ph_datagen::all_specs() {
+        let n = rows.min(spec.paper_rows);
+        let data = ph_datagen::generate(spec.name, n, seed).expect("dataset");
+        let queries = gen_workload(
+            &data,
+            &WorkloadConfig { n_queries, ..WorkloadConfig::initial(seed ^ 0xF18) },
+        );
+        let truths = ground_truths(&data, &queries);
+
+        let mut errs = vec![spec.name.to_string()];
+        let mut sizes = vec![spec.name.to_string()];
+        for ns in [100_000usize, 10_000] {
+            let cfg = PairwiseHistConfig { ns, seed, ..Default::default() };
+            let built = build_pipeline(&data, &cfg);
+            let outcomes = run_pairwisehist(&built.ph, &queries);
+            let stats = error_stats(&outcomes, &truths);
+            errs.push(format!("{:.2}%", stats.median_error * 100.0));
+            sizes.push(fmt_bytes(built.ph.synopsis_size().total));
+        }
+        for ns in [100_000usize, 10_000] {
+            let spn = SpnAqp::build(&data, &SpnConfig { sample_n: ns, seed, ..Default::default() });
+            let outcomes = run_baseline(&spn, &queries);
+            let stats = error_stats(&outcomes, &truths);
+            errs.push(format!("{:.2}%", stats.median_error * 100.0));
+            sizes.push(fmt_bytes(spn.size_bytes()));
+        }
+        let templates = kde_templates(&queries);
+        let template_refs: Vec<(&str, &str)> =
+            templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        for ns in [100_000usize, 10_000] {
+            let kde = KdeAqp::build(
+                &data,
+                &template_refs,
+                &KdeConfig { sample_n: ns, seed, ..Default::default() },
+            );
+            let outcomes = run_baseline(&kde, &queries);
+            let stats = error_stats(&outcomes, &truths);
+            errs.push(format!("{:.2}%", stats.median_error * 100.0));
+            sizes.push(fmt_bytes(kde.size_bytes()));
+        }
+        err_table.row(errs);
+        size_table.row(sizes);
+    }
+
+    println!("(a) Median relative error");
+    err_table.print();
+    println!();
+    println!("(b) Synopsis size");
+    size_table.print();
+    println!();
+    println!(
+        "Paper reference: PairwiseHist lowest error on 10/11 datasets; overall medians \
+         0.28% (PH) vs 0.73% (DeepDB) vs 28.9% (DBEst++); PH synopses 1-2 orders of \
+         magnitude smaller (0.48 MB vs 11.5/36.3 MB mean at 100k)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig 9 reproduction: PairwiseHist parameter sensitivity on the scaled-up Flights
+//! dataset — median error and synopsis size as functions of `M`, `α` and `Ns`.
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin fig9 [-- --rows 1000000]
+//! ```
+
+use ph_bench::{
+    build_pipeline, error_stats, fmt_bytes, ground_truths, run_pairwisehist, scaled_dataset,
+    Args, Table,
+};
+use ph_core::PairwiseHistConfig;
+use ph_workload::{generate as gen_workload, WorkloadConfig};
+
+fn main() {
+    let args = Args::capture();
+    let rows: usize = args.get("rows", 1_000_000);
+    let seed_rows: usize = args.get("seed-rows", 200_000);
+    let n_queries: usize = args.get("queries", 120);
+    let seed: u64 = args.get("seed", 9);
+
+    println!("== Fig 9: parameter sensitivity (scaled-up Flights) ==");
+    println!("   rows: {rows} (paper: 10^9)");
+    println!();
+
+    let data = scaled_dataset("Flights", seed_rows, rows, seed);
+    let queries = gen_workload(
+        &data,
+        &WorkloadConfig { n_queries, ..WorkloadConfig::scaled(n_queries, seed ^ 0xF19) },
+    );
+    let truths = ground_truths(&data, &queries);
+
+    let m_values = [1_000usize, 4_000, 7_000, 10_000];
+    let settings: [(usize, f64); 4] =
+        [(1_000_000, 0.01), (100_000, 0.001), (100_000, 0.01), (100_000, 0.1)];
+
+    let mut err_table = Table::new(&["M", "1m α=0.01", "100k α=0.001", "100k α=0.01", "100k α=0.1"]);
+    let mut size_table =
+        Table::new(&["M", "1m α=0.01", "100k α=0.001", "100k α=0.01", "100k α=0.1"]);
+
+    for m in m_values {
+        let mut err_row = vec![m.to_string()];
+        let mut size_row = vec![m.to_string()];
+        for (ns, alpha) in settings {
+            let cfg = PairwiseHistConfig {
+                ns: ns.min(rows),
+                m_absolute: Some(m),
+                alpha,
+                seed,
+                ..Default::default()
+            };
+            let built = build_pipeline(&data, &cfg);
+            let outcomes = run_pairwisehist(&built.ph, &queries);
+            let stats = error_stats(&outcomes, &truths);
+            err_row.push(format!("{:.2}%", stats.median_error * 100.0));
+            size_row.push(fmt_bytes(built.ph.synopsis_size().total));
+        }
+        err_table.row(err_row);
+        size_table.row(size_row);
+    }
+
+    println!("(a) Median error by minimum points M");
+    err_table.print();
+    println!();
+    println!("(b) Synopsis size by minimum points M");
+    size_table.print();
+    println!();
+    println!(
+        "Paper reference: Ns dominates accuracy, α has near-zero impact, size shrinks \
+         as M grows; construction time scales linearly with Ns."
+    );
+}

@@ -1,0 +1,118 @@
+//! Table 5 reproduction: median relative error by aggregation function on the
+//! scaled-up Power and Flights datasets, for PairwiseHist (1m samples), the
+//! DeepDB-like SPN (1m) and the DBEst-like KDE engine (100k — the paper used a
+//! smaller sample for DBEst++ because of its prohibitive training time).
+//!
+//! ```text
+//! cargo run -p ph-bench --release --bin table5 [-- --rows 1000000]
+//! ```
+
+use ph_baselines::{KdeAqp, KdeConfig, SpnAqp, SpnConfig};
+use ph_bench::{
+    build_pipeline, ground_truths, kde_templates, median, relative_error, run_baseline,
+    run_pairwisehist, scaled_dataset, Args, QueryOutcome, Table,
+};
+use ph_core::PairwiseHistConfig;
+use ph_sql::{AggFunc, Query};
+use ph_workload::{generate as gen_workload, WorkloadConfig};
+
+fn per_agg_errors(
+    queries: &[Query],
+    outcomes: &[QueryOutcome],
+    truths: &[Option<f64>],
+    agg: AggFunc,
+) -> Option<f64> {
+    let errs: Vec<f64> = queries
+        .iter()
+        .zip(outcomes.iter().zip(truths))
+        .filter(|(q, (o, _))| q.agg == agg && o.supported)
+        .filter_map(|(_, (o, t))| relative_error(o.estimate, *t))
+        .collect();
+    median(&errs)
+}
+
+fn fmt(e: Option<f64>) -> String {
+    match e {
+        Some(v) => format!("{:.2}%", v * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    let args = Args::capture();
+    let rows: usize = args.get("rows", 1_000_000);
+    let seed_rows: usize = args.get("seed-rows", 200_000);
+    let seed: u64 = args.get("seed", 10);
+
+    println!("== Table 5: median relative error by aggregation (scaled-up data) ==");
+    println!("   rows: {rows} (paper: 10^9)\n");
+
+    for (name, n_queries) in [("Power", 445usize), ("Flights", 427)] {
+        let n_queries = args.get("queries", n_queries);
+        let data = scaled_dataset(name, seed_rows, rows, seed);
+        let queries = gen_workload(&data, &WorkloadConfig::scaled(n_queries, seed ^ 0x7ab));
+        let truths = ground_truths(&data, &queries);
+
+        let ph_cfg = PairwiseHistConfig { ns: 1_000_000.min(rows), seed, ..Default::default() };
+        let built = build_pipeline(&data, &ph_cfg);
+        let ph_out = run_pairwisehist(&built.ph, &queries);
+
+        let spn = SpnAqp::build(
+            &data,
+            &SpnConfig { sample_n: 1_000_000.min(rows), seed, ..Default::default() },
+        );
+        let spn_out = run_baseline(&spn, &queries);
+
+        let templates = kde_templates(&queries);
+        let template_refs: Vec<(&str, &str)> =
+            templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let kde = KdeAqp::build(
+            &data,
+            &template_refs,
+            &KdeConfig { sample_n: 100_000.min(rows), seed, ..Default::default() },
+        );
+        let kde_out = run_baseline(&kde, &queries);
+
+        println!("{name} dataset ({} queries)", queries.len());
+        let mut table = Table::new(&["Aggregation", "PH", "DeepDB", "DBEst++"]);
+        for agg in AggFunc::ALL {
+            table.row(vec![
+                agg.name().to_string(),
+                fmt(per_agg_errors(&queries, &ph_out, &truths, agg)),
+                fmt(per_agg_errors(&queries, &spn_out, &truths, agg)),
+                fmt(per_agg_errors(&queries, &kde_out, &truths, agg)),
+            ]);
+        }
+        let overall = |out: &[QueryOutcome]| -> Option<f64> {
+            let errs: Vec<f64> = out
+                .iter()
+                .zip(&truths)
+                .filter(|(o, _)| o.supported)
+                .filter_map(|(o, t)| relative_error(o.estimate, *t))
+                .collect();
+            median(&errs)
+        };
+        table.row(vec![
+            "Overall".to_string(),
+            fmt(overall(&ph_out)),
+            fmt(overall(&spn_out)),
+            fmt(overall(&kde_out)),
+        ]);
+        table.print();
+        let supported = |out: &[QueryOutcome]| out.iter().filter(|o| o.supported).count();
+        println!(
+            "  supported queries: PH {}/{}  DeepDB {}/{}  DBEst++ {}/{}\n",
+            supported(&ph_out),
+            queries.len(),
+            supported(&spn_out),
+            queries.len(),
+            supported(&kde_out),
+            queries.len(),
+        );
+    }
+    println!(
+        "Paper reference: PH overall 0.20% (Power) / 0.43% (Flights) vs DeepDB 0.45%/0.64% \
+         and DBEst++ 56.46%/28.42%; DeepDB answers only COUNT/SUM/AVG, DBEst++ adds a \
+         near-100%-error VAR."
+    );
+}

@@ -1,0 +1,493 @@
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearer idiom here
+
+//! `BuildPairwiseHist` (Algorithm 1): orchestration, configuration and the synopsis
+//! type itself.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+
+use ph_gd::{EncodedMatrix, GdStore, Preprocessor};
+use ph_stats::{chi2_critical, normal_quantile, terrell_scott, Chi2Cache};
+use ph_types::Dataset;
+
+use crate::bins::DimBins;
+use crate::build1d::{build_dim_bins_1d, edges_from_seeds};
+use crate::build2d::{build_pair, PairHist};
+
+/// Bin split-point rule. The paper tested both and found equal-width slightly better
+/// (§4.1); equal-depth is retained for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitRule {
+    /// Split at the bin midpoint.
+    #[default]
+    EqualWidth,
+    /// Split at the median data value.
+    EqualDepth,
+}
+
+/// Construction parameters (paper Table 2: `Ns`, `M`, `α`).
+#[derive(Debug, Clone)]
+pub struct PairwiseHistConfig {
+    /// Sample size `Ns` used to construct the synopsis.
+    pub ns: usize,
+    /// `M` as a fraction of `Ns` (the paper's experiments use 1%).
+    pub m_fraction: f64,
+    /// Absolute `M` override; takes precedence over [`m_fraction`](Self::m_fraction).
+    pub m_absolute: Option<usize>,
+    /// Hypothesis-test significance level `α`.
+    pub alpha: f64,
+    /// Split-point rule.
+    pub split_rule: SplitRule,
+    /// Sampling seed (construction is fully deterministic given the seed).
+    pub seed: u64,
+    /// Build column pairs on all available cores (§4.1: construction is highly
+    /// parallelisable).
+    pub parallel: bool,
+}
+
+impl Default for PairwiseHistConfig {
+    fn default() -> Self {
+        Self {
+            ns: 100_000,
+            m_fraction: 0.01,
+            m_absolute: None,
+            alpha: 0.001,
+            split_rule: SplitRule::EqualWidth,
+            seed: 0x7061_6972,
+            parallel: true,
+        }
+    }
+}
+
+impl PairwiseHistConfig {
+    /// The effective `M` for a realised sample of `ns_used` rows.
+    pub fn m_min(&self, ns_used: usize) -> usize {
+        self.m_absolute
+            .unwrap_or_else(|| ((ns_used as f64 * self.m_fraction).round() as usize).max(2))
+    }
+}
+
+/// Frozen build parameters carried by the synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildParams {
+    /// Rows in the underlying full dataset (`N`).
+    pub n_total: u64,
+    /// Rows actually sampled (`Ns`).
+    pub ns: usize,
+    /// Minimum points for a bin to be split (`M`).
+    pub m_min: usize,
+    /// Significance level (`α`).
+    pub alpha: f64,
+}
+
+impl BuildParams {
+    /// Sampling ratio `ρ = Ns / N`.
+    pub fn rho(&self) -> f64 {
+        if self.n_total == 0 {
+            1.0
+        } else {
+            (self.ns as f64 / self.n_total as f64).min(1.0)
+        }
+    }
+}
+
+/// Construction statistics for the benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildStats {
+    /// Wall time of 1-d histogram construction.
+    pub secs_1d: f64,
+    /// Wall time of 2-d histogram construction.
+    pub secs_2d: f64,
+}
+
+/// The PairwiseHist synopsis: per-column histograms, per-pair histograms, and the
+/// pre-processing transforms needed to run queries.
+#[derive(Debug, Clone)]
+pub struct PairwiseHist {
+    pub(crate) params: BuildParams,
+    pub(crate) hist1d: Vec<DimBins>,
+    /// Triangular pair storage: index [`pair_index`] for `i < j`.
+    pub(crate) pairs: Vec<PairHist>,
+    pub(crate) pre: Arc<Preprocessor>,
+    /// χ²_α critical values by degrees of freedom (1-based: `crit[dof - 1]`),
+    /// precomputed up to the largest Terrell–Scott `s` any bin can require.
+    pub(crate) crit: Vec<f64>,
+    /// `z` for the two-sided 98-percentile sampling widening (Eq 29).
+    pub(crate) z98: f64,
+    /// Wall-clock build phases (not serialized).
+    pub(crate) build_stats: BuildStats,
+    /// Sample size at the last full build (staleness accounting for updates).
+    pub(crate) ns_at_build: usize,
+}
+
+/// Triangular index of pair `(i, j)` with `i < j`.
+pub(crate) fn pair_index(i: usize, j: usize) -> usize {
+    debug_assert!(i < j);
+    j * (j - 1) / 2 + i
+}
+
+impl PairwiseHist {
+    /// Builds the synopsis directly from a dataset (stand-alone mode, §3 last
+    /// paragraph): fits a [`Preprocessor`], samples `Ns` rows, and refines from
+    /// min/max initial edges.
+    pub fn build(data: &Dataset, cfg: &PairwiseHistConfig) -> Self {
+        let pre = Arc::new(Preprocessor::fit(data));
+        Self::build_with_preprocessor(data, pre, cfg)
+    }
+
+    /// Stand-alone build with an externally fitted preprocessor.
+    pub fn build_with_preprocessor(
+        data: &Dataset,
+        pre: Arc<Preprocessor>,
+        cfg: &PairwiseHistConfig,
+    ) -> Self {
+        let sample = data.sample(cfg.ns, cfg.seed);
+        let matrix = pre.encode(&sample);
+        Self::build_from_matrix(&matrix, pre, data.n_rows() as u64, None, cfg)
+    }
+
+    /// Builds on top of GreedyGD-compressed data (the framework of Fig 2): the sample
+    /// is decoded via random access and the deduplicated bases seed the initial bin
+    /// edges (Algorithm 1 line 4), downsampled to at most `⌈Ns / M⌉` values.
+    pub fn build_from_gd(
+        store: &GdStore,
+        pre: Arc<Preprocessor>,
+        cfg: &PairwiseHistConfig,
+    ) -> Self {
+        let n = store.n_rows();
+        let ns = cfg.ns.min(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut rows = if ns < n {
+            index_sample(&mut rng, n, ns).into_vec()
+        } else {
+            (0..n).collect()
+        };
+        rows.sort_unstable();
+        let matrix = store.rows(&rows);
+        let m_min = cfg.m_min(ns);
+        let max_seeds = ns.div_ceil(m_min).max(1);
+        let seeds: Vec<Vec<u64>> = (0..store.n_columns())
+            .map(|c| downsample_seeds(store.base_values(c), max_seeds))
+            .collect();
+        Self::build_from_matrix(&matrix, pre, n as u64, Some(seeds), cfg)
+    }
+
+    /// Core construction from an encoded sample matrix.
+    fn build_from_matrix(
+        sample: &EncodedMatrix,
+        pre: Arc<Preprocessor>,
+        n_total: u64,
+        seeds: Option<Vec<Vec<u64>>>,
+        cfg: &PairwiseHistConfig,
+    ) -> Self {
+        let d = sample.n_columns();
+        assert_eq!(d, pre.n_columns(), "preprocessor/schema mismatch");
+        let ns = sample.n_rows;
+        let m_min = cfg.m_min(ns);
+        let params = BuildParams { n_total, ns, m_min, alpha: cfg.alpha };
+
+        // --- 1-d histograms (Algorithm 1 lines 2-12) ---
+        let t0 = std::time::Instant::now();
+        let null_codes: Vec<Option<u64>> =
+            (0..d).map(|c| pre.transform(c).null_code()).collect();
+        let sorted_cols: Vec<Vec<u64>> = (0..d)
+            .map(|c| {
+                let mut v: Vec<u64> = sample.columns[c]
+                    .iter()
+                    .copied()
+                    .filter(|&x| Some(x) != null_codes[c])
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let mut chi2 = Chi2Cache::new(cfg.alpha);
+        let hist1d: Vec<DimBins> = (0..d)
+            .map(|c| {
+                let sorted = &sorted_cols[c];
+                if sorted.is_empty() {
+                    return DimBins::finalize(
+                        vec![-0.5, 0.5],
+                        vec![0],
+                        vec![0],
+                        vec![0],
+                        vec![0],
+                        m_min,
+                        &mut chi2,
+                    );
+                }
+                let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+                let edges = match seeds.as_ref().map(|s| &s[c]) {
+                    Some(sv) if sv.len() > 1 => edges_from_seeds(sv, lo, hi),
+                    _ => vec![lo as f64 - 0.5, hi as f64 + 0.5],
+                };
+                build_dim_bins_1d(sorted, &edges, m_min, cfg.split_rule, &mut chi2)
+            })
+            .collect();
+        let secs_1d = t0.elapsed().as_secs_f64();
+
+        // --- 2-d histograms (lines 13-26), parallel across pairs ---
+        let t1 = std::time::Instant::now();
+        let tasks: Vec<(usize, usize)> =
+            (1..d).flat_map(|j| (0..j).map(move |i| (i, j))).collect();
+        let n_pairs = tasks.len();
+        let build_one = |&(i, j): &(usize, usize), chi2: &mut Chi2Cache| -> PairHist {
+            let (ci, cj) = (&sample.columns[i], &sample.columns[j]);
+            let mut xi = Vec::new();
+            let mut xj = Vec::new();
+            for r in 0..ns {
+                let (a, b) = (ci[r], cj[r]);
+                if Some(a) != null_codes[i] && Some(b) != null_codes[j] {
+                    xi.push(a);
+                    xj.push(b);
+                }
+            }
+            build_pair(
+                i,
+                j,
+                &xi,
+                &xj,
+                &sorted_cols[i],
+                &sorted_cols[j],
+                &hist1d[i],
+                &hist1d[j],
+                m_min,
+                cfg.split_rule,
+                chi2,
+            )
+        };
+        let mut pairs: Vec<Option<PairHist>> = (0..n_pairs).map(|_| None).collect();
+        let workers = if cfg.parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n_pairs.max(1))
+        } else {
+            1
+        };
+        if workers <= 1 {
+            for (t, task) in tasks.iter().enumerate() {
+                pairs[t] = Some(build_one(task, &mut chi2));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let results: Mutex<&mut Vec<Option<PairHist>>> = Mutex::new(&mut pairs);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| {
+                        let mut local_chi2 = Chi2Cache::new(cfg.alpha);
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= n_pairs {
+                                break;
+                            }
+                            let built = build_one(&tasks[t], &mut local_chi2);
+                            results.lock().expect("pair results lock")[t] = Some(built);
+                        }
+                    });
+                }
+            })
+            .expect("pair construction threads panicked");
+        }
+        let pairs: Vec<PairHist> =
+            pairs.into_iter().map(|p| p.expect("pair built")).collect();
+        let secs_2d = t1.elapsed().as_secs_f64();
+
+        // Precompute chi-squared criticals up to the largest sub-bin count any bin
+        // can request at query time.
+        let max_u = hist1d
+            .iter()
+            .map(|h| h.uniq.iter().copied().max().unwrap_or(0))
+            .chain(pairs.iter().flat_map(|p| {
+                [
+                    p.dim_i.bins.uniq.iter().copied().max().unwrap_or(0),
+                    p.dim_j.bins.uniq.iter().copied().max().unwrap_or(0),
+                ]
+            }))
+            .max()
+            .unwrap_or(0) as usize;
+        let max_s = terrell_scott(max_u.max(1)).max(2);
+        let crit: Vec<f64> =
+            (1..=max_s).map(|dof| chi2_critical(cfg.alpha, dof as f64)).collect();
+
+        Self {
+            ns_at_build: params.ns,
+            params,
+            hist1d,
+            pairs,
+            pre,
+            crit,
+            z98: normal_quantile(0.99),
+            build_stats: BuildStats { secs_1d, secs_2d },
+        }
+    }
+
+    /// Frozen build parameters.
+    pub fn params(&self) -> &BuildParams {
+        &self.params
+    }
+
+    /// The fitted pre-processing transforms the synopsis queries through.
+    pub fn preprocessor(&self) -> &Arc<Preprocessor> {
+        &self.pre
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.hist1d.len()
+    }
+
+    /// One-dimensional histogram of column `c`.
+    pub fn hist1d(&self, c: usize) -> &DimBins {
+        &self.hist1d[c]
+    }
+
+    /// Pair histogram for columns `(a, b)` in either order.
+    pub fn pair(&self, a: usize, b: usize) -> &PairHist {
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        &self.pairs[pair_index(i, j)]
+    }
+
+    /// χ²_α at `dof` degrees of freedom (precomputed table with a compute fallback).
+    pub(crate) fn critical(&self, dof: usize) -> f64 {
+        self.crit
+            .get(dof.saturating_sub(1))
+            .copied()
+            .unwrap_or_else(|| chi2_critical(self.params.alpha, dof as f64))
+    }
+
+    /// Total number of 1-d bins across columns.
+    pub fn total_1d_bins(&self) -> usize {
+        self.hist1d.iter().map(|h| h.k()).sum()
+    }
+
+    /// Total number of 2-d cells across pairs.
+    pub fn total_2d_cells(&self) -> usize {
+        self.pairs.iter().map(|p| p.counts.len()).sum()
+    }
+
+    /// Wall-clock construction phases.
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
+    }
+}
+
+/// Uniformly downsamples seed values to at most `max_seeds` entries (Algorithm 1
+/// line 4's `⌈Ns/M⌉` cap).
+fn downsample_seeds(mut seeds: Vec<u64>, max_seeds: usize) -> Vec<u64> {
+    if seeds.len() <= max_seeds {
+        return seeds;
+    }
+    let step = seeds.len() as f64 / max_seeds as f64;
+    let picked: Vec<u64> =
+        (0..max_seeds).map(|k| seeds[(k as f64 * step) as usize]).collect();
+    seeds = picked;
+    seeds.dedup();
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_types::Column;
+    use rand::Rng;
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..1000))).collect();
+        let y: Vec<Option<i64>> = x
+            .iter()
+            .map(|v| {
+                if rng.gen_bool(0.05) {
+                    None
+                } else {
+                    Some(v.unwrap() * 3 + rng.gen_range(0..30))
+                }
+            })
+            .collect();
+        let c: Vec<Option<&str>> = (0..n)
+            .map(|i| Some(if i % 3 == 0 { "a" } else { "b" }))
+            .collect();
+        Dataset::builder("t")
+            .column(Column::from_ints("x", x))
+            .unwrap()
+            .column(Column::from_ints("y", y))
+            .unwrap()
+            .column(Column::from_strings("c", c))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn build_produces_all_pairs() {
+        let data = dataset(5000, 1);
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: 5000, parallel: false, ..Default::default() },
+        );
+        assert_eq!(ph.n_columns(), 3);
+        assert_eq!(ph.pairs.len(), 3); // C(3,2)
+        assert_eq!(ph.pair(0, 1).col_i, 0);
+        assert_eq!(ph.pair(1, 0).col_j, 1, "order-insensitive lookup");
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let data = dataset(4000, 2);
+        let mut cfg = PairwiseHistConfig { ns: 4000, ..Default::default() };
+        cfg.parallel = false;
+        let serial = PairwiseHist::build(&data, &cfg);
+        cfg.parallel = true;
+        let parallel = PairwiseHist::build(&data, &cfg);
+        assert_eq!(serial.hist1d, parallel.hist1d);
+        assert_eq!(serial.pairs, parallel.pairs);
+    }
+
+    #[test]
+    fn sampling_ratio_reflected() {
+        let data = dataset(10_000, 3);
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: 1000, ..Default::default() },
+        );
+        assert_eq!(ph.params().ns, 1000);
+        assert!((ph.params().rho() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_match_sample_nonnull() {
+        let data = dataset(6000, 4);
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: 6000, parallel: false, ..Default::default() },
+        );
+        // Column y has ~5% nulls; 1-d counts must equal non-null sample rows.
+        let y_nonnull = data.column(1).valid_count() as u64;
+        assert_eq!(ph.hist1d(1).counts.iter().sum::<u64>(), y_nonnull);
+        // Pair (x, y) counts cover rows non-null in both.
+        let pair_total: u64 = ph.pair(0, 1).counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(pair_total, y_nonnull, "x has no nulls, so pair total = y non-null");
+    }
+
+    #[test]
+    fn build_from_gd_uses_bases() {
+        use ph_gd::GdCompressor;
+        let data = dataset(8000, 5);
+        let pre = Arc::new(Preprocessor::fit(&data));
+        let enc = pre.encode(&data);
+        let store = GdCompressor::new().compress(&enc);
+        let cfg = PairwiseHistConfig { ns: 4000, ..Default::default() };
+        let ph = PairwiseHist::build_from_gd(&store, pre, &cfg);
+        assert_eq!(ph.params().n_total, 8000);
+        assert_eq!(ph.params().ns, 4000);
+        assert_eq!(ph.hist1d(0).counts.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn downsample_seeds_caps_length() {
+        let seeds: Vec<u64> = (0..1000).collect();
+        let ds = downsample_seeds(seeds, 10);
+        assert!(ds.len() <= 10);
+        assert!(ds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

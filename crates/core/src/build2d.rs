@@ -1,0 +1,465 @@
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearer idiom here
+
+//! Two-dimensional pairwise histogram construction (`RefineBin2D`, §4.1, Fig 5).
+
+use std::collections::BTreeSet;
+
+use ph_stats::Chi2Cache;
+
+use crate::bins::DimBins;
+use crate::build::SplitRule;
+use crate::build1d::count_unique_sorted;
+use crate::uniform::{snap_split, snap_split_equal_depth, test_uniform};
+
+/// Recursion depth cap (splits halve a dimension each time).
+const MAX_DEPTH: u32 = 64;
+
+/// One dimension of a pair histogram: refined bins plus the mapping back to the
+/// parent one-dimensional histogram's bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDim {
+    /// Bin metadata over the refined edges, computed from the full column (so
+    /// unrefined bins coincide with the 1-d histogram's bins — the property the
+    /// storage encoding of Fig 6 exploits).
+    pub bins: DimBins,
+    /// `parent[r]` is the 1-d bin containing refined bin `r`.
+    pub parent: Vec<u32>,
+}
+
+/// The two-dimensional histogram `H⁽ⁱʲ⁾` for one column pair, with per-dimension
+/// refined edges and metadata (Fig 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairHist {
+    /// First column index (`i < j` by construction).
+    pub col_i: usize,
+    /// Second column index.
+    pub col_j: usize,
+    /// Refined bins along column `i` (`e⁽ⁱ|ʲ⁾`).
+    pub dim_i: PairDim,
+    /// Refined bins along column `j` (`e⁽ʲ|ⁱ⁾`).
+    pub dim_j: PairDim,
+    /// Bin counts, row-major `k⁽ⁱ|ʲ⁾ × k⁽ʲ|ⁱ⁾`, over rows non-null in **both**
+    /// columns.
+    pub counts: Vec<u32>,
+}
+
+impl PairHist {
+    /// `k⁽ⁱ|ʲ⁾`.
+    pub fn ki(&self) -> usize {
+        self.dim_i.bins.k()
+    }
+
+    /// `k⁽ʲ|ⁱ⁾`.
+    pub fn kj(&self) -> usize {
+        self.dim_j.bins.k()
+    }
+
+    /// Computes `H⁽ⁱʲ⁾ β` (Eq 27-28): multiplies the count matrix by a coverage
+    /// vector over one dimension's refined bins and folds the result into the *other*
+    /// dimension's parent 1-d bins.
+    ///
+    /// `cover_on_j = true` means `cov` covers the `j` dimension and the result is per
+    /// parent bin of column `i`; `false` is the transpose. `parent_k` is the number
+    /// of 1-d bins of the result column.
+    pub fn fold_coverage(&self, cov: &[f64], cover_on_j: bool, parent_k: usize) -> Vec<f64> {
+        let (ki, kj) = (self.ki(), self.kj());
+        let mut out = vec![0.0; parent_k];
+        if cover_on_j {
+            assert_eq!(cov.len(), kj, "coverage must match the j dimension");
+            for ri in 0..ki {
+                let row = &self.counts[ri * kj..(ri + 1) * kj];
+                let mut acc = 0.0;
+                for (c, b) in row.iter().zip(cov) {
+                    if *c > 0 {
+                        acc += *c as f64 * b;
+                    }
+                }
+                out[self.dim_i.parent[ri] as usize] += acc;
+            }
+        } else {
+            assert_eq!(cov.len(), ki, "coverage must match the i dimension");
+            for ri in 0..ki {
+                let bi = cov[ri];
+                if bi == 0.0 {
+                    continue;
+                }
+                let row = &self.counts[ri * kj..(ri + 1) * kj];
+                for rj in 0..kj {
+                    if row[rj] > 0 {
+                        out[self.dim_j.parent[rj] as usize] += row[rj] as f64 * bi;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the pair histogram for columns `(i, j)`.
+///
+/// * `xi`, `xj`: paired values for rows non-null in both columns;
+/// * `sorted_i`, `sorted_j`: each column's full ascending-sorted non-null values
+///   (metadata source);
+/// * `bins_i`, `bins_j`: the finished one-dimensional histograms providing the
+///   initial edges (Algorithm 1 line 15).
+#[allow(clippy::too_many_arguments)]
+pub fn build_pair(
+    col_i: usize,
+    col_j: usize,
+    xi: &[u64],
+    xj: &[u64],
+    sorted_i: &[u64],
+    sorted_j: &[u64],
+    bins_i: &DimBins,
+    bins_j: &DimBins,
+    m_min: usize,
+    split_rule: SplitRule,
+    chi2: &mut Chi2Cache,
+) -> PairHist {
+    assert_eq!(xi.len(), xj.len());
+    let (ki0, kj0) = (bins_i.k(), bins_j.k());
+
+    // Initial 2-d bin counts over the 1-d edges (Algorithm 1 line 16).
+    let mut cell_of = Vec::with_capacity(xi.len());
+    let mut counts0 = vec![0u32; ki0 * kj0];
+    for r in 0..xi.len() {
+        let (Some(bi), Some(bj)) = (bins_i.bin_of(xi[r]), bins_j.bin_of(xj[r])) else {
+            // 1-d histograms were built on the same sample: every value has a bin.
+            unreachable!("pair value outside 1-d histogram range");
+        };
+        let cell = bi * kj0 + bj;
+        counts0[cell] += 1;
+        cell_of.push(cell as u32);
+    }
+
+    // Collect the points of cells exceeding M (line 17) and refine each.
+    let mut heavy: std::collections::HashMap<u32, Vec<(u64, u64)>> =
+        std::collections::HashMap::new();
+    for (cell, c) in counts0.iter().enumerate() {
+        if *c as usize > m_min {
+            heavy.insert(cell as u32, Vec::with_capacity(*c as usize));
+        }
+    }
+    if !heavy.is_empty() {
+        for r in 0..xi.len() {
+            if let Some(points) = heavy.get_mut(&cell_of[r]) {
+                points.push((xi[r], xj[r]));
+            }
+        }
+    }
+    // Edges are half-integers; store them doubled as integers for exact set ops.
+    let mut new_i: BTreeSet<i64> = BTreeSet::new();
+    let mut new_j: BTreeSet<i64> = BTreeSet::new();
+    for (cell, mut points) in heavy {
+        let (ti, tj) = ((cell as usize) / kj0, (cell as usize) % kj0);
+        refine_cell(
+            &mut points,
+            (bins_i.edges[ti], bins_i.edges[ti + 1]),
+            (bins_j.edges[tj], bins_j.edges[tj + 1]),
+            m_min,
+            split_rule,
+            chi2,
+            0,
+            &mut new_i,
+            &mut new_j,
+        );
+    }
+
+    // Final refined edges = 1-d edges ∪ new cell splits (lines 20-21).
+    let edges_i = merge_edges(&bins_i.edges, &new_i);
+    let edges_j = merge_edges(&bins_j.edges, &new_j);
+
+    // Final 2-d bin counts over the refined edges (line 22).
+    let (ki, kj) = (edges_i.len() - 1, edges_j.len() - 1);
+    let mut counts = vec![0u32; ki * kj];
+    for r in 0..xi.len() {
+        let bi = bin_index(&edges_i, xi[r]);
+        let bj = bin_index(&edges_j, xj[r]);
+        counts[bi * kj + bj] += 1;
+    }
+    // Per-dimension counts are the matrix marginals (rows non-null in both columns):
+    // they are the `h` of Theorem 2 for pair-restricted coverage, and — unlike
+    // full-column counts — are exactly derivable from the stored count matrix.
+    let mut row_sums = vec![0u64; ki];
+    let mut col_sums = vec![0u64; kj];
+    for ri in 0..ki {
+        for rj in 0..kj {
+            let c = counts[ri * kj + rj] as u64;
+            row_sums[ri] += c;
+            col_sums[rj] += c;
+        }
+    }
+    let dim_i = finalize_dim(sorted_i, edges_i, bins_i, row_sums, m_min, chi2);
+    let dim_j = finalize_dim(sorted_j, edges_j, bins_j, col_sums, m_min, chi2);
+
+    PairHist { col_i, col_j, dim_i, dim_j, counts }
+}
+
+/// Bin index of `v` in a half-integer edge list covering it.
+#[inline]
+fn bin_index(edges: &[f64], v: u64) -> usize {
+    let idx = edges.partition_point(|&e| e < v as f64);
+    debug_assert!(idx > 0 && idx < edges.len(), "value {v} outside refined edges");
+    idx - 1
+}
+
+/// `RefineBin2D`: tests each dimension of the cell for uniformity, splits the least
+/// uniform one, and recurses (Fig 5).
+#[allow(clippy::too_many_arguments)]
+fn refine_cell(
+    points: &mut [(u64, u64)],
+    bounds_i: (f64, f64),
+    bounds_j: (f64, f64),
+    m_min: usize,
+    split_rule: SplitRule,
+    chi2: &mut Chi2Cache,
+    depth: u32,
+    out_i: &mut BTreeSet<i64>,
+    out_j: &mut BTreeSet<i64>,
+) {
+    if points.len() <= m_min || depth >= MAX_DEPTH {
+        return;
+    }
+    // Per-dimension uniformity severity.
+    let mut severity = |vals: &mut Vec<u64>, bounds: (f64, f64)| -> Option<f64> {
+        vals.sort_unstable();
+        let uniq = count_unique_sorted(vals);
+        if uniq < 2 || bounds.1 - bounds.0 < 2.0 {
+            return None; // nothing to split in this dimension
+        }
+        let t = test_uniform(vals, bounds.0, bounds.1, uniq, chi2);
+        (!t.is_uniform()).then(|| t.severity())
+    };
+    let mut vi: Vec<u64> = points.iter().map(|p| p.0).collect();
+    let mut vj: Vec<u64> = points.iter().map(|p| p.1).collect();
+    let sev_i = severity(&mut vi, bounds_i);
+    let sev_j = severity(&mut vj, bounds_j);
+
+    // Pick the least uniform rejecting dimension; stop when both accept.
+    let split_i = match (sev_i, sev_j) {
+        (None, None) => return,
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (Some(a), Some(b)) => a >= b,
+    };
+    let (bounds, sorted_vals) = if split_i { (bounds_i, &vi) } else { (bounds_j, &vj) };
+    let z = match split_rule {
+        SplitRule::EqualWidth => snap_split(bounds.0, bounds.1),
+        SplitRule::EqualDepth => snap_split_equal_depth(sorted_vals, bounds.0, bounds.1)
+            .or_else(|| snap_split(bounds.0, bounds.1)),
+    };
+    let Some(z) = z else { return };
+    if split_i {
+        out_i.insert((z * 2.0) as i64);
+        points.sort_unstable_by_key(|p| p.0);
+        let cut = points.partition_point(|p| (p.0 as f64) < z);
+        let (left, right) = points.split_at_mut(cut);
+        refine_cell(left, (bounds_i.0, z), bounds_j, m_min, split_rule, chi2, depth + 1, out_i, out_j);
+        refine_cell(right, (z, bounds_i.1), bounds_j, m_min, split_rule, chi2, depth + 1, out_i, out_j);
+    } else {
+        out_j.insert((z * 2.0) as i64);
+        points.sort_unstable_by_key(|p| p.1);
+        let cut = points.partition_point(|p| (p.1 as f64) < z);
+        let (left, right) = points.split_at_mut(cut);
+        refine_cell(left, bounds_i, (bounds_j.0, z), m_min, split_rule, chi2, depth + 1, out_i, out_j);
+        refine_cell(right, bounds_i, (z, bounds_j.1), m_min, split_rule, chi2, depth + 1, out_i, out_j);
+    }
+}
+
+/// Union of base edges and doubled-integer split edges, ascending.
+fn merge_edges(base: &[f64], extra: &BTreeSet<i64>) -> Vec<f64> {
+    let mut all: Vec<f64> = base.to_vec();
+    all.extend(extra.iter().map(|&e2| e2 as f64 / 2.0));
+    all.sort_by(|a, b| a.total_cmp(b));
+    all.dedup();
+    all
+}
+
+/// Builds a [`PairDim`]: full-column value metadata (`v±`, `u`) over the refined
+/// edges — so unsplit bins coincide with the 1-d histogram's, the property the Fig 6
+/// storage layout exploits — combined with matrix-marginal counts, plus the parent
+/// map back to the 1-d histogram.
+pub(crate) fn finalize_dim(
+    sorted: &[u64],
+    edges: Vec<f64>,
+    parent_bins: &DimBins,
+    counts: Vec<u64>,
+    m_min: usize,
+    chi2: &mut Chi2Cache,
+) -> PairDim {
+    let k = edges.len() - 1;
+    assert_eq!(counts.len(), k);
+    let mut vmin = Vec::with_capacity(k);
+    let mut vmax = Vec::with_capacity(k);
+    let mut uniq = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for t in 0..k {
+        let (e_lo, e_hi) = (edges[t], edges[t + 1]);
+        let end = start + sorted[start..].partition_point(|&v| (v as f64) < e_hi);
+        let slice = &sorted[start..end];
+        if slice.is_empty() {
+            vmin.push(e_lo.ceil().max(0.0) as u64);
+            vmax.push(e_hi.floor().max(0.0) as u64);
+            uniq.push(0);
+        } else {
+            vmin.push(slice[0]);
+            vmax.push(slice[slice.len() - 1]);
+            uniq.push(count_unique_sorted(slice) as u32);
+        }
+        start = end;
+    }
+    let parent = parent_map(&edges, parent_bins);
+    PairDim {
+        bins: DimBins::finalize(edges, vmin, vmax, uniq, counts, m_min, chi2),
+        parent,
+    }
+}
+
+/// Maps each refined bin to the 1-d bin containing it (refined edges are a superset
+/// of the 1-d edges, so every refined interval nests in exactly one parent).
+pub(crate) fn parent_map(edges: &[f64], parent_bins: &DimBins) -> Vec<u32> {
+    (0..edges.len() - 1)
+        .map(|t| {
+            let mid = 0.5 * (edges[t] + edges[t + 1]);
+            let p = parent_bins.edges.partition_point(|&e| e < mid).saturating_sub(1);
+            p.min(parent_bins.k() - 1) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build1d::build_dim_bins_1d;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds 1-d bins + the pair for two correlated columns.
+    fn setup(xi: Vec<u64>, xj: Vec<u64>, m_min: usize) -> PairHist {
+        let mut chi2 = Chi2Cache::new(0.001);
+        let mut si = xi.clone();
+        si.sort_unstable();
+        let mut sj = xj.clone();
+        sj.sort_unstable();
+        let ei = [si[0] as f64 - 0.5, si[si.len() - 1] as f64 + 0.5];
+        let ej = [sj[0] as f64 - 0.5, sj[sj.len() - 1] as f64 + 0.5];
+        let bi = build_dim_bins_1d(&si, &ei, m_min, SplitRule::EqualWidth, &mut chi2);
+        let bj = build_dim_bins_1d(&sj, &ej, m_min, SplitRule::EqualWidth, &mut chi2);
+        build_pair(0, 1, &xi, &xj, &si, &sj, &bi, &bj, m_min, SplitRule::EqualWidth, &mut chi2)
+    }
+
+    #[test]
+    fn counts_partition_pairs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 6000;
+        let xi: Vec<u64> = (0..n).map(|_| rng.gen_range(0..500)).collect();
+        let xj: Vec<u64> = xi.iter().map(|&v| v * 2 + rng.gen_range(0..50)).collect();
+        let pair = setup(xi, xj, 60);
+        let total: u64 = pair.counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, n as u64);
+        assert_eq!(pair.counts.len(), pair.ki() * pair.kj());
+    }
+
+    #[test]
+    fn refinement_adds_edges_on_dependent_data() {
+        // Skewed marginals (so the 1-d histograms have several bins) plus strong
+        // diagonal dependence: within initial cells the conditional marginals are
+        // non-uniform, so RefineBin2D must add edges beyond the 1-d ones.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let xi: Vec<u64> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                (u * u * 1000.0) as u64
+            })
+            .collect();
+        let xj: Vec<u64> = xi.iter().map(|&v| v + rng.gen_range(0..10)).collect();
+        let k1d = {
+            let mut chi2 = Chi2Cache::new(0.001);
+            let mut si = xi.clone();
+            si.sort_unstable();
+            let ei = [si[0] as f64 - 0.5, si[si.len() - 1] as f64 + 0.5];
+            let mut sj = xj.clone();
+            sj.sort_unstable();
+            let ej = [sj[0] as f64 - 0.5, sj[sj.len() - 1] as f64 + 0.5];
+            build_dim_bins_1d(&si, &ei, 200, SplitRule::EqualWidth, &mut chi2).k()
+                + build_dim_bins_1d(&sj, &ej, 200, SplitRule::EqualWidth, &mut chi2).k()
+        };
+        let pair = setup(xi, xj, 200);
+        assert!(
+            pair.ki() + pair.kj() > k1d,
+            "dependent data must trigger 2-d refinement (ki={}, kj={}, 1-d total={})",
+            pair.ki(),
+            pair.kj(),
+            k1d
+        );
+    }
+
+    #[test]
+    fn independent_uniform_data_needs_no_refinement() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let n = 20_000;
+        let xi: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+        let xj: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+        let pair = setup(xi, xj, 200);
+        // Uniform marginals & independence: with alpha = 0.001 refinement should be
+        // rare. Allow a couple of false-positive splits.
+        assert!(pair.ki() <= 4 && pair.kj() <= 4, "ki={} kj={}", pair.ki(), pair.kj());
+    }
+
+    #[test]
+    fn parents_map_into_onedim_bins() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let n = 8000;
+        let xi: Vec<u64> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0..50) } else { rng.gen_range(900..1000) })
+            .collect();
+        let xj: Vec<u64> = xi.iter().map(|&v| 1000 - v + rng.gen_range(0..20)).collect();
+        let pair = setup(xi, xj, 80);
+        assert!(pair.dim_i.parent.windows(2).all(|w| w[0] <= w[1]), "parents monotone");
+        // Refined bins within a parent must tile the parent exactly: per-parent
+        // full-column counts agree between refined and 1-d bins.
+        let k1 = *pair.dim_i.parent.iter().max().unwrap() as usize + 1;
+        let mut per_parent = vec![0u64; k1];
+        for (r, &p) in pair.dim_i.parent.iter().enumerate() {
+            per_parent[p as usize] += pair.dim_i.bins.counts[r];
+        }
+        let total_refined: u64 = per_parent.iter().sum();
+        let total_1d: u64 = pair.dim_i.bins.counts.iter().sum();
+        assert_eq!(total_refined, total_1d);
+    }
+
+    #[test]
+    fn fold_coverage_row_and_column() {
+        // Tiny hand-built pair: 2x2 counts, identity parents.
+        let mut chi2 = Chi2Cache::new(0.001);
+        let mut mk = |edges: Vec<f64>, c: Vec<u64>| {
+            let k = c.len();
+            DimBins::finalize(
+                edges,
+                vec![0; k],
+                vec![1; k],
+                vec![1; k],
+                c,
+                10,
+                &mut chi2,
+            )
+        };
+        let pair = PairHist {
+            col_i: 0,
+            col_j: 1,
+            dim_i: PairDim {
+                bins: mk(vec![-0.5, 4.5, 9.5], vec![30, 10]),
+                parent: vec![0, 1],
+            },
+            dim_j: PairDim {
+                bins: mk(vec![-0.5, 4.5, 9.5], vec![25, 15]),
+                parent: vec![0, 1],
+            },
+            counts: vec![20, 10, 5, 5],
+        };
+        // Coverage [1, 0] on j: row sums of first column -> i-parents [20, 5].
+        assert_eq!(pair.fold_coverage(&[1.0, 0.0], true, 2), vec![20.0, 5.0]);
+        // Coverage [0.5, 0.5] on i -> j-parents [12.5, 7.5].
+        assert_eq!(pair.fold_coverage(&[0.5, 0.5], false, 2), vec![12.5, 7.5]);
+    }
+}

@@ -1,0 +1,552 @@
+//! Query execution against the synopsis (§5, Fig 7 pipeline): parse → transform
+//! literals → coverage → weightings → aggregation → map back to the value domain.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ph_sql::{AggFunc, Query};
+
+use crate::aggregate::{estimate, Estimate};
+use crate::build::PairwiseHist;
+use crate::coverage::RangeSet;
+use crate::plan::{compile_predicate, PlanNode};
+use crate::weights::{compute_weights, W_EPS};
+
+/// Errors raised during approximate query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AqpError {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A predicate is ill-typed for its column.
+    InvalidPredicate(String),
+    /// Aggregating a categorical column with a numeric aggregate.
+    BadAggregate(String),
+    /// GROUP BY on a non-categorical column.
+    BadGroupBy(String),
+}
+
+impl fmt::Display for AqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AqpError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            AqpError::InvalidPredicate(d) => write!(f, "invalid predicate: {d}"),
+            AqpError::BadAggregate(d) => write!(f, "invalid aggregate: {d}"),
+            AqpError::BadGroupBy(c) => {
+                write!(f, "GROUP BY requires a categorical column, got '{c}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AqpError {}
+
+/// Result of approximate execution: a bounded scalar or one bounded value per group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AqpAnswer {
+    /// Non-grouped result; `None` mirrors SQL NULL (empty selection, COUNT excepted).
+    Scalar(Option<Estimate>),
+    /// Per-group results for groups with non-zero estimated weight.
+    Groups(BTreeMap<String, Estimate>),
+}
+
+impl AqpAnswer {
+    /// The scalar estimate, if this is a scalar answer.
+    pub fn scalar(&self) -> Option<Estimate> {
+        match self {
+            AqpAnswer::Scalar(e) => *e,
+            AqpAnswer::Groups(_) => None,
+        }
+    }
+
+    /// The group map, if grouped.
+    pub fn groups(&self) -> Option<&BTreeMap<String, Estimate>> {
+        match self {
+            AqpAnswer::Groups(g) => Some(g),
+            AqpAnswer::Scalar(_) => None,
+        }
+    }
+}
+
+impl PairwiseHist {
+    /// Executes an approximate query (§5). Estimates and bounds are returned in the
+    /// original value domain.
+    pub fn execute(&self, q: &Query) -> Result<AqpAnswer, AqpError> {
+        let pre = &self.pre;
+        let agg_col = pre
+            .column_index(&q.column)
+            .ok_or_else(|| AqpError::UnknownColumn(q.column.clone()))?;
+        let numeric = pre.transform(agg_col).is_numeric();
+        if !numeric && q.agg != AggFunc::Count {
+            return Err(AqpError::BadAggregate(format!(
+                "{} on categorical column '{}'",
+                q.agg, q.column
+            )));
+        }
+
+        let plan = match &q.predicate {
+            Some(p) => Some(compile_predicate(p, pre)?),
+            None => None,
+        };
+        let single_col = q.group_by.is_none()
+            && plan
+                .as_ref()
+                .is_none_or(|p| p.columns().iter().all(|&c| c == agg_col));
+
+        match &q.group_by {
+            None => {
+                let w = compute_weights(self, plan.as_ref(), agg_col);
+                let clamp = plan.as_ref().and_then(|p| conjunctive_range(p, agg_col));
+                let e = self.finish(q.agg, &w, agg_col, single_col, clamp.as_ref());
+                Ok(AqpAnswer::Scalar(e))
+            }
+            Some(g) => {
+                let gcol = g
+                    .as_str()
+                    .split_whitespace()
+                    .next()
+                    .and_then(|name| pre.column_index(name))
+                    .ok_or_else(|| AqpError::UnknownColumn(g.clone()))?;
+                let gtr = pre.transform(gcol);
+                let n_groups = gtr
+                    .n_categories()
+                    .ok_or_else(|| AqpError::BadGroupBy(g.clone()))?;
+                let mut out = BTreeMap::new();
+                for rank in 0..n_groups {
+                    let leaf =
+                        PlanNode::Leaf { col: gcol, ranges: RangeSet::point(rank as u64) };
+                    let grouped = match &plan {
+                        Some(p) => PlanNode::And(vec![p.clone(), leaf]),
+                        None => leaf,
+                    };
+                    let w = compute_weights(self, Some(&grouped), agg_col);
+                    if w.total() <= W_EPS {
+                        continue; // group has no estimated satisfying rows
+                    }
+                    let clamp = conjunctive_range(&grouped, agg_col);
+                    if let Some(e) = self.finish(q.agg, &w, agg_col, false, clamp.as_ref()) {
+                        let label = self.pre.transform(gcol).category(rank)
+                            .expect("rank within dictionary")
+                            .to_string();
+                        out.insert(label, e);
+                    }
+                }
+                Ok(AqpAnswer::Groups(out))
+            }
+        }
+    }
+
+    /// Estimates the selectivity of a predicate: the fraction of table rows it
+    /// selects, with bounds — the classical histogram application the paper's
+    /// related-work section frames AQP around (selectivity estimation ≡ COUNT/N).
+    ///
+    /// Rows with NULL in the first predicate column count as not selected,
+    /// mirroring the engines' COUNT semantics.
+    pub fn selectivity(&self, predicate: &ph_sql::Predicate) -> Result<Estimate, AqpError> {
+        let plan = compile_predicate(predicate, &self.pre)?;
+        // Anchor the weighting on the first predicate column: its weights estimate
+        // the satisfying-row count directly.
+        let anchor = *plan.columns().first().expect("predicate has a column");
+        let w = compute_weights(self, Some(&plan), anchor);
+        let n = self.params().n_total.max(1) as f64;
+        let rho = self.params().rho();
+        let count = estimate(AggFunc::Count, &w, self.hist1d(anchor), rho, false, self.params().m_min)
+            .expect("COUNT is always defined");
+        Ok(Estimate::ordered(
+            (count.value / n).clamp(0.0, 1.0),
+            (count.lo / n).clamp(0.0, 1.0),
+            (count.hi / n).clamp(0.0, 1.0),
+        ))
+    }
+
+    /// Runs the Table 3 estimator and maps the result back to the original domain.
+    fn finish(
+        &self,
+        agg: AggFunc,
+        w: &crate::weights::Weights,
+        agg_col: usize,
+        single_col: bool,
+        clamp: Option<&RangeSet>,
+    ) -> Option<Estimate> {
+        let bins = self.hist1d(agg_col);
+        let rho = self.params().rho();
+        let m_min = self.params().m_min;
+        let mut enc = estimate(agg, w, bins, rho, single_col, m_min)?;
+        // Order-statistic aggregates can be sharpened with the predicate's own
+        // conjunctive constraint on the aggregation column: the true MIN/MAX/MEDIAN
+        // of satisfying rows necessarily lies inside that range.
+        if let Some(rs) = clamp {
+            if !rs.is_empty() {
+                let (range_lo, range_hi) = {
+                    let ivs = rs.intervals();
+                    (ivs[0].0 as f64, ivs[ivs.len() - 1].1 as f64)
+                };
+                enc = match agg {
+                    AggFunc::Min => Estimate::ordered(
+                        enc.value.max(range_lo),
+                        enc.lo.max(range_lo),
+                        enc.hi,
+                    ),
+                    AggFunc::Max => Estimate::ordered(
+                        enc.value.min(range_hi),
+                        enc.lo,
+                        enc.hi.min(range_hi),
+                    ),
+                    AggFunc::Median => Estimate::ordered(
+                        enc.value.clamp(range_lo, range_hi),
+                        enc.lo.max(range_lo),
+                        enc.hi.min(range_hi),
+                    ),
+                    _ => enc,
+                };
+            }
+        }
+        let affine = self.pre.transform(agg_col).affine();
+        Some(match (agg, affine) {
+            // Counts are domain-free; categorical columns (no affine) only COUNT.
+            (AggFunc::Count, _) | (_, None) => enc,
+            (AggFunc::Sum, Some((a, b))) => {
+                // Σ(a·x + b) = a·Σx + b·n: needs the COUNT estimate for the offset.
+                let n = estimate(AggFunc::Count, w, bins, rho, single_col, m_min)
+                    .expect("COUNT is always defined");
+                let (n_for_lo, n_for_hi) =
+                    if b >= 0.0 { (n.lo, n.hi) } else { (n.hi, n.lo) };
+                Estimate::ordered(
+                    a * enc.value + b * n.value,
+                    a * enc.lo + b * n_for_lo,
+                    a * enc.hi + b * n_for_hi,
+                )
+            }
+            (AggFunc::Var, Some((a, _))) => {
+                // Var(a·x + b) = a²·Var(x).
+                Estimate::ordered(a * a * enc.value, a * a * enc.lo, a * a * enc.hi)
+            }
+            // AVG / MIN / MAX / MEDIAN transform per-value; a > 0 keeps order.
+            (_, Some((a, b))) => {
+                Estimate::ordered(a * enc.value + b, a * enc.lo + b, a * enc.hi + b)
+            }
+        })
+    }
+}
+
+/// The predicate's conjunctively-implied range on `col`, if any: values of `col` in
+/// satisfying rows necessarily fall in this set.
+///
+/// * a leaf on `col` implies its own range;
+/// * an AND implies the intersection of whatever its children imply;
+/// * an OR implies the union, but only if *every* branch constrains `col`.
+fn conjunctive_range(plan: &PlanNode, col: usize) -> Option<RangeSet> {
+    match plan {
+        PlanNode::Leaf { col: c, ranges } => (*c == col).then(|| ranges.clone()),
+        PlanNode::And(children) => children
+            .iter()
+            .filter_map(|ch| conjunctive_range(ch, col))
+            .reduce(|a, b| a.intersect(&b)),
+        PlanNode::Or(children) => {
+            let parts: Vec<RangeSet> = children
+                .iter()
+                .map(|ch| conjunctive_range(ch, col))
+                .collect::<Option<_>>()?;
+            parts.into_iter().reduce(|a, b| a.union(&b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::build::PairwiseHistConfig;
+    use ph_exact::{evaluate, ExactAnswer};
+    use ph_sql::parse_query;
+    use ph_types::{Column, Dataset};
+    use rand::{Rng, SeedableRng};
+
+    /// Correlated dataset with skewed numerics, floats, categoricals and nulls —
+    /// the distribution shapes real flight data has (right-skewed distances,
+    /// correlated air time, uneven carrier shares).
+    fn flights_like(n: usize, seed: u64) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist: Vec<Option<i64>> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                Some(69 + (u * u * 2000.0) as i64)
+            })
+            .collect();
+        let air_time: Vec<Option<f64>> = dist
+            .iter()
+            .map(|d| {
+                if rng.gen_bool(0.03) {
+                    None
+                } else {
+                    Some(d.unwrap() as f64 / 8.0 + rng.gen_range(0.0..20.0))
+                }
+            })
+            .collect();
+        let delay: Vec<Option<i64>> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                Some(-10 + (u * u * 130.0) as i64)
+            })
+            .collect();
+        let carriers = ["AA", "UA", "DL", "WN"];
+        let carrier: Vec<Option<&str>> = (0..n)
+            .map(|_| {
+                let r: f64 = rng.gen();
+                let idx = if r < 0.4 {
+                    0
+                } else if r < 0.7 {
+                    1
+                } else if r < 0.9 {
+                    2
+                } else {
+                    3
+                };
+                Some(carriers[idx])
+            })
+            .collect();
+        Dataset::builder("flights")
+            .column(Column::from_ints("dist", dist))
+            .unwrap()
+            .column(Column::from_floats("air_time", air_time, 1))
+            .unwrap()
+            .column(Column::from_ints("delay", delay))
+            .unwrap()
+            .column(Column::from_strings("carrier", carrier))
+            .unwrap()
+            .build()
+    }
+
+    fn build(data: &Dataset) -> PairwiseHist {
+        PairwiseHist::build(
+            data,
+            &PairwiseHistConfig {
+                ns: data.n_rows(),
+                parallel: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn check(ph: &PairwiseHist, data: &Dataset, sql: &str, tol: f64) {
+        let q = parse_query(sql).unwrap();
+        let approx = ph.execute(&q).unwrap().scalar();
+        let truth = evaluate(&q, data).unwrap().scalar();
+        match (approx, truth) {
+            (Some(a), Some(t)) => {
+                let denom = t.abs().max(1.0);
+                let rel = (a.value - t).abs() / denom;
+                assert!(rel < tol, "{sql}: approx {} vs exact {t} (rel {rel:.4})", a.value);
+            }
+            (a, t) => panic!("{sql}: definedness mismatch approx={a:?} truth={t:?}"),
+        }
+    }
+
+    #[test]
+    fn count_sum_avg_accuracy() {
+        let data = flights_like(30_000, 7);
+        let ph = build(&data);
+        check(&ph, &data, "SELECT COUNT(delay) FROM flights WHERE dist > 1000", 0.02);
+        check(&ph, &data, "SELECT SUM(dist) FROM flights WHERE air_time > 100", 0.05);
+        check(&ph, &data, "SELECT AVG(dist) FROM flights WHERE air_time > 100", 0.05);
+        check(&ph, &data, "SELECT AVG(air_time) FROM flights WHERE dist >= 500 AND dist < 1500", 0.05);
+    }
+
+    #[test]
+    fn min_max_median_var_accuracy() {
+        let data = flights_like(30_000, 8);
+        let ph = build(&data);
+        check(&ph, &data, "SELECT MIN(dist) FROM flights WHERE dist > 500", 0.05);
+        check(&ph, &data, "SELECT MAX(dist) FROM flights WHERE dist < 1500", 0.05);
+        check(&ph, &data, "SELECT MEDIAN(dist) FROM flights", 0.05);
+        check(&ph, &data, "SELECT VAR(dist) FROM flights", 0.10);
+    }
+
+    #[test]
+    fn fig7_style_query_runs() {
+        // The Fig 7 query shape: mixed AND/OR with a same-column consolidated group.
+        // dist and air_time are strongly correlated, so Eq 28's conditional-
+        // independence assumption overestimates here — a failure mode the paper
+        // itself flags (§5.3). Assert the estimate is the right order of magnitude
+        // rather than tight.
+        let data = flights_like(30_000, 9);
+        let ph = build(&data);
+        check(
+            &ph,
+            &data,
+            "SELECT COUNT(delay) FROM flights WHERE dist > 150 AND dist < 300 OR dist < 450 AND air_time > 30.5",
+            0.80,
+        );
+        // The same shape on independent columns stays accurate.
+        check(
+            &ph,
+            &data,
+            "SELECT COUNT(dist) FROM flights WHERE delay > 20 AND delay < 80 OR delay < 100 AND carrier = 'AA'",
+            0.10,
+        );
+    }
+
+    #[test]
+    fn bounds_contain_truth_for_most_queries() {
+        let data = flights_like(20_000, 10);
+        let ph = build(&data);
+        let queries = [
+            "SELECT COUNT(delay) FROM flights WHERE dist > 800",
+            "SELECT SUM(dist) FROM flights WHERE dist > 800",
+            "SELECT AVG(dist) FROM flights WHERE air_time < 150",
+            "SELECT MEDIAN(dist) FROM flights WHERE dist < 1500",
+        ];
+        let mut correct = 0;
+        for sql in queries {
+            let q = parse_query(sql).unwrap();
+            let a = ph.execute(&q).unwrap().scalar().unwrap();
+            let t = evaluate(&q, &data).unwrap().scalar().unwrap();
+            if a.contains(t) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 3, "bounds should contain truth for most queries ({correct}/4)");
+    }
+
+    #[test]
+    fn group_by_matches_exact_groups() {
+        let data = flights_like(20_000, 11);
+        let ph = build(&data);
+        let q = parse_query(
+            "SELECT COUNT(delay) FROM flights WHERE dist > 500 GROUP BY carrier",
+        )
+        .unwrap();
+        let approx = ph.execute(&q).unwrap();
+        let truth = evaluate(&q, &data).unwrap();
+        let (AqpAnswer::Groups(ag), ExactAnswer::Groups(tg)) = (&approx, &truth) else {
+            panic!("expected grouped answers");
+        };
+        assert_eq!(
+            ag.keys().collect::<Vec<_>>(),
+            tg.keys().collect::<Vec<_>>(),
+            "same group labels"
+        );
+        for (label, est) in ag {
+            let t = tg[label].unwrap();
+            let rel = (est.value - t).abs() / t.max(1.0);
+            assert!(rel < 0.05, "group {label}: {} vs {t}", est.value);
+        }
+    }
+
+    #[test]
+    fn float_domain_mapping_roundtrips() {
+        let data = flights_like(20_000, 12);
+        let ph = build(&data);
+        // air_time is a float column with scale 1: estimates must come back in the
+        // original units.
+        check(&ph, &data, "SELECT AVG(air_time) FROM flights", 0.03);
+        check(&ph, &data, "SELECT MIN(air_time) FROM flights WHERE air_time > 50.5", 0.10);
+    }
+
+    #[test]
+    fn count_on_categorical_column() {
+        let data = flights_like(10_000, 13);
+        let ph = build(&data);
+        check(&ph, &data, "SELECT COUNT(carrier) FROM flights WHERE dist > 1000", 0.05);
+    }
+
+    #[test]
+    fn categorical_equality_predicates() {
+        let data = flights_like(20_000, 14);
+        let ph = build(&data);
+        check(&ph, &data, "SELECT COUNT(delay) FROM flights WHERE carrier = 'AA'", 0.05);
+        check(&ph, &data, "SELECT COUNT(delay) FROM flights WHERE carrier <> 'AA'", 0.05);
+        check(
+            &ph,
+            &data,
+            "SELECT AVG(dist) FROM flights WHERE carrier = 'UA' AND dist > 500",
+            0.08,
+        );
+    }
+
+    #[test]
+    fn unknown_category_matches_nothing() {
+        let data = flights_like(5_000, 15);
+        let ph = build(&data);
+        let q = parse_query("SELECT COUNT(delay) FROM flights WHERE carrier = 'ZZ'").unwrap();
+        let a = ph.execute(&q).unwrap().scalar().unwrap();
+        assert_eq!(a.value, 0.0);
+    }
+
+    #[test]
+    fn selectivity_estimation() {
+        let data = flights_like(20_000, 30);
+        let ph = build(&data);
+        for sql in [
+            "SELECT COUNT(dist) FROM flights WHERE dist > 1000",
+            "SELECT COUNT(dist) FROM flights WHERE dist > 500 AND air_time < 150",
+            "SELECT COUNT(carrier) FROM flights WHERE carrier = 'AA'",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let sel = ph.selectivity(q.predicate.as_ref().unwrap()).unwrap();
+            let truth = evaluate(&q, &data).unwrap().scalar().unwrap() / 20_000.0;
+            assert!(
+                (sel.value - truth).abs() < 0.02,
+                "{sql}: selectivity {} vs {truth}",
+                sel.value
+            );
+            assert!(sel.lo <= sel.value && sel.value <= sel.hi);
+            assert!((0.0..=1.0).contains(&sel.lo) && (0.0..=1.0).contains(&sel.hi));
+        }
+    }
+
+    #[test]
+    fn errors_mirror_exact_engine() {
+        let data = flights_like(2_000, 16);
+        let ph = build(&data);
+        let q = parse_query("SELECT SUM(carrier) FROM flights").unwrap();
+        assert!(matches!(ph.execute(&q), Err(AqpError::BadAggregate(_))));
+        let q = parse_query("SELECT COUNT(delay) FROM flights GROUP BY dist").unwrap();
+        assert!(matches!(ph.execute(&q), Err(AqpError::BadGroupBy(_))));
+        let q = parse_query("SELECT COUNT(nope) FROM flights").unwrap();
+        assert!(matches!(ph.execute(&q), Err(AqpError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn sampled_synopsis_scales_counts() {
+        let data = flights_like(40_000, 17);
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: 8_000, parallel: false, ..Default::default() },
+        );
+        let q = parse_query("SELECT COUNT(delay) FROM flights WHERE dist > 1000").unwrap();
+        let a = ph.execute(&q).unwrap().scalar().unwrap();
+        let t = evaluate(&q, &data).unwrap().scalar().unwrap();
+        let rel = (a.value - t).abs() / t;
+        assert!(rel < 0.05, "sampled estimate {} vs {t}", a.value);
+        assert!(a.lo <= t && t <= a.hi, "widened bounds should contain truth");
+    }
+
+    #[test]
+    fn empty_result_semantics() {
+        let data = flights_like(5_000, 18);
+        let ph = build(&data);
+        let q = parse_query("SELECT AVG(dist) FROM flights WHERE dist > 999999").unwrap();
+        assert_eq!(ph.execute(&q).unwrap().scalar(), None);
+        let q = parse_query("SELECT COUNT(dist) FROM flights WHERE dist > 999999").unwrap();
+        assert_eq!(ph.execute(&q).unwrap().scalar().unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn works_via_gd_pipeline() {
+        use ph_gd::{GdCompressor, Preprocessor};
+        let data = flights_like(20_000, 19);
+        let pre = Arc::new(Preprocessor::fit(&data));
+        let store = GdCompressor::new().compress(&pre.encode(&data));
+        let ph = PairwiseHist::build_from_gd(
+            &store,
+            pre,
+            &PairwiseHistConfig { ns: 10_000, parallel: false, ..Default::default() },
+        );
+        let q = parse_query("SELECT AVG(dist) FROM flights WHERE air_time > 100").unwrap();
+        let a = ph.execute(&q).unwrap().scalar().unwrap();
+        let t = evaluate(&q, &data).unwrap().scalar().unwrap();
+        let rel = (a.value - t).abs() / t;
+        assert!(rel < 0.05, "GD-pipeline estimate {} vs {t}", a.value);
+    }
+}

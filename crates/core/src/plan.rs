@@ -1,0 +1,255 @@
+//! Predicate planning: literal transformation (§5.1) and delayed transformation
+//! (§5.2's same-column consolidation).
+//!
+//! A parsed predicate tree is compiled into a [`PlanNode`] tree whose leaves are
+//! *consolidated condition groups*: all conditions on the same column that are
+//! directly connected by a single AND or OR collapse into one exact [`RangeSet`]
+//! (intersection / union respectively). This is the paper's delayed transformation —
+//! the coverage→weighting conversion is deferred until same-column groups have been
+//! merged, because conditions on the same column are maximally dependent and the
+//! conditional-independence assumption of Eq 25–26 would misfire on them.
+
+use ph_gd::Preprocessor;
+use ph_sql::{CmpOp, Condition, Predicate};
+
+use crate::coverage::RangeSet;
+use crate::engine::AqpError;
+
+/// A compiled predicate tree with consolidated same-column leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PlanNode {
+    /// All (consolidated) conditions on one column, as an exact interval set over the
+    /// column's encoded domain.
+    Leaf {
+        /// Column index.
+        col: usize,
+        /// Matching values.
+        ranges: RangeSet,
+    },
+    /// Conjunction across columns / nested groups.
+    And(Vec<PlanNode>),
+    /// Disjunction across columns / nested groups.
+    Or(Vec<PlanNode>),
+}
+
+impl PlanNode {
+    /// Distinct columns referenced.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            PlanNode::Leaf { col, .. } => {
+                if !out.contains(col) {
+                    out.push(*col);
+                }
+            }
+            PlanNode::And(children) | PlanNode::Or(children) => {
+                for c in children {
+                    c.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Compiles a predicate against the fitted pre-processing transforms.
+pub(crate) fn compile_predicate(
+    pred: &Predicate,
+    pre: &Preprocessor,
+) -> Result<PlanNode, AqpError> {
+    match pred {
+        Predicate::Cond(c) => compile_condition(c, pre),
+        Predicate::And(children) => {
+            let compiled: Vec<PlanNode> = children
+                .iter()
+                .map(|p| compile_predicate(p, pre))
+                .collect::<Result<_, _>>()?;
+            Ok(consolidate(compiled, true))
+        }
+        Predicate::Or(children) => {
+            let compiled: Vec<PlanNode> = children
+                .iter()
+                .map(|p| compile_predicate(p, pre))
+                .collect::<Result<_, _>>()?;
+            Ok(consolidate(compiled, false))
+        }
+    }
+}
+
+fn compile_condition(c: &Condition, pre: &Preprocessor) -> Result<PlanNode, AqpError> {
+    let col = pre
+        .column_index(&c.column)
+        .ok_or_else(|| AqpError::UnknownColumn(c.column.clone()))?;
+    let tr = pre.transform(col);
+    if !tr.is_numeric() && !matches!(c.op, CmpOp::Eq | CmpOp::Ne) {
+        return Err(AqpError::InvalidPredicate(format!(
+            "range operator {} on categorical column '{}'",
+            c.op, c.column
+        )));
+    }
+    let lit = pre
+        .encode_literal(col, &c.value)
+        .map_err(|e| AqpError::InvalidPredicate(e.to_string()))?;
+    Ok(PlanNode::Leaf { col, ranges: RangeSet::from_condition(c.op, lit, tr.max_enc()) })
+}
+
+/// Merges same-column leaves directly connected by one AND (`intersect = true`) or
+/// one OR (`intersect = false`); everything else is kept as-is.
+fn consolidate(children: Vec<PlanNode>, intersect: bool) -> PlanNode {
+    let mut leaves: Vec<(usize, RangeSet)> = Vec::new();
+    let mut rest: Vec<PlanNode> = Vec::new();
+    for child in children {
+        match child {
+            PlanNode::Leaf { col, ranges } => {
+                match leaves.iter_mut().find(|(c, _)| *c == col) {
+                    Some((_, acc)) => {
+                        *acc = if intersect {
+                            acc.intersect(&ranges)
+                        } else {
+                            acc.union(&ranges)
+                        }
+                    }
+                    None => leaves.push((col, ranges)),
+                }
+            }
+            other => rest.push(other),
+        }
+    }
+    let mut nodes: Vec<PlanNode> = leaves
+        .into_iter()
+        .map(|(col, ranges)| PlanNode::Leaf { col, ranges })
+        .collect();
+    nodes.extend(rest);
+    if nodes.len() == 1 {
+        nodes.pop().unwrap()
+    } else if intersect {
+        PlanNode::And(nodes)
+    } else {
+        PlanNode::Or(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sql::parse_query;
+    use ph_types::{Column, Dataset};
+
+    fn pre() -> Preprocessor {
+        let data = Dataset::builder("f")
+            .column(Column::from_ints("delay", (0..100).map(Some).collect()))
+            .unwrap()
+            .column(Column::from_ints("dist", (0..100).map(|i| Some(69 + i * 10)).collect()))
+            .unwrap()
+            .column(Column::from_floats(
+                "air_time",
+                (0..100).map(|i| Some(2.5 + i as f64)).collect(),
+                1,
+            ))
+            .unwrap()
+            .column(Column::from_strings(
+                "carrier",
+                (0..100).map(|i| Some(if i % 2 == 0 { "AA" } else { "UA" })).collect(),
+            ))
+            .unwrap()
+            .build();
+        Preprocessor::fit(&data)
+    }
+
+    fn plan(sql: &str) -> PlanNode {
+        let q = parse_query(sql).unwrap();
+        compile_predicate(&q.predicate.unwrap(), &pre()).unwrap()
+    }
+
+    #[test]
+    fn fig7_delayed_transformation() {
+        // (dist > 150 AND dist < 300) OR (dist < 450 AND air_time > 90.5):
+        // the first AND group consolidates into one dist leaf; P3 stays separate
+        // because it combines with P4 first (operator precedence).
+        let p = plan(
+            "SELECT AVG(delay) FROM f WHERE dist > 150 AND dist < 300 OR dist < 450 AND air_time > 90.5",
+        );
+        match p {
+            PlanNode::Or(children) => {
+                assert_eq!(children.len(), 2);
+                // First branch fully consolidated into a single dist leaf:
+                // dist ∈ (150, 300) -> encoded (81, 231) -> [82, 230].
+                match &children[0] {
+                    PlanNode::Leaf { col: 1, ranges } => {
+                        assert_eq!(ranges.intervals(), &[(82, 230)]);
+                    }
+                    other => panic!("expected consolidated dist leaf, got {other:?}"),
+                }
+                // Second branch remains a 2-column AND.
+                match &children[1] {
+                    PlanNode::And(sub) => assert_eq!(sub.len(), 2),
+                    other => panic!("expected AND, got {other:?}"),
+                }
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_consolidation_unions() {
+        let p = plan("SELECT COUNT(delay) FROM f WHERE dist = 69 OR dist = 79");
+        match p {
+            PlanNode::Leaf { col: 1, ranges } => {
+                assert!(ranges.contains(0)); // 69 - 69
+                assert!(ranges.contains(10)); // 79 - 69
+                assert!(!ranges.contains(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_and_is_empty() {
+        let p = plan("SELECT COUNT(delay) FROM f WHERE dist < 100 AND dist > 500");
+        match p {
+            PlanNode::Leaf { ranges, .. } => assert!(ranges.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn categorical_equality_compiles() {
+        let p = plan("SELECT COUNT(delay) FROM f WHERE carrier = 'AA'");
+        match p {
+            PlanNode::Leaf { col: 3, ranges } => {
+                assert_eq!(ranges.intervals().len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn categorical_range_rejected() {
+        let q = parse_query("SELECT COUNT(delay) FROM f WHERE carrier > 'AA'").unwrap();
+        assert!(matches!(
+            compile_predicate(&q.predicate.unwrap(), &pre()),
+            Err(AqpError::InvalidPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let q = parse_query("SELECT COUNT(delay) FROM f WHERE nope = 1").unwrap();
+        assert!(matches!(
+            compile_predicate(&q.predicate.unwrap(), &pre()),
+            Err(AqpError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn columns_listed_once() {
+        let p = plan("SELECT COUNT(delay) FROM f WHERE dist > 100 AND air_time < 50 OR dist < 600");
+        let mut cols = p.columns();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![1, 2]);
+    }
+}

@@ -1,0 +1,156 @@
+//! The uniformity hypothesis test (`IsUniform`, §4.1) and split-point selection.
+
+use ph_stats::{terrell_scott, Chi2Cache};
+
+/// Result of the χ² uniformity test on one bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityTest {
+    /// The test statistic of Eq 3.
+    pub chi2: f64,
+    /// The critical value `χ²_α` at `s − 1` degrees of freedom.
+    pub critical: f64,
+}
+
+impl UniformityTest {
+    /// Whether the null hypothesis (uniform) stands.
+    pub fn is_uniform(&self) -> bool {
+        self.chi2 <= self.critical
+    }
+
+    /// How strongly the bin deviates from uniform (`χ² / χ²_α`); used by 2-d
+    /// refinement to split "the least uniform column" (§4.1).
+    pub fn severity(&self) -> f64 {
+        if self.critical > 0.0 {
+            self.chi2 / self.critical
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Runs the χ² uniformity test of Eq 3 on `values` (ascending-sorted) against the
+/// null hypothesis of a uniform distribution between `e_lo` and `e_hi`.
+///
+/// The bin is divided into `s = ⌈(2u)^⅓⌉` equal-width sub-bins (Terrell–Scott, Eq 2)
+/// and the observed sub-bin counts `ℏ_r` are compared with the expected `h / s`.
+pub fn test_uniform(
+    values: &[u64],
+    e_lo: f64,
+    e_hi: f64,
+    uniq: usize,
+    chi2: &mut Chi2Cache,
+) -> UniformityTest {
+    let h = values.len() as f64;
+    let s = terrell_scott(uniq);
+    debug_assert!(s >= 2);
+    let width = (e_hi - e_lo) / s as f64;
+    let expected = h / s as f64;
+    let mut stat = 0.0;
+    let mut start = 0usize;
+    for r in 0..s {
+        // Upper boundary of sub-bin r; the last one must swallow everything left.
+        let end = if r + 1 == s {
+            values.len()
+        } else {
+            let bound = e_lo + (r as f64 + 1.0) * width;
+            start + values[start..].partition_point(|&v| (v as f64) < bound)
+        };
+        let observed = (end - start) as f64;
+        stat += (observed - expected) * (observed - expected) / expected;
+        start = end;
+    }
+    UniformityTest { chi2: stat, critical: chi2.critical(s as u32 - 1) }
+}
+
+/// Picks the equal-width split point: the half-integer nearest the bin midpoint,
+/// strictly inside `(e_lo, e_hi)`.
+///
+/// Returns `None` when the bin spans fewer than two integers (nothing to split).
+pub fn snap_split(e_lo: f64, e_hi: f64) -> Option<f64> {
+    if e_hi - e_lo < 2.0 {
+        return None;
+    }
+    let z = ((e_lo + e_hi) / 2.0).floor() + 0.5;
+    debug_assert!(z > e_lo && z < e_hi, "split {z} outside ({e_lo}, {e_hi})");
+    Some(z)
+}
+
+/// Picks the equal-depth split point: the half-integer just above the median value,
+/// strictly inside `(e_lo, e_hi)` and leaving both sides non-empty.
+///
+/// The paper evaluated both rules and found equal-width slightly better (§4.1); this
+/// variant is kept for the ablation benches.
+pub fn snap_split_equal_depth(values: &[u64], e_lo: f64, e_hi: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let med = values[values.len() / 2] as f64;
+    let mut z = med + 0.5;
+    if z >= e_hi {
+        z = med - 0.5;
+    }
+    (z > e_lo && z < e_hi).then_some(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_passes() {
+        let mut chi2 = Chi2Cache::new(0.001);
+        // Perfectly even spread over [0, 1000).
+        let values: Vec<u64> = (0..5000u64).map(|i| i % 1000).collect::<Vec<_>>();
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let t = test_uniform(&sorted, -0.5, 999.5, 1000, &mut chi2);
+        assert!(t.is_uniform(), "chi2 = {} crit = {}", t.chi2, t.critical);
+    }
+
+    #[test]
+    fn clustered_data_fails() {
+        let mut chi2 = Chi2Cache::new(0.001);
+        // Everything in the bottom 10% of the bin, plus a sprinkle of uniques so
+        // the Terrell-Scott rule creates several sub-bins.
+        let mut values: Vec<u64> = (0..2000u64).map(|i| i % 100).collect();
+        values.extend([900, 950, 999]);
+        values.sort_unstable();
+        let t = test_uniform(&values, -0.5, 999.5, 103, &mut chi2);
+        assert!(!t.is_uniform(), "chi2 = {} crit = {}", t.chi2, t.critical);
+        assert!(t.severity() > 1.0);
+    }
+
+    #[test]
+    fn split_snaps_to_half_integer_inside() {
+        for (lo, hi) in [(-0.5, 1.5), (-0.5, 2.5), (0.5, 3.5), (10.5, 1000.5)] {
+            let z = snap_split(lo, hi).unwrap();
+            assert!(z > lo && z < hi);
+            assert_eq!((z * 2.0).rem_euclid(2.0), 1.0, "{z} must be a half-integer");
+        }
+    }
+
+    #[test]
+    fn split_refuses_single_integer_bins() {
+        assert_eq!(snap_split(4.5, 5.5), None);
+    }
+
+    #[test]
+    fn equal_depth_split_respects_bounds() {
+        let values = vec![1, 1, 1, 1, 9];
+        let z = snap_split_equal_depth(&values, 0.5, 9.5).unwrap();
+        assert!(z > 0.5 && z < 9.5);
+        // Median value 1 -> split at 1.5.
+        assert_eq!(z, 1.5);
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        let mut chi2 = Chi2Cache::new(0.01);
+        // u = 4 -> s = 2 sub-bins over (-0.5, 3.5): {0,1} vs {2,3}.
+        // counts: six points below, two above; expected 4 and 4.
+        let values = vec![0, 0, 1, 1, 1, 1, 2, 3];
+        let t = test_uniform(&values, -0.5, 3.5, 4, &mut chi2);
+        let expect = (6.0f64 - 4.0).powi(2) / 4.0 + (2.0f64 - 4.0).powi(2) / 4.0;
+        assert!((t.chi2 - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearer idiom here
+
+//! Bin weightings (§5.3): the estimated number of sample points per aggregation-column
+//! bin satisfying the predicate, with lower/upper bounds.
+//!
+//! The recursion follows Eq 25–28: leaf probabilities come from coverage vectors
+//! (through the relevant pair histogram when the condition column differs from the
+//! aggregation column, Eq 27), AND multiplies element-wise, OR applies the
+//! complement-product rule — all under the conditional-independence assumption that
+//! delayed transformation makes tolerable. Bounds propagate monotonically (both
+//! combination rules are increasing in each argument), then get widened for sampling
+//! uncertainty (Eq 29).
+
+use crate::build::PairwiseHist;
+use crate::coverage::{bin_coverage, coverage_bounds};
+use crate::plan::PlanNode;
+
+/// Numerical floor for "non-zero weight" tests.
+pub(crate) const W_EPS: f64 = 1e-9;
+
+/// Weightings for the aggregation column: estimate and bounds, in sample units.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Weights {
+    /// Estimated per-bin satisfying counts `w`.
+    pub w: Vec<f64>,
+    /// Lower bounds `w⁻`.
+    pub lo: Vec<f64>,
+    /// Upper bounds `w⁺`.
+    pub hi: Vec<f64>,
+}
+
+impl Weights {
+    /// `‖w‖₁`.
+    pub fn total(&self) -> f64 {
+        self.w.iter().sum()
+    }
+}
+
+/// Per-bin probability triples (estimate, lower, upper).
+struct Probs {
+    p: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+/// Computes bin weightings for `agg_col` under an optional compiled predicate.
+pub(crate) fn compute_weights(
+    ph: &PairwiseHist,
+    plan: Option<&PlanNode>,
+    agg_col: usize,
+) -> Weights {
+    let bins = ph.hist1d(agg_col);
+    let k = bins.k();
+    let probs = match plan {
+        None => Probs { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] },
+        Some(node) => prob_vector(ph, node, agg_col),
+    };
+    let mut w = Vec::with_capacity(k);
+    let mut lo = Vec::with_capacity(k);
+    let mut hi = Vec::with_capacity(k);
+    for t in 0..k {
+        let h = bins.counts[t] as f64;
+        w.push(h * probs.p[t]);
+        lo.push(h * probs.lo[t]);
+        hi.push(h * probs.hi[t]);
+    }
+    widen_for_sampling(ph, bins.counts.as_slice(), &w, &mut lo, &mut hi);
+    Weights { w, lo, hi }
+}
+
+/// Eq 29: widens weighting bounds for sampling uncertainty with the finite-population
+/// correction `(N − Ns)/(N − 1)`.
+///
+/// Note on fidelity: the paper's printed formula adds `z·√(β(1−β)·fpc)` directly to a
+/// *count*; a proportion's standard deviation must be scaled by the bin count to land
+/// in count units, so we widen by the Binomial count deviation
+/// `z·√(h·β(1−β)·fpc)` — the standard stratified-sampling bound the text describes.
+fn widen_for_sampling(
+    ph: &PairwiseHist,
+    counts: &[u64],
+    w: &[f64],
+    lo: &mut [f64],
+    hi: &mut [f64],
+) {
+    let p = ph.params();
+    let n = p.n_total as f64;
+    let ns = p.ns as f64;
+    if ns >= n || n <= 1.0 {
+        return;
+    }
+    let fpc = (n - ns) / (n - 1.0);
+    let z = ph.z98;
+    for t in 0..counts.len() {
+        let h = counts[t] as f64;
+        if h == 0.0 {
+            continue;
+        }
+        let b_lo = (lo[t] / h).clamp(0.0, 1.0);
+        let b_hi = (hi[t] / h).clamp(0.0, 1.0);
+        lo[t] = (lo[t] - z * (h * b_lo * (1.0 - b_lo) * fpc).sqrt()).max(0.0);
+        hi[t] = (hi[t] + z * (h * b_hi * (1.0 - b_hi) * fpc).sqrt()).min(h);
+        // Keep the bracket ordered around the estimate.
+        lo[t] = lo[t].min(w[t]);
+        hi[t] = hi[t].max(w[t]);
+    }
+}
+
+/// `Pr(node | bin t of agg_col)` per bin, with bounds (Eq 27–28).
+fn prob_vector(ph: &PairwiseHist, node: &PlanNode, agg_col: usize) -> Probs {
+    let k = ph.hist1d(agg_col).k();
+    match node {
+        PlanNode::Leaf { col, ranges } => {
+            if *col == agg_col {
+                // Direct coverage of the aggregation column's own bins.
+                let bins = ph.hist1d(agg_col);
+                let mut p = Vec::with_capacity(k);
+                let mut lo = Vec::with_capacity(k);
+                let mut hi = Vec::with_capacity(k);
+                for t in 0..k {
+                    let beta = bin_coverage(bins, t, ranges);
+                    let (bl, bh) = coverage_bounds(
+                        beta,
+                        bins.counts[t],
+                        bins.uniq[t],
+                        ph.params().m_min,
+                        |dof| ph.critical(dof),
+                    );
+                    p.push(beta);
+                    lo.push(bl);
+                    hi.push(bh);
+                }
+                Probs { p, lo, hi }
+            } else {
+                // Through the pair histogram: coverage over the condition column's
+                // refined bins, folded into the aggregation column's 1-d bins
+                // (H⁽ⁱʲ⁾β ⊘ H⁽ⁱ⁾, Eq 27).
+                let pair = ph.pair(agg_col, *col);
+                let cover_on_j = pair.col_j == *col;
+                let cov_dim = if cover_on_j { &pair.dim_j } else { &pair.dim_i };
+                let kb = cov_dim.bins.k();
+                let mut cov = Vec::with_capacity(kb);
+                let mut cov_lo = Vec::with_capacity(kb);
+                let mut cov_hi = Vec::with_capacity(kb);
+                for t in 0..kb {
+                    let beta = bin_coverage(&cov_dim.bins, t, ranges);
+                    let (bl, bh) = coverage_bounds(
+                        beta,
+                        cov_dim.bins.counts[t],
+                        cov_dim.bins.uniq[t],
+                        ph.params().m_min,
+                        |dof| ph.critical(dof),
+                    );
+                    cov.push(beta);
+                    cov_lo.push(bl);
+                    cov_hi.push(bh);
+                }
+                let h1d = &ph.hist1d(agg_col).counts;
+                let fold = |c: &[f64]| -> Vec<f64> {
+                    pair.fold_coverage(c, cover_on_j, k)
+                        .iter()
+                        .zip(h1d)
+                        .map(|(&num, &h)| if h > 0 { (num / h as f64).clamp(0.0, 1.0) } else { 0.0 })
+                        .collect()
+                };
+                Probs { p: fold(&cov), lo: fold(&cov_lo), hi: fold(&cov_hi) }
+            }
+        }
+        PlanNode::And(children) => {
+            let mut acc = Probs { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] };
+            for child in children {
+                let c = prob_vector(ph, child, agg_col);
+                for t in 0..k {
+                    acc.p[t] *= c.p[t];
+                    acc.lo[t] *= c.lo[t];
+                    acc.hi[t] *= c.hi[t];
+                }
+            }
+            acc
+        }
+        PlanNode::Or(children) => {
+            // 1 − ∏(1 − p): complements multiply (Eq 26).
+            let mut acc = Probs { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] };
+            for child in children {
+                let c = prob_vector(ph, child, agg_col);
+                for t in 0..k {
+                    acc.p[t] *= 1.0 - c.p[t];
+                    acc.lo[t] *= 1.0 - c.lo[t];
+                    acc.hi[t] *= 1.0 - c.hi[t];
+                }
+            }
+            Probs {
+                p: acc.p.into_iter().map(|x| 1.0 - x).collect(),
+                // Complement swaps the bound roles back.
+                lo: acc.lo.into_iter().map(|x| 1.0 - x).collect(),
+                hi: acc.hi.into_iter().map(|x| 1.0 - x).collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PairwiseHistConfig;
+    use crate::plan::compile_predicate;
+    use ph_sql::parse_query;
+    use ph_types::{Column, Dataset};
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize) -> (Dataset, PairwiseHist) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..500))).collect();
+        let y: Vec<Option<i64>> =
+            x.iter().map(|v| Some(v.unwrap() * 2 + rng.gen_range(0..40))).collect();
+        let data = Dataset::builder("t")
+            .column(Column::from_ints("x", x))
+            .unwrap()
+            .column(Column::from_ints("y", y))
+            .unwrap()
+            .build();
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: n, parallel: false, ..Default::default() },
+        );
+        (data, ph)
+    }
+
+    fn weights_for(ph: &PairwiseHist, sql: &str, agg_col: usize) -> Weights {
+        let q = parse_query(sql).unwrap();
+        let plan = q
+            .predicate
+            .as_ref()
+            .map(|p| compile_predicate(p, ph.preprocessor()).unwrap());
+        compute_weights(ph, plan.as_ref(), agg_col)
+    }
+
+    #[test]
+    fn no_predicate_weights_equal_counts() {
+        let (_, ph) = setup(5000);
+        let w = compute_weights(&ph, None, 0);
+        let counts: Vec<f64> = ph.hist1d(0).counts.iter().map(|&c| c as f64).collect();
+        assert_eq!(w.w, counts);
+        assert_eq!(w.lo, counts);
+        assert_eq!(w.hi, counts);
+    }
+
+    #[test]
+    fn bounds_bracket_weights() {
+        let (_, ph) = setup(5000);
+        for sql in [
+            "SELECT COUNT(x) FROM t WHERE y > 300",
+            "SELECT COUNT(x) FROM t WHERE x < 100 OR y > 800",
+            "SELECT COUNT(x) FROM t WHERE x > 50 AND x < 450 AND y < 700",
+        ] {
+            let w = weights_for(&ph, sql, 0);
+            for t in 0..w.w.len() {
+                assert!(
+                    w.lo[t] <= w.w[t] + 1e-9 && w.w[t] <= w.hi[t] + 1e-9,
+                    "{sql}: bin {t}: {} <= {} <= {}",
+                    w.lo[t],
+                    w.w[t],
+                    w.hi[t]
+                );
+                assert!(w.w[t] >= -1e-9);
+                assert!(w.hi[t] <= ph.hist1d(0).counts[t] as f64 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn count_estimate_tracks_truth_cross_column() {
+        let (data, ph) = setup(20_000);
+        // y = 2x + noise: y > 600 should select roughly x > 280..300.
+        let w = weights_for(&ph, "SELECT COUNT(x) FROM t WHERE y > 600", 0);
+        let est = w.total();
+        let q = parse_query("SELECT COUNT(x) FROM t WHERE y > 600").unwrap();
+        let truth = ph_exact::evaluate(&q, &data).unwrap().scalar().unwrap();
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.05, "estimate {est} vs truth {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn same_column_or_is_additive() {
+        let (data, ph) = setup(20_000);
+        let sql = "SELECT COUNT(x) FROM t WHERE x < 100 OR x >= 400";
+        let w = weights_for(&ph, sql, 0);
+        let q = parse_query(sql).unwrap();
+        let truth = ph_exact::evaluate(&q, &data).unwrap().scalar().unwrap();
+        let rel = (w.total() - truth).abs() / truth;
+        assert!(rel < 0.05, "estimate {} vs truth {truth}", w.total());
+    }
+
+    #[test]
+    fn empty_predicate_gives_zero_weights() {
+        let (_, ph) = setup(5000);
+        let w = weights_for(&ph, "SELECT COUNT(x) FROM t WHERE x > 100000", 0);
+        assert!(w.total() < W_EPS);
+    }
+}

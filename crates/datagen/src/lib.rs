@@ -1,0 +1,20 @@
+//! Synthetic analogues of the paper's evaluation datasets, plus the IDEBench-style
+//! scale-up generator.
+//!
+//! The paper evaluates on 11 real-world datasets (Table 4) that we cannot ship.
+//! What the algorithms actually see, though, is a handful of distributional
+//! properties: row/column counts, type mixes, marginal skew, cross-column
+//! correlation, periodic sensor structure and missing-value patterns. Each
+//! generator in [`real`] reproduces those properties for its namesake (see the
+//! substitution table in DESIGN.md §2); [`idebench`] reproduces the paper's
+//! scaled-up experiments by fitting a normalisation + Gaussian model to a seed
+//! dataset and sampling an arbitrary number of rows — the paper's own description
+//! of how IDEBench synthesises data, and the mechanism behind the Fig 10(d)
+//! real-vs-synthetic comparison.
+
+pub mod idebench;
+pub mod real;
+mod util;
+
+pub use idebench::scale_up;
+pub use real::{all_specs, generate, DatasetSpec};

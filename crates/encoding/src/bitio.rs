@@ -1,0 +1,212 @@
+//! MSB-first bit reader and writer.
+
+use bytes::{BufMut, BytesMut};
+
+/// Appends bits MSB-first into a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits staged in `cur`, counted from the MSB.
+    cur: u8,
+    cur_bits: u32,
+    total_bits: u64,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `n` bits of `v`, most significant first. `n` may be 0..=64.
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once (asked {n})");
+        if n == 0 {
+            return;
+        }
+        debug_assert!(n == 64 || v < (1u64 << n), "value {v} does not fit in {n} bits");
+        for i in (0..n).rev() {
+            self.write_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | bit as u8;
+        self.cur_bits += 1;
+        self.total_bits += 1;
+        if self.cur_bits == 8 {
+            self.buf.put_u8(self.cur);
+            self.cur = 0;
+            self.cur_bits = 0;
+        }
+    }
+
+    /// A unary code: `q` one-bits followed by a zero bit.
+    pub fn write_unary(&mut self, q: u64) {
+        for _ in 0..q {
+            self.write_bit(true);
+        }
+        self.write_bit(false);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Flushes (zero-padding the final partial byte) and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.cur_bits > 0 {
+            self.buf.put_u8(self.cur << (8 - self.cur_bits));
+        }
+        self.buf.to_vec()
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader over `data` starting at bit 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Remaining bits.
+    pub fn remaining_bits(&self) -> u64 {
+        (self.data.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// Reads one bit; `None` past the end.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.data.len() {
+            return None;
+        }
+        let bit = (self.data[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of a `u64`; `None` if fewer remain.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once (asked {n})");
+        if self.remaining_bits() < n as u64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+
+    /// Reads a unary code (count of leading one-bits before the terminating zero).
+    pub fn read_unary(&mut self) -> Option<u64> {
+        let mut q = 0u64;
+        loop {
+            match self.read_bit()? {
+                true => q += 1,
+                false => return Some(q),
+            }
+        }
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Seeks to an absolute bit position (may be past the end; subsequent reads then
+    /// return `None`). Enables random access into fixed-stride packed layouts.
+    pub fn seek(&mut self, bit_pos: u64) {
+        self.pos = bit_pos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 1);
+        w.write_bits(123_456_789, 27);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xFFFF));
+        assert_eq!(r.read_bits(1), Some(0));
+        assert_eq!(r.read_bits(27), Some(123_456_789));
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for q in [0u64, 1, 7, 20] {
+            w.write_unary(q);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for q in [0u64, 1, 7, 20] {
+            assert_eq!(r.read_unary(), Some(q));
+        }
+    }
+
+    #[test]
+    fn sixty_four_bit_write() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let bytes = w.finish(); // padded to 1 byte
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1100_0000));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(4), None);
+    }
+
+    #[test]
+    fn bit_len_counts_before_padding() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 5);
+        assert_eq!(w.bit_len(), 5);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 1);
+    }
+
+    #[test]
+    fn align_byte_skips() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0, 7);
+        w.write_bits(0xAB, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        r.read_bit();
+        r.align_byte();
+        assert_eq!(r.read_bits(8), Some(0xAB));
+    }
+}

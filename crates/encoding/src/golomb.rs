@@ -1,0 +1,167 @@
+//! Golomb coding.
+//!
+//! §4.3 stores sparse bin-count matrices as Golomb-coded deltas between non-zero
+//! indices: "we store the delta between non-zero indices and encode using Golomb
+//! coding, which is optimal for geometrically distributed data". This module provides
+//! the general (non-power-of-two `m`) Golomb code with the truncated-binary remainder,
+//! plus the classical optimal-parameter rule.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Chooses the Golomb parameter `m` for a geometric distribution with success
+/// probability `p` (the classical rule `m = ⌈-1 / log2(1-p)⌉`).
+///
+/// For sparse count matrices, `p` is the matrix density (fraction of non-zero cells),
+/// which makes the index gaps geometric with that parameter.
+pub fn optimal_golomb_m(p: f64) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX; // degenerate: no events, any m works; caller guards
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let m = (-1.0 / (1.0 - p).log2()).ceil() as u64;
+    m.max(1)
+}
+
+/// Encodes `v` with Golomb parameter `m` (quotient unary, remainder truncated-binary).
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn golomb_encode(w: &mut BitWriter, v: u64, m: u64) {
+    assert!(m > 0, "Golomb parameter must be positive");
+    let q = v / m;
+    let r = v % m;
+    w.write_unary(q);
+    write_truncated_binary(w, r, m);
+}
+
+/// Decodes one Golomb-coded value with parameter `m`; `None` on truncated input.
+pub fn golomb_decode(r: &mut BitReader<'_>, m: u64) -> Option<u64> {
+    assert!(m > 0, "Golomb parameter must be positive");
+    let q = r.read_unary()?;
+    let rem = read_truncated_binary(r, m)?;
+    Some(q * m + rem)
+}
+
+/// Exact bit length of the Golomb code for `v` with parameter `m`, used by the storage
+/// encoder to choose dense vs sparse representation without encoding twice.
+pub fn golomb_len_bits(v: u64, m: u64) -> u64 {
+    assert!(m > 0, "Golomb parameter must be positive");
+    let q = v / m;
+    let r = v % m;
+    q + 1 + truncated_binary_len(r, m) as u64
+}
+
+/// Truncated binary: values below `2^b − m` use `b−1` bits, the rest use `b` bits,
+/// where `b = ⌈log2 m⌉`.
+fn write_truncated_binary(w: &mut BitWriter, r: u64, m: u64) {
+    if m == 1 {
+        return; // remainder always 0, zero bits
+    }
+    let b = 64 - (m - 1).leading_zeros(); // ceil(log2 m)
+    let cutoff = (1u64 << b) - m;
+    if r < cutoff {
+        w.write_bits(r, b - 1);
+    } else {
+        w.write_bits(r + cutoff, b);
+    }
+}
+
+fn read_truncated_binary(reader: &mut BitReader<'_>, m: u64) -> Option<u64> {
+    if m == 1 {
+        return Some(0);
+    }
+    let b = 64 - (m - 1).leading_zeros();
+    let cutoff = (1u64 << b) - m;
+    let hi = reader.read_bits(b - 1)?;
+    if hi < cutoff {
+        Some(hi)
+    } else {
+        let low = reader.read_bit()? as u64;
+        Some(((hi << 1) | low) - cutoff)
+    }
+}
+
+fn truncated_binary_len(r: u64, m: u64) -> u32 {
+    if m == 1 {
+        return 0;
+    }
+    let b = 64 - (m - 1).leading_zeros();
+    let cutoff = (1u64 << b) - m;
+    if r < cutoff {
+        b - 1
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_small_values_all_m() {
+        for m in 1..=17u64 {
+            let mut w = BitWriter::new();
+            for v in 0..100u64 {
+                golomb_encode(&mut w, v, m);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for v in 0..100u64 {
+                assert_eq!(golomb_decode(&mut r, m), Some(v), "m={m} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn len_matches_encoding() {
+        for m in [1u64, 2, 3, 5, 8, 13] {
+            for v in [0u64, 1, 2, 7, 100, 1000] {
+                let mut w = BitWriter::new();
+                golomb_encode(&mut w, v, m);
+                assert_eq!(w.bit_len(), golomb_len_bits(v, m), "m={m} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rice_m1_is_unary() {
+        // m = 1 degenerates to pure unary.
+        let mut w = BitWriter::new();
+        golomb_encode(&mut w, 5, 1);
+        assert_eq!(w.bit_len(), 6);
+    }
+
+    #[test]
+    fn optimal_m_reasonable() {
+        // Density 0.5 -> m = 1; very sparse -> large m.
+        assert_eq!(optimal_golomb_m(0.5), 1);
+        assert!(optimal_golomb_m(0.01) >= 64);
+        assert_eq!(optimal_golomb_m(1.0), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(vs in proptest::collection::vec(0u64..1_000_000, 1..200), m in 1u64..500) {
+            let mut w = BitWriter::new();
+            for &v in &vs {
+                golomb_encode(&mut w, v, m);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &vs {
+                prop_assert_eq!(golomb_decode(&mut r, m), Some(v));
+            }
+        }
+
+        #[test]
+        fn prop_len_is_exact(v in 0u64..10_000_000, m in 1u64..1000) {
+            let mut w = BitWriter::new();
+            golomb_encode(&mut w, v, m);
+            prop_assert_eq!(w.bit_len(), golomb_len_bits(v, m));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Bit-level encoding substrate for the PairwiseHist AQP framework.
+//!
+//! Two consumers drive the design:
+//!
+//! * **GreedyGD** (`ph-gd`) packs bases and deviations at arbitrary bit widths;
+//! * **PairwiseHist storage** (§4.3, Fig 6) packs bin counts at `ℓ_h` bits each and
+//!   Golomb-codes the index gaps of sparse count matrices — Golomb coding is optimal
+//!   for the geometrically distributed gaps the paper expects.
+//!
+//! All streams are MSB-first within each byte, so encoded sizes match the paper's
+//! `⌈bits / 8⌉` accounting exactly.
+
+mod bitio;
+mod golomb;
+mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use golomb::{golomb_decode, golomb_encode, golomb_len_bits, optimal_golomb_m};
+pub use varint::{read_uvarint, write_uvarint};
+
+/// Number of bits needed to represent `v` (0 needs 1 bit).
+#[inline]
+pub fn bits_for(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_edges() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+}

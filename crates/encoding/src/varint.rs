@@ -1,0 +1,73 @@
+//! LEB128-style unsigned varints for header fields of variable magnitude.
+
+/// Appends `v` as a little-endian base-128 varint.
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `data` starting at `*pos`, advancing `*pos`; `None` on
+/// truncated or over-long (>10 byte) input.
+pub fn read_uvarint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_known() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_is_none() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 1_000_000);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_uvarint(&buf, &mut pos), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            prop_assert!(buf.len() <= 10);
+            let mut pos = 0;
+            prop_assert_eq!(read_uvarint(&buf, &mut pos), Some(v));
+        }
+    }
+}

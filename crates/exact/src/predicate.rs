@@ -1,0 +1,204 @@
+//! Predicate compilation and row-wise evaluation.
+
+use ph_sql::{CmpOp, Condition, Predicate};
+use ph_types::{ColumnType, Dataset, Value};
+
+use crate::engine::ExactError;
+
+/// A predicate resolved against a dataset schema for fast row evaluation.
+///
+/// Column names are resolved to indices once; literals are pre-coerced. Categorical
+/// comparisons go through dictionary codes (literal resolved to a code up front), so
+/// the per-row work is integer compares only.
+#[derive(Debug, Clone)]
+pub enum CompiledPredicate {
+    /// Numeric comparison against a constant.
+    Num {
+        /// Column index.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal as f64.
+        lit: f64,
+    },
+    /// Categorical equality / inequality against a dictionary code.
+    Cat {
+        /// Column index.
+        col: usize,
+        /// `true` for `=`, `false` for `<>`.
+        eq: bool,
+        /// Dictionary code of the literal; `None` if the string is not in the
+        /// dictionary (then `=` never matches and `<>` matches all non-null rows).
+        code: Option<u32>,
+    },
+    /// Conjunction.
+    And(Vec<CompiledPredicate>),
+    /// Disjunction.
+    Or(Vec<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Resolves a parsed predicate against a dataset.
+    pub fn compile(pred: &Predicate, data: &Dataset) -> Result<Self, ExactError> {
+        match pred {
+            Predicate::Cond(c) => Self::compile_condition(c, data),
+            Predicate::And(children) => Ok(CompiledPredicate::And(
+                children.iter().map(|p| Self::compile(p, data)).collect::<Result<_, _>>()?,
+            )),
+            Predicate::Or(children) => Ok(CompiledPredicate::Or(
+                children.iter().map(|p| Self::compile(p, data)).collect::<Result<_, _>>()?,
+            )),
+        }
+    }
+
+    fn compile_condition(c: &Condition, data: &Dataset) -> Result<Self, ExactError> {
+        let col = data
+            .column_index(&c.column)
+            .map_err(|_| ExactError::UnknownColumn(c.column.clone()))?;
+        let column = data.column(col);
+        match column.ty() {
+            ColumnType::Categorical => {
+                let eq = match c.op {
+                    CmpOp::Eq => true,
+                    CmpOp::Ne => false,
+                    op => {
+                        return Err(ExactError::InvalidPredicate(format!(
+                            "range operator {op} on categorical column '{}'",
+                            c.column
+                        )))
+                    }
+                };
+                let s = match &c.value {
+                    Value::Str(s) => s,
+                    v => {
+                        return Err(ExactError::InvalidPredicate(format!(
+                            "categorical column '{}' compared to non-string literal {v}",
+                            c.column
+                        )))
+                    }
+                };
+                let code = column
+                    .dictionary()
+                    .expect("categorical column carries dictionary")
+                    .iter()
+                    .position(|d| d == s)
+                    .map(|p| p as u32);
+                Ok(CompiledPredicate::Cat { col, eq, code })
+            }
+            _ => {
+                let lit = c.value.as_f64().ok_or_else(|| {
+                    ExactError::InvalidPredicate(format!(
+                        "numeric column '{}' compared to non-numeric literal {}",
+                        c.column, c.value
+                    ))
+                })?;
+                Ok(CompiledPredicate::Num { col, op: c.op, lit })
+            }
+        }
+    }
+
+    /// Evaluates the predicate on row `r`; NULL comparisons yield `false`.
+    pub fn eval(&self, data: &Dataset, r: usize) -> bool {
+        match self {
+            CompiledPredicate::Num { col, op, lit } => match data.column(*col).numeric(r) {
+                None => false,
+                Some(x) => match op {
+                    CmpOp::Lt => x < *lit,
+                    CmpOp::Le => x <= *lit,
+                    CmpOp::Gt => x > *lit,
+                    CmpOp::Ge => x >= *lit,
+                    CmpOp::Eq => x == *lit,
+                    CmpOp::Ne => x != *lit,
+                },
+            },
+            CompiledPredicate::Cat { col, eq, code } => match data.column(*col).code(r) {
+                None => false,
+                Some(c) => match code {
+                    Some(lit) => {
+                        if *eq {
+                            c == *lit
+                        } else {
+                            c != *lit
+                        }
+                    }
+                    // Literal not in dictionary: '=' matches nothing, '<>' matches
+                    // every non-null row.
+                    None => !eq,
+                },
+            },
+            CompiledPredicate::And(children) => children.iter().all(|p| p.eval(data, r)),
+            CompiledPredicate::Or(children) => children.iter().any(|p| p.eval(data, r)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_sql::parse_query;
+    use ph_types::{Column, Dataset};
+
+    fn data() -> Dataset {
+        Dataset::builder("t")
+            .column(Column::from_ints("a", vec![Some(1), Some(2), None, Some(4)]))
+            .unwrap()
+            .column(Column::from_strings("c", vec![Some("x"), Some("y"), Some("x"), None]))
+            .unwrap()
+            .build()
+    }
+
+    fn compile(sql: &str) -> CompiledPredicate {
+        let q = parse_query(sql).unwrap();
+        CompiledPredicate::compile(&q.predicate.unwrap(), &data()).unwrap()
+    }
+
+    #[test]
+    fn null_is_false() {
+        let p = compile("SELECT COUNT(a) FROM t WHERE a > 0");
+        let d = data();
+        assert!(p.eval(&d, 0));
+        assert!(!p.eval(&d, 2), "null row must fail predicate");
+    }
+
+    #[test]
+    fn categorical_eq_ne() {
+        let d = data();
+        let p = compile("SELECT COUNT(a) FROM t WHERE c = 'x'");
+        assert!(p.eval(&d, 0));
+        assert!(!p.eval(&d, 1));
+        assert!(!p.eval(&d, 3), "null categorical fails =");
+        let p = compile("SELECT COUNT(a) FROM t WHERE c <> 'x'");
+        assert!(!p.eval(&d, 0));
+        assert!(p.eval(&d, 1));
+        assert!(!p.eval(&d, 3), "null categorical fails <>");
+    }
+
+    #[test]
+    fn unknown_category_matches_nothing_or_everything() {
+        let d = data();
+        let p = compile("SELECT COUNT(a) FROM t WHERE c = 'zzz'");
+        assert!((0..4).all(|r| !p.eval(&d, r)));
+        let p = compile("SELECT COUNT(a) FROM t WHERE c <> 'zzz'");
+        assert!(p.eval(&d, 0) && p.eval(&d, 1) && p.eval(&d, 2));
+        assert!(!p.eval(&d, 3));
+    }
+
+    #[test]
+    fn range_on_categorical_rejected() {
+        let q = parse_query("SELECT COUNT(a) FROM t WHERE c > 'x'").unwrap();
+        assert!(matches!(
+            CompiledPredicate::compile(&q.predicate.unwrap(), &data()),
+            Err(ExactError::InvalidPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn and_or_combination() {
+        let d = data();
+        let p = compile("SELECT COUNT(a) FROM t WHERE a >= 2 AND c = 'y' OR a = 1");
+        assert!(p.eval(&d, 0)); // a = 1
+        assert!(p.eval(&d, 1)); // a=2 & c='y'
+        assert!(!p.eval(&d, 2));
+        assert!(!p.eval(&d, 3)); // a=4 but c null
+    }
+}

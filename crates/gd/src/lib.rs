@@ -1,0 +1,31 @@
+//! GreedyGD: Generalized Deduplication compression with direct-analytics bases.
+//!
+//! Generalized Deduplication (GD) splits each data chunk — here, a table row — into a
+//! **base** (the most significant bits of each attribute) and a **deviation** (the
+//! remaining bits). Bases are deduplicated; deviations are stored verbatim with an ID
+//! linking each row to its base (paper Fig 3). Compression results whenever many rows
+//! share a base. GreedyGD [8] is the variant that greedily chooses, per column, how
+//! many low-order bits go to the deviation so that total compressed size is minimised.
+//!
+//! Two properties matter for the AQP framework of the paper (§3):
+//!
+//! 1. the deduplicated **bases double as a coarse data synopsis** — PairwiseHist seeds
+//!    its initial histogram bin edges from them, which speeds up construction;
+//! 2. rows remain **randomly accessible** without decompressing the whole store, so
+//!    the synopsis builder can decode just its `Ns`-row sample.
+//!
+//! Pipeline: [`Preprocessor::fit`] learns per-column lossless transforms (minimum
+//! subtraction, float→integer conversion, frequency-ranked categorical codes, missing
+//! value encoding — §3 "Data Compression"), [`Preprocessor::encode`] produces an
+//! [`EncodedMatrix`] of non-negative integers, and [`GdCompressor`] picks the
+//! base/deviation split and builds a [`GdStore`].
+
+mod greedy;
+mod matrix;
+mod preprocess;
+mod store;
+
+pub use greedy::{GdCompressor, GdConfig};
+pub use matrix::EncodedMatrix;
+pub use preprocess::{ColumnTransform, EncodedLiteral, Preprocessor};
+pub use store::{CompressionStats, GdStore};

@@ -1,0 +1,87 @@
+//! Column-major matrix of pre-processed (non-negative integer) values.
+
+/// Pre-processed dataset: every cell is a non-negative integer in the GreedyGD domain.
+///
+/// Missing values are encoded as a per-column *null code* (`max_encoded + 1`, chosen
+/// by the [`Preprocessor`](crate::Preprocessor)), so the matrix is dense — GD
+/// compresses null codes like any other value, which is exactly the paper's "encoding
+/// missing values" pre-processing step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedMatrix {
+    /// One `Vec<u64>` per column, each of length `n_rows`.
+    pub columns: Vec<Vec<u64>>,
+    /// Number of rows.
+    pub n_rows: usize,
+}
+
+impl EncodedMatrix {
+    /// Builds from column vectors, checking that all lengths agree.
+    pub fn new(columns: Vec<Vec<u64>>) -> Self {
+        let n_rows = columns.first().map_or(0, |c| c.len());
+        assert!(
+            columns.iter().all(|c| c.len() == n_rows),
+            "encoded columns have inconsistent lengths"
+        );
+        Self { columns, n_rows }
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Cell accessor.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        self.columns[col][row]
+    }
+
+    /// Returns the sub-matrix with only the given rows, in order.
+    pub fn take_rows(&self, rows: &[usize]) -> EncodedMatrix {
+        EncodedMatrix {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| rows.iter().map(|&r| c[r]).collect())
+                .collect(),
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Per-column maximum value (0 for empty columns).
+    pub fn column_max(&self, col: usize) -> u64 {
+        self.columns[col].iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_checks_lengths() {
+        let m = EncodedMatrix::new(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.n_rows, 3);
+        assert_eq!(m.n_columns(), 2);
+        assert_eq!(m.get(1, 1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn mismatched_lengths_panic() {
+        EncodedMatrix::new(vec![vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn take_rows_subsets() {
+        let m = EncodedMatrix::new(vec![vec![10, 20, 30, 40]]);
+        let s = m.take_rows(&[3, 0]);
+        assert_eq!(s.columns[0], vec![40, 10]);
+    }
+
+    #[test]
+    fn column_max_handles_empty() {
+        let m = EncodedMatrix::new(vec![vec![]]);
+        assert_eq!(m.column_max(0), 0);
+    }
+}

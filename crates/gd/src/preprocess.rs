@@ -1,0 +1,509 @@
+//! GreedyGD pre-processing (paper §3, "Data Compression").
+//!
+//! Each column is independently transformed into a **non-negative integer domain** to
+//! improve compressibility:
+//!
+//! * minimum-value subtraction (numerics start at 0);
+//! * lossless float→integer conversion (`10.22 → 1022` at scale 2);
+//! * frequency-ranked categorical encoding (most common value → 0, next → 1, …);
+//! * missing values encoded as `max_encoded + 1` (the per-column *null code*).
+//!
+//! Pre-processing needs no extra storage beyond per-column constants and categorical
+//! dictionaries, and the same transform is applied to query literals at parse time
+//! (§5.1, Fig 7) so predicates land in the domain the synopsis was built in.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ph_types::{Column, ColumnData, ColumnType, Dataset, Value};
+
+use crate::EncodedMatrix;
+
+/// Largest permitted encoded value: everything must stay exactly representable in an
+/// `f64` (bin-edge arithmetic in the synopsis is done in doubles).
+const MAX_ENC: u64 = 1 << 52;
+
+/// Errors raised when transforming literals or values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdError {
+    /// A literal's type does not match the column's type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Column index out of range.
+    BadColumn(usize),
+}
+
+impl fmt::Display for GdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdError::TypeMismatch { column, detail } => {
+                write!(f, "literal type mismatch on column '{column}': {detail}")
+            }
+            GdError::BadColumn(i) => write!(f, "column index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for GdError {}
+
+/// A query literal mapped into the encoded domain (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EncodedLiteral {
+    /// Numeric position in the encoded domain. May be fractional (e.g. a float literal
+    /// with more decimals than the column's scale) and may fall outside `[0, max]`.
+    Num(f64),
+    /// Exact categorical rank.
+    Rank(u64),
+    /// A categorical string not present in the dictionary: matches no rows.
+    NoMatch,
+}
+
+/// Per-column lossless transform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnTransform {
+    /// Integer, float or timestamp column.
+    Numeric {
+        /// Minimum of the scaled values; subtracted during encoding.
+        min_scaled: i64,
+        /// Decimal scale: encoded = round(x·10^scale) − min_scaled.
+        scale: u8,
+        /// Maximum encoded value over the fitted data.
+        max_enc: u64,
+        /// Code representing NULL (`max_enc + 1`), present iff the column had nulls.
+        null_code: Option<u64>,
+    },
+    /// Categorical column with frequency-ranked codes.
+    Categorical {
+        /// Dictionary ordered by rank: `by_rank[0]` is the most frequent value.
+        by_rank: Vec<String>,
+        /// Code representing NULL (`by_rank.len()`), present iff the column had nulls.
+        null_code: Option<u64>,
+    },
+}
+
+impl ColumnTransform {
+    /// Largest real (non-null) encoded value.
+    pub fn max_enc(&self) -> u64 {
+        match self {
+            ColumnTransform::Numeric { max_enc, .. } => *max_enc,
+            ColumnTransform::Categorical { by_rank, .. } => by_rank.len().saturating_sub(1) as u64,
+        }
+    }
+
+    /// The null code, if the column contains missing values.
+    pub fn null_code(&self) -> Option<u64> {
+        match self {
+            ColumnTransform::Numeric { null_code, .. } => *null_code,
+            ColumnTransform::Categorical { null_code, .. } => *null_code,
+        }
+    }
+
+    /// Whether values are ordered numerics (range predicates meaningful).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ColumnTransform::Numeric { .. })
+    }
+
+    /// Number of categories for categorical columns.
+    pub fn n_categories(&self) -> Option<usize> {
+        match self {
+            ColumnTransform::Categorical { by_rank, .. } => Some(by_rank.len()),
+            ColumnTransform::Numeric { .. } => None,
+        }
+    }
+
+    /// The category string at a given frequency rank.
+    pub fn category(&self, rank: usize) -> Option<&str> {
+        match self {
+            ColumnTransform::Categorical { by_rank, .. } => {
+                by_rank.get(rank).map(|s| s.as_str())
+            }
+            ColumnTransform::Numeric { .. } => None,
+        }
+    }
+
+    /// Affine map back to the original domain: `original = a·encoded + b`.
+    ///
+    /// `None` for categorical columns. Because `a > 0`, the map is strictly
+    /// increasing, so estimates and bounds transform monotonically (the aggregation
+    /// layer relies on this).
+    pub fn affine(&self) -> Option<(f64, f64)> {
+        match self {
+            ColumnTransform::Numeric { min_scaled, scale, .. } => {
+                let a = 10f64.powi(-(*scale as i32));
+                Some((a, *min_scaled as f64 * a))
+            }
+            ColumnTransform::Categorical { .. } => None,
+        }
+    }
+}
+
+/// Fitted pre-processing transforms for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preprocessor {
+    transforms: Vec<ColumnTransform>,
+    names: Vec<String>,
+    types: Vec<ColumnType>,
+}
+
+impl Preprocessor {
+    /// Learns per-column transforms from a dataset.
+    ///
+    /// Batch-friendly by design: the constants involved (min, scale, value
+    /// frequencies) are all streamable, matching the paper's claim that datasets can
+    /// be processed "in arbitrarily-sized batches".
+    pub fn fit(data: &Dataset) -> Self {
+        let transforms = data.columns().iter().map(fit_column).collect();
+        Self {
+            transforms,
+            names: data.columns().iter().map(|c| c.name().to_string()).collect(),
+            types: data.columns().iter().map(|c| c.ty()).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Column names in schema order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Logical type of column `col`.
+    pub fn column_type(&self, col: usize) -> ColumnType {
+        self.types[col]
+    }
+
+    /// The transform for column `col`.
+    pub fn transform(&self, col: usize) -> &ColumnTransform {
+        &self.transforms[col]
+    }
+
+    /// Encodes a whole dataset into the non-negative integer domain.
+    ///
+    /// # Panics
+    /// Panics if the dataset's schema does not match the fitted one, or if a value
+    /// falls outside the fitted range (encode only data the transform was fitted on,
+    /// or refit).
+    pub fn encode(&self, data: &Dataset) -> EncodedMatrix {
+        assert_eq!(data.n_columns(), self.transforms.len(), "schema mismatch");
+        let columns = data
+            .columns()
+            .iter()
+            .zip(&self.transforms)
+            .map(|(col, tr)| encode_column(col, tr))
+            .collect();
+        EncodedMatrix::new(columns)
+    }
+
+    /// Maps a query literal into the encoded domain of column `col` (§5.1).
+    pub fn encode_literal(&self, col: usize, lit: &Value) -> Result<EncodedLiteral, GdError> {
+        let tr = self.transforms.get(col).ok_or(GdError::BadColumn(col))?;
+        match (tr, lit) {
+            (ColumnTransform::Numeric { min_scaled, scale, .. }, v) => {
+                let x = v.as_f64().ok_or_else(|| GdError::TypeMismatch {
+                    column: self.names[col].clone(),
+                    detail: format!("numeric column compared to {v}"),
+                })?;
+                Ok(EncodedLiteral::Num(x * 10f64.powi(*scale as i32) - *min_scaled as f64))
+            }
+            (ColumnTransform::Categorical { by_rank, .. }, Value::Str(s)) => {
+                match by_rank.iter().position(|v| v == s) {
+                    Some(rank) => Ok(EncodedLiteral::Rank(rank as u64)),
+                    None => Ok(EncodedLiteral::NoMatch),
+                }
+            }
+            (ColumnTransform::Categorical { .. }, v) => Err(GdError::TypeMismatch {
+                column: self.names[col].clone(),
+                detail: format!("categorical column compared to {v}"),
+            }),
+        }
+    }
+
+    /// Decodes one encoded cell back to a [`Value`] (null codes → `Value::Null`).
+    pub fn decode_value(&self, col: usize, enc: u64) -> Value {
+        let tr = &self.transforms[col];
+        if tr.null_code() == Some(enc) {
+            return Value::Null;
+        }
+        match tr {
+            ColumnTransform::Numeric { min_scaled, scale, .. } => {
+                let raw = enc as i64 + min_scaled;
+                match self.types[col] {
+                    ColumnType::Float { .. } => {
+                        Value::Float(raw as f64 / 10f64.powi(*scale as i32))
+                    }
+                    _ => Value::Int(raw),
+                }
+            }
+            ColumnTransform::Categorical { by_rank, .. } => {
+                Value::Str(by_rank[enc as usize].clone())
+            }
+        }
+    }
+
+    /// Serialized footprint of the transforms (constants + dictionaries) in bytes;
+    /// counted as part of the compressed-store size in storage experiments.
+    pub fn metadata_bytes(&self) -> usize {
+        self.transforms
+            .iter()
+            .map(|t| match t {
+                ColumnTransform::Numeric { .. } => 8 + 1 + 8 + 9,
+                ColumnTransform::Categorical { by_rank, .. } => {
+                    9 + by_rank.iter().map(|s| s.len() + 2).sum::<usize>()
+                }
+            })
+            .sum()
+    }
+}
+
+fn fit_column(col: &Column) -> ColumnTransform {
+    match col.ty() {
+        ColumnType::Categorical => fit_categorical(col),
+        ColumnType::Float { scale } => fit_numeric(col, scale),
+        ColumnType::Int | ColumnType::Timestamp => fit_numeric(col, 0),
+    }
+}
+
+fn fit_numeric(col: &Column, scale: u8) -> ColumnTransform {
+    let factor = 10f64.powi(scale as i32);
+    let mut min_scaled = i64::MAX;
+    let mut max_scaled = i64::MIN;
+    let mut has_null = false;
+    for i in 0..col.len() {
+        match col.numeric(i) {
+            Some(x) => {
+                let v = (x * factor).round() as i64;
+                min_scaled = min_scaled.min(v);
+                max_scaled = max_scaled.max(v);
+            }
+            None => has_null = true,
+        }
+    }
+    if min_scaled > max_scaled {
+        // All-null or empty column: degenerate but well-defined transform.
+        min_scaled = 0;
+        max_scaled = 0;
+    }
+    let max_enc = (max_scaled - min_scaled) as u64;
+    assert!(max_enc < MAX_ENC, "encoded range of '{}' exceeds 2^52", col.name());
+    ColumnTransform::Numeric {
+        min_scaled,
+        scale,
+        max_enc,
+        null_code: has_null.then_some(max_enc + 1),
+    }
+}
+
+fn fit_categorical(col: &Column) -> ColumnTransform {
+    let dict = col.dictionary().expect("categorical column must carry a dictionary");
+    let mut freq = vec![0u64; dict.len()];
+    let mut has_null = false;
+    for i in 0..col.len() {
+        match col.code(i) {
+            Some(c) => freq[c as usize] += 1,
+            None => has_null = true,
+        }
+    }
+    // Frequency-ranked: most common first; ties broken by original code for
+    // determinism.
+    let mut order: Vec<usize> = (0..dict.len()).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(freq[c]), c));
+    let by_rank: Vec<String> = order.iter().map(|&c| dict[c].clone()).collect();
+    ColumnTransform::Categorical {
+        null_code: has_null.then_some(by_rank.len() as u64),
+        by_rank,
+    }
+}
+
+fn encode_column(col: &Column, tr: &ColumnTransform) -> Vec<u64> {
+    let mut out = Vec::with_capacity(col.len());
+    match tr {
+        ColumnTransform::Numeric { min_scaled, scale, max_enc, null_code } => {
+            let factor = 10f64.powi(*scale as i32);
+            let null = null_code.unwrap_or(max_enc + 1);
+            match col.data() {
+                ColumnData::Int(vals) => {
+                    for (i, &v) in vals.iter().enumerate() {
+                        if col.is_valid(i) {
+                            out.push((v - min_scaled) as u64);
+                        } else {
+                            out.push(null);
+                        }
+                    }
+                }
+                ColumnData::Float(vals) => {
+                    for (i, &v) in vals.iter().enumerate() {
+                        if col.is_valid(i) {
+                            let scaled = (v * factor).round() as i64;
+                            out.push((scaled - min_scaled) as u64);
+                        } else {
+                            out.push(null);
+                        }
+                    }
+                }
+                ColumnData::Cat(..) => unreachable!("numeric transform on categorical column"),
+            }
+        }
+        ColumnTransform::Categorical { by_rank, null_code } => {
+            let dict = col.dictionary().expect("categorical column must carry a dictionary");
+            // code -> rank lookup table.
+            let mut rank_of: HashMap<&str, u64> = HashMap::with_capacity(by_rank.len());
+            for (rank, s) in by_rank.iter().enumerate() {
+                rank_of.insert(s.as_str(), rank as u64);
+            }
+            let null = null_code.unwrap_or(by_rank.len() as u64);
+            for i in 0..col.len() {
+                match col.code(i) {
+                    Some(c) => out.push(rank_of[dict[c as usize].as_str()]),
+                    None => out.push(null),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_types::Dataset;
+
+    fn sample() -> Dataset {
+        Dataset::builder("t")
+            .column(Column::from_ints("i", vec![Some(-5), Some(10), None, Some(0)]))
+            .unwrap()
+            .column(Column::from_floats(
+                "f",
+                vec![Some(10.22), Some(9.99), Some(10.25), None],
+                2,
+            ))
+            .unwrap()
+            .column(Column::from_strings(
+                "c",
+                vec![Some("rare"), Some("common"), Some("common"), Some("common")],
+            ))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn numeric_min_subtraction() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let enc = pre.encode(&d);
+        // min = -5 -> encoded -5 -> 0, 10 -> 15, null -> 16, 0 -> 5.
+        assert_eq!(enc.columns[0], vec![0, 15, 16, 5]);
+    }
+
+    #[test]
+    fn float_to_int_conversion() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let enc = pre.encode(&d);
+        // scale 2: 10.22->1022, 9.99->999 (min), 10.25->1025; encoded: 23, 0, 26, null=27.
+        assert_eq!(enc.columns[1], vec![23, 0, 26, 27]);
+    }
+
+    #[test]
+    fn categorical_frequency_ranking() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let enc = pre.encode(&d);
+        // "common" (3 occurrences) -> rank 0, "rare" -> rank 1.
+        assert_eq!(enc.columns[2], vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn literal_transformation_matches_fig7() {
+        // Fig 7: dist column min 69 -> "dist > 150" becomes "x > 81";
+        // air_time min 25, scale 1 -> "air_time > 90.5" becomes "x > 655".
+        let d = Dataset::builder("flights")
+            .column(Column::from_ints("dist", vec![Some(69), Some(500)]))
+            .unwrap()
+            .column(Column::from_floats("air_time", vec![Some(2.5), Some(100.0)], 1))
+            .unwrap()
+            .build();
+        let pre = Preprocessor::fit(&d);
+        assert_eq!(
+            pre.encode_literal(0, &Value::Int(150)).unwrap(),
+            EncodedLiteral::Num(81.0)
+        );
+        assert_eq!(
+            pre.encode_literal(1, &Value::Float(90.5)).unwrap(),
+            EncodedLiteral::Num(905.0 - 25.0)
+        );
+    }
+
+    #[test]
+    fn unknown_category_is_no_match() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        assert_eq!(
+            pre.encode_literal(2, &Value::Str("nope".into())).unwrap(),
+            EncodedLiteral::NoMatch
+        );
+        assert_eq!(
+            pre.encode_literal(2, &Value::Str("rare".into())).unwrap(),
+            EncodedLiteral::Rank(1)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        assert!(pre.encode_literal(2, &Value::Int(3)).is_err());
+        assert!(pre.encode_literal(0, &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let enc = pre.encode(&d);
+        for col in 0..d.n_columns() {
+            for row in 0..d.n_rows() {
+                let decoded = pre.decode_value(col, enc.get(row, col));
+                match (d.column(col).value(row), decoded) {
+                    (Value::Float(a), Value::Float(b)) => {
+                        assert!((a - b).abs() < 1e-9, "col {col} row {row}")
+                    }
+                    (a, b) => assert_eq!(a, b, "col {col} row {row}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_maps_back() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let (a, b) = pre.transform(1).affine().unwrap();
+        // encoded 23 -> 10.22
+        assert!((a * 23.0 + b - 10.22).abs() < 1e-9);
+        assert!(pre.transform(2).affine().is_none());
+    }
+
+    #[test]
+    fn all_null_column_is_degenerate_but_valid() {
+        let d = Dataset::builder("t")
+            .column(Column::from_ints("x", vec![None, None]))
+            .unwrap()
+            .build();
+        let pre = Preprocessor::fit(&d);
+        let enc = pre.encode(&d);
+        let null = pre.transform(0).null_code().unwrap();
+        assert_eq!(enc.columns[0], vec![null, null]);
+    }
+}

@@ -1,0 +1,414 @@
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearer idiom here
+
+//! Deduplicated base/deviation store with random row access.
+
+use std::collections::HashMap;
+
+use ph_encoding::{bits_for, read_uvarint, write_uvarint, BitReader, BitWriter};
+
+use crate::EncodedMatrix;
+
+/// A GD-compressed table: deduplicated bases, per-row base IDs and verbatim
+/// deviations (paper Fig 3).
+///
+/// In memory, bases and IDs stay unpacked for fast random access, while deviations —
+/// the bulk of per-row storage — are kept bit-packed. [`GdStore::to_bytes`] emits the
+/// fully bit-packed on-disk format whose length is what the storage experiments
+/// report; [`GdStore::stats`] returns the same accounting without serializing.
+#[derive(Debug, Clone)]
+pub struct GdStore {
+    /// Total bit width per column (deviation + base part).
+    widths: Vec<u32>,
+    /// Deviation (low-order) bit width per column.
+    dev_bits: Vec<u32>,
+    /// Base tuples, flattened: `n_bases × d` base parts (already right-shifted).
+    base_parts: Vec<u64>,
+    /// Lookup from base tuple to its ID, for incremental appends.
+    base_index: HashMap<Box<[u64]>, u32>,
+    /// Base ID per row.
+    ids: Vec<u32>,
+    /// Bit-packed deviations, `dev_stride` bits per row.
+    devs: Vec<u8>,
+    /// Σ dev_bits.
+    dev_stride: u64,
+    n_rows: usize,
+}
+
+/// Compression accounting for one [`GdStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Rows stored.
+    pub n_rows: usize,
+    /// Distinct bases after deduplication.
+    pub n_bases: usize,
+    /// Bit-packed size of the raw matrix (each column at its full width).
+    pub raw_bytes: u64,
+    /// Serialized compressed size (bases + IDs + deviations + header).
+    pub compressed_bytes: u64,
+    /// `raw_bytes / compressed_bytes`.
+    pub ratio: f64,
+}
+
+impl GdStore {
+    /// Builds a store from an encoded matrix with the given per-column total widths
+    /// and deviation widths. Normally called through
+    /// [`GdCompressor::compress`](crate::GdCompressor::compress).
+    pub fn build(data: &EncodedMatrix, widths: &[u32], dev_bits: &[u32]) -> Self {
+        assert_eq!(widths.len(), data.n_columns());
+        assert_eq!(dev_bits.len(), data.n_columns());
+        assert!(
+            widths.iter().zip(dev_bits).all(|(w, d)| d <= w),
+            "deviation width exceeds column width"
+        );
+        let mut store = Self {
+            widths: widths.to_vec(),
+            dev_bits: dev_bits.to_vec(),
+            base_parts: Vec::new(),
+            base_index: HashMap::new(),
+            ids: Vec::new(),
+            devs: Vec::new(),
+            dev_stride: dev_bits.iter().map(|&d| d as u64).sum(),
+            n_rows: 0,
+        };
+        store.append(data);
+        store
+    }
+
+    /// Appends rows incrementally ("new rows can be added incrementally to the
+    /// compressed data", §3). New base tuples are assigned fresh IDs.
+    ///
+    /// # Panics
+    /// Panics if a value does not fit the column width fixed at build time.
+    pub fn append(&mut self, data: &EncodedMatrix) {
+        assert_eq!(data.n_columns(), self.widths.len(), "schema mismatch on append");
+        let d = self.widths.len();
+        let mut key: Vec<u64> = vec![0; d];
+        let mut dev_writer = BitWriter::new();
+        // Re-stage existing packed deviations so the writer continues the stream.
+        // (Cheap: devs is copied once per append call, not per row.)
+        let old_bits = self.n_rows as u64 * self.dev_stride;
+        for chunk_bit in 0..old_bits {
+            let byte = (chunk_bit / 8) as usize;
+            let bit = 7 - (chunk_bit % 8) as u32;
+            dev_writer.write_bit((self.devs[byte] >> bit) & 1 == 1);
+        }
+        for r in 0..data.n_rows {
+            for c in 0..d {
+                let v = data.get(r, c);
+                assert!(
+                    bits_for(v) <= self.widths[c],
+                    "value {v} does not fit column {c} width {}",
+                    self.widths[c]
+                );
+                key[c] = v >> self.dev_bits[c];
+            }
+            let next_id = self.base_index.len() as u32;
+            let id = *self.base_index.entry(key.clone().into_boxed_slice()).or_insert_with(|| {
+                self.base_parts.extend_from_slice(&key);
+                next_id
+            });
+            self.ids.push(id);
+            for c in 0..d {
+                let v = data.get(r, c);
+                let db = self.dev_bits[c];
+                if db > 0 {
+                    dev_writer.write_bits(v & ((1u64 << db) - 1), db);
+                }
+            }
+        }
+        self.devs = dev_writer.finish();
+        self.n_rows += data.n_rows;
+    }
+
+    /// Number of rows stored.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Number of deduplicated bases.
+    pub fn n_bases(&self) -> usize {
+        self.base_index.len()
+    }
+
+    /// Per-column deviation widths chosen by the greedy fit.
+    pub fn dev_bits(&self) -> &[u32] {
+        &self.dev_bits
+    }
+
+    /// Reconstructs row `r` (random access — O(d), no full decompression).
+    pub fn row(&self, r: usize) -> Vec<u64> {
+        assert!(r < self.n_rows, "row {r} out of range ({})", self.n_rows);
+        let d = self.widths.len();
+        let base = &self.base_parts[self.ids[r] as usize * d..(self.ids[r] as usize + 1) * d];
+        let mut reader = BitReader::new(&self.devs);
+        reader.seek(r as u64 * self.dev_stride);
+        let mut out = Vec::with_capacity(d);
+        for c in 0..d {
+            let db = self.dev_bits[c];
+            let dev = if db > 0 {
+                reader.read_bits(db).expect("deviation stream truncated")
+            } else {
+                0
+            };
+            out.push((base[c] << db) | dev);
+        }
+        out
+    }
+
+    /// Reconstructs an arbitrary set of rows into a matrix (used to decode the
+    /// synopsis builder's sample).
+    pub fn rows(&self, row_ids: &[usize]) -> EncodedMatrix {
+        let d = self.widths.len();
+        let mut cols: Vec<Vec<u64>> = vec![Vec::with_capacity(row_ids.len()); d];
+        for &r in row_ids {
+            let row = self.row(r);
+            for c in 0..d {
+                cols[c].push(row[c]);
+            }
+        }
+        EncodedMatrix::new(cols)
+    }
+
+    /// Full decompression.
+    pub fn decompress(&self) -> EncodedMatrix {
+        self.rows(&(0..self.n_rows).collect::<Vec<_>>())
+    }
+
+    /// Distinct base-derived values for one column, sorted ascending.
+    ///
+    /// A base part `p` of a column with `k` deviation bits represents the value chunk
+    /// `[p·2ᵏ, (p+1)·2ᵏ)`; the returned representative is the chunk start. These are
+    /// the values PairwiseHist seeds its initial bin edges from (§3, §4.1 line 4).
+    pub fn base_values(&self, col: usize) -> Vec<u64> {
+        let d = self.widths.len();
+        let shift = self.dev_bits[col];
+        let mut vals: Vec<u64> = (0..self.n_bases())
+            .map(|b| self.base_parts[b * d + col] << shift)
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Compression accounting under the bit-packed on-disk layout.
+    pub fn stats(&self) -> CompressionStats {
+        let raw_bits: u64 =
+            self.n_rows as u64 * self.widths.iter().map(|&w| w as u64).sum::<u64>();
+        let compressed = self.to_bytes().len() as u64;
+        let raw_bytes = raw_bits.div_ceil(8);
+        CompressionStats {
+            n_rows: self.n_rows,
+            n_bases: self.n_bases(),
+            raw_bytes,
+            compressed_bytes: compressed,
+            ratio: if compressed > 0 { raw_bytes as f64 / compressed as f64 } else { 1.0 },
+        }
+    }
+
+    /// Serializes to the fully bit-packed format: header, packed bases, packed base
+    /// IDs, packed deviations.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let d = self.widths.len();
+        let mut out = Vec::new();
+        write_uvarint(&mut out, self.n_rows as u64);
+        write_uvarint(&mut out, d as u64);
+        write_uvarint(&mut out, self.n_bases() as u64);
+        for &w in &self.widths {
+            out.push(w as u8);
+        }
+        for &b in &self.dev_bits {
+            out.push(b as u8);
+        }
+        let mut bits = BitWriter::new();
+        for b in 0..self.n_bases() {
+            for c in 0..d {
+                bits.write_bits(self.base_parts[b * d + c], self.widths[c] - self.dev_bits[c]);
+            }
+        }
+        let id_bits = bits_for(self.n_bases().saturating_sub(1) as u64);
+        for &id in &self.ids {
+            bits.write_bits(id as u64, id_bits);
+        }
+        // Deviations are already packed with the same stride; replay them.
+        let dev_total = self.n_rows as u64 * self.dev_stride;
+        for p in 0..dev_total {
+            let byte = (p / 8) as usize;
+            let bit = 7 - (p % 8) as u32;
+            bits.write_bit((self.devs[byte] >> bit) & 1 == 1);
+        }
+        out.extend_from_slice(&bits.finish());
+        out
+    }
+
+    /// Restores a store from [`GdStore::to_bytes`] output.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let n_rows = read_uvarint(data, &mut pos)? as usize;
+        let d = read_uvarint(data, &mut pos)? as usize;
+        let n_bases = read_uvarint(data, &mut pos)? as usize;
+        let widths: Vec<u32> = data.get(pos..pos + d)?.iter().map(|&b| b as u32).collect();
+        pos += d;
+        let dev_bits: Vec<u32> = data.get(pos..pos + d)?.iter().map(|&b| b as u32).collect();
+        pos += d;
+        if widths.iter().zip(&dev_bits).any(|(w, b)| b > w || *w > 64) {
+            return None;
+        }
+        let mut reader = BitReader::new(data.get(pos..)?);
+        let mut base_parts = Vec::with_capacity(n_bases * d);
+        for _ in 0..n_bases {
+            for c in 0..d {
+                base_parts.push(reader.read_bits(widths[c] - dev_bits[c])?);
+            }
+        }
+        let id_bits = bits_for(n_bases.saturating_sub(1) as u64);
+        let mut ids = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let id = reader.read_bits(id_bits)? as u32;
+            if id as usize >= n_bases.max(1) {
+                return None;
+            }
+            ids.push(id);
+        }
+        let dev_stride: u64 = dev_bits.iter().map(|&b| b as u64).sum();
+        let mut dev_writer = BitWriter::new();
+        for _ in 0..n_rows as u64 * dev_stride {
+            dev_writer.write_bit(reader.read_bit()?);
+        }
+        let mut base_index = HashMap::with_capacity(n_bases);
+        for b in 0..n_bases {
+            base_index.insert(
+                base_parts[b * d..(b + 1) * d].to_vec().into_boxed_slice(),
+                b as u32,
+            );
+        }
+        Some(Self {
+            widths,
+            dev_bits,
+            base_parts,
+            base_index,
+            ids,
+            devs: dev_writer.finish(),
+            dev_stride,
+            n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GdCompressor;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(seed: u64, n: usize, d: usize) -> EncodedMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        EncodedMatrix::new(
+            (0..d)
+                .map(|c| {
+                    let hi = 1u64 << (4 + 2 * c as u32);
+                    (0..n).map(|_| rng.gen_range(0..hi)).collect()
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_row_reconstruction() {
+        let m = random_matrix(3, 500, 4);
+        let store = GdCompressor::new().compress(&m);
+        for r in 0..m.n_rows {
+            let row = store.row(r);
+            for c in 0..m.n_columns() {
+                assert_eq!(row[c], m.get(r, c), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_equals_input() {
+        let m = random_matrix(9, 300, 3);
+        let store = GdCompressor::new().compress(&m);
+        assert_eq!(store.decompress(), m);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let m = random_matrix(5, 200, 3);
+        let store = GdCompressor::new().compress(&m);
+        let bytes = store.to_bytes();
+        let back = GdStore::from_bytes(&bytes).expect("deserialize");
+        assert_eq!(back.decompress(), m);
+        assert_eq!(back.n_bases(), store.n_bases());
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        // Garbage and truncated prefixes must fail cleanly, never panic.
+        let _ = GdStore::from_bytes(&[0xFF; 3]);
+        let m = random_matrix(5, 50, 2);
+        let bytes = GdCompressor::new().compress(&m).to_bytes();
+        for cut in [3, bytes.len() / 2] {
+            let _ = GdStore::from_bytes(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn redundant_data_compresses_well() {
+        // 32 distinct rows repeated: ratio should be large.
+        let n = 4096;
+        let col: Vec<u64> = (0..n).map(|i| ((i % 32) as u64) << 10).collect();
+        let col2: Vec<u64> = (0..n).map(|i| ((i % 2) as u64) * 513).collect();
+        let m = EncodedMatrix::new(vec![col, col2]);
+        let store = GdCompressor::new().compress(&m);
+        let stats = store.stats();
+        assert!(stats.ratio > 2.0, "ratio = {}", stats.ratio);
+    }
+
+    #[test]
+    fn append_then_access() {
+        let m1 = random_matrix(11, 100, 2);
+        let m2 = random_matrix(12, 80, 2);
+        // Widths must cover both batches: build with explicit widths.
+        let widths = vec![64u32, 64];
+        let dev = vec![3u32, 0];
+        let mut store = GdStore::build(&m1, &widths, &dev);
+        store.append(&m2);
+        assert_eq!(store.n_rows(), 180);
+        for r in 0..100 {
+            assert_eq!(store.row(r)[0], m1.get(r, 0));
+        }
+        for r in 0..80 {
+            assert_eq!(store.row(100 + r)[1], m2.get(r, 1));
+        }
+    }
+
+    #[test]
+    fn base_values_sorted_unique() {
+        let m = random_matrix(21, 400, 2);
+        let store = GdCompressor::new().compress(&m);
+        for c in 0..2 {
+            let vals = store.base_values(c);
+            assert!(vals.windows(2).all(|w| w[0] < w[1]), "must be strictly ascending");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_roundtrip(seed in 0u64..1000, n in 1usize..200, d in 1usize..5) {
+            let m = random_matrix(seed, n, d);
+            let store = GdCompressor::new().compress(&m);
+            prop_assert_eq!(store.decompress(), m.clone());
+            let back = GdStore::from_bytes(&store.to_bytes()).unwrap();
+            prop_assert_eq!(back.decompress(), m);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! SQL-subset parser and query AST for the PairwiseHist AQP framework.
+//!
+//! The paper's problem definition (§3) fixes the query shape:
+//!
+//! ```sql
+//! SELECT F(Xi) FROM D WHERE P1 AND/OR P2 ... GROUP BY g;
+//! ```
+//!
+//! where `F` is one of the seven supported aggregation functions, each `Pℓ` is
+//! `Xj OP LITERAL` with `OP ∈ {<, >, <=, >=, =, <>}`, and `GROUP BY` applies to a
+//! categorical column. AND binds tighter than OR (the operator precedence that drives
+//! the *delayed transformation* of §5.2), and parentheses override it.
+//!
+//! The AST ([`Query`], [`Predicate`], [`Condition`]) is shared by every engine in the
+//! workspace — PairwiseHist, the exact engine and all baselines — so a workload is
+//! parsed once and evaluated identically everywhere.
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{AggFunc, CmpOp, Condition, Predicate, Query};
+pub use lexer::{LexError, Token};
+pub use parser::{parse_query, ParseError};

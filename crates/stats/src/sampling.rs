@@ -1,0 +1,73 @@
+//! Gaussian sampling (Box–Muller) for the synthetic data generators.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// The polar (Marsaglia) variant is used to avoid trig calls; rejection rate is
+/// `1 − π/4 ≈ 21%`.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A Gaussian distribution with configurable mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (must be non-negative).
+    pub sd: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian; panics on negative or non-finite `sd`.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0 && sd.is_finite(), "invalid standard deviation {sd}");
+        Self { mean, sd }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * gaussian(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let g = Gaussian::new(3.0, 2.0);
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let g = Gaussian::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid standard deviation")]
+    fn negative_sd_panics() {
+        Gaussian::new(0.0, -1.0);
+    }
+}

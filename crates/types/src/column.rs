@@ -1,0 +1,370 @@
+//! Typed columns with validity bitmaps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bitmap, Value};
+
+/// Logical type of a column.
+///
+/// `Timestamp` is physically an `i64` (epoch seconds) but is kept distinct because the
+/// paper notes DBEst++ cannot handle inequality predicates on date/time columns — the
+/// workload generator needs to know which columns are timestamps to reproduce that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats with a known decimal precision.
+    ///
+    /// `scale` is the number of decimal digits GreedyGD pre-processing uses for the
+    /// lossless float→integer conversion (e.g. `10.22 → 1022` has `scale = 2`).
+    Float {
+        /// Decimal digits preserved by float→int conversion.
+        scale: u8,
+    },
+    /// Dictionary-encoded categorical strings.
+    Categorical,
+    /// Epoch-seconds timestamps.
+    Timestamp,
+}
+
+impl ColumnType {
+    /// Whether values of this type are ordered numerics for aggregation purposes.
+    pub fn is_numeric(&self) -> bool {
+        !matches!(self, ColumnType::Categorical)
+    }
+}
+
+/// Physical storage of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Integers or timestamps; invalid slots hold 0.
+    Int(Vec<i64>),
+    /// Floats; invalid slots hold 0.0.
+    Float(Vec<f64>),
+    /// Dictionary codes into the attached dictionary; invalid slots hold 0.
+    Cat(Vec<u32>, Vec<String>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Cat(v, _) => v.len(),
+        }
+    }
+}
+
+/// A named, typed, null-aware column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    ty: ColumnType,
+    data: ColumnData,
+    validity: Bitmap,
+}
+
+impl Column {
+    /// Builds an integer column; `None` entries become NULL.
+    pub fn from_ints(name: impl Into<String>, values: Vec<Option<i64>>) -> Self {
+        Self::from_ints_typed(name, values, ColumnType::Int)
+    }
+
+    /// Builds a timestamp column (epoch seconds); `None` entries become NULL.
+    pub fn from_timestamps(name: impl Into<String>, values: Vec<Option<i64>>) -> Self {
+        Self::from_ints_typed(name, values, ColumnType::Timestamp)
+    }
+
+    fn from_ints_typed(name: impl Into<String>, values: Vec<Option<i64>>, ty: ColumnType) -> Self {
+        let mut validity = Bitmap::new_clear(values.len());
+        let mut data = Vec::with_capacity(values.len());
+        for (i, v) in values.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    validity.set(i);
+                    data.push(x);
+                }
+                None => data.push(0),
+            }
+        }
+        Self { name: name.into(), ty, data: ColumnData::Int(data), validity }
+    }
+
+    /// Builds a float column with the given decimal `scale`; `None` and non-finite
+    /// entries become NULL.
+    pub fn from_floats(name: impl Into<String>, values: Vec<Option<f64>>, scale: u8) -> Self {
+        let mut validity = Bitmap::new_clear(values.len());
+        let mut data = Vec::with_capacity(values.len());
+        for (i, v) in values.into_iter().enumerate() {
+            match v {
+                Some(x) if x.is_finite() => {
+                    validity.set(i);
+                    data.push(x);
+                }
+                _ => data.push(0.0),
+            }
+        }
+        Self {
+            name: name.into(),
+            ty: ColumnType::Float { scale },
+            data: ColumnData::Float(data),
+            validity,
+        }
+    }
+
+    /// Builds a categorical column from raw strings, dictionary-encoding them in first-
+    /// appearance order; `None` entries become NULL.
+    pub fn from_strings(name: impl Into<String>, values: Vec<Option<&str>>) -> Self {
+        let mut dict: Vec<String> = Vec::new();
+        let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut validity = Bitmap::new_clear(values.len());
+        let mut codes = Vec::with_capacity(values.len());
+        for (i, v) in values.into_iter().enumerate() {
+            match v {
+                Some(s) => {
+                    validity.set(i);
+                    let code = *index.entry(s.to_string()).or_insert_with(|| {
+                        dict.push(s.to_string());
+                        (dict.len() - 1) as u32
+                    });
+                    codes.push(code);
+                }
+                None => codes.push(0),
+            }
+        }
+        Self {
+            name: name.into(),
+            ty: ColumnType::Categorical,
+            data: ColumnData::Cat(codes, dict),
+            validity,
+        }
+    }
+
+    /// Builds a categorical column directly from dictionary codes.
+    ///
+    /// Codes must index into `dict`; `None` entries become NULL.
+    pub fn from_codes(
+        name: impl Into<String>,
+        codes: Vec<Option<u32>>,
+        dict: Vec<String>,
+    ) -> Self {
+        let mut validity = Bitmap::new_clear(codes.len());
+        let mut data = Vec::with_capacity(codes.len());
+        for (i, v) in codes.into_iter().enumerate() {
+            match v {
+                Some(c) => {
+                    debug_assert!((c as usize) < dict.len(), "code {c} out of dictionary");
+                    validity.set(i);
+                    data.push(c);
+                }
+                None => data.push(0),
+            }
+        }
+        Self {
+            name: name.into(),
+            ty: ColumnType::Categorical,
+            data: ColumnData::Cat(data, dict),
+            validity,
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical type.
+    pub fn ty(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Number of rows (including nulls).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validity bitmap (`true` = non-null).
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Number of non-null rows.
+    pub fn valid_count(&self) -> usize {
+        self.validity.count_set()
+    }
+
+    /// Whether row `i` is non-null.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.get(i)
+    }
+
+    /// Raw storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Dictionary for categorical columns.
+    pub fn dictionary(&self) -> Option<&[String]> {
+        match &self.data {
+            ColumnData::Cat(_, dict) => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Materialises row `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        if !self.validity.get(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Cat(codes, dict) => Value::Str(dict[codes[i] as usize].clone()),
+        }
+    }
+
+    /// Numeric view of row `i`: `None` if null or categorical.
+    ///
+    /// Categorical columns deliberately return `None` — comparing dictionary codes
+    /// numerically is meaningless before GreedyGD frequency-ranking.
+    #[inline]
+    pub fn numeric(&self, i: usize) -> Option<f64> {
+        if !self.validity.get(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            ColumnData::Cat(..) => None,
+        }
+    }
+
+    /// Dictionary code of row `i` for categorical columns; `None` if null or not
+    /// categorical.
+    #[inline]
+    pub fn code(&self, i: usize) -> Option<u32> {
+        if !self.validity.get(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Cat(codes, _) => Some(codes[i]),
+            _ => None,
+        }
+    }
+
+    /// Returns a new column containing only the rows whose indices appear in `rows`,
+    /// in that order.
+    pub fn take(&self, rows: &[usize]) -> Column {
+        let mut validity = Bitmap::new_clear(rows.len());
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for (j, &r) in rows.iter().enumerate() {
+                    if self.validity.get(r) {
+                        validity.set(j);
+                    }
+                    out.push(v[r]);
+                }
+                ColumnData::Int(out)
+            }
+            ColumnData::Float(v) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for (j, &r) in rows.iter().enumerate() {
+                    if self.validity.get(r) {
+                        validity.set(j);
+                    }
+                    out.push(v[r]);
+                }
+                ColumnData::Float(out)
+            }
+            ColumnData::Cat(codes, dict) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for (j, &r) in rows.iter().enumerate() {
+                    if self.validity.get(r) {
+                        validity.set(j);
+                    }
+                    out.push(codes[r]);
+                }
+                ColumnData::Cat(out, dict.clone())
+            }
+        };
+        Column { name: self.name.clone(), ty: self.ty, data, validity }
+    }
+
+    /// Approximate in-memory size of the column in bytes (data + validity), used for
+    /// the "total storage" comparisons of Fig 11(b).
+    pub fn heap_size(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Cat(codes, dict) => {
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
+            }
+        };
+        data + self.len().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_nulls() {
+        let c = Column::from_ints("a", vec![Some(1), None, Some(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.valid_count(), 2);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.numeric(1), None);
+        assert_eq!(c.numeric(2), Some(3.0));
+    }
+
+    #[test]
+    fn float_column_rejects_non_finite() {
+        let c = Column::from_floats("f", vec![Some(1.5), Some(f64::NAN), Some(f64::INFINITY)], 2);
+        assert_eq!(c.valid_count(), 1);
+        assert_eq!(c.value(1), Value::Null);
+    }
+
+    #[test]
+    fn string_column_dictionary_order() {
+        let c = Column::from_strings("s", vec![Some("b"), Some("a"), Some("b"), None]);
+        assert_eq!(c.dictionary().unwrap(), &["b".to_string(), "a".to_string()]);
+        assert_eq!(c.code(0), Some(0));
+        assert_eq!(c.code(1), Some(1));
+        assert_eq!(c.code(2), Some(0));
+        assert_eq!(c.code(3), None);
+        assert_eq!(c.value(2), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn take_reorders_and_preserves_nulls() {
+        let c = Column::from_ints("a", vec![Some(10), None, Some(30), Some(40)]);
+        let t = c.take(&[3, 1, 0]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(0), Value::Int(40));
+        assert_eq!(t.value(1), Value::Null);
+        assert_eq!(t.value(2), Value::Int(10));
+    }
+
+    #[test]
+    fn numeric_on_categorical_is_none() {
+        let c = Column::from_strings("s", vec![Some("x")]);
+        assert_eq!(c.numeric(0), None);
+        assert!(!c.ty().is_numeric());
+    }
+
+    #[test]
+    fn timestamp_type_tag() {
+        let c = Column::from_timestamps("t", vec![Some(100)]);
+        assert_eq!(c.ty(), ColumnType::Timestamp);
+        assert!(c.ty().is_numeric());
+    }
+}

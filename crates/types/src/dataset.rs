@@ -1,0 +1,201 @@
+//! In-memory columnar tables.
+
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Column, TypeError, Value};
+
+/// An in-memory columnar table: the dataset `D` of the paper's problem definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Starts building a dataset with the given name.
+    pub fn builder(name: impl Into<String>) -> DatasetBuilder {
+        DatasetBuilder { name: name.into(), columns: Vec::new(), n_rows: None }
+    }
+
+    /// Dataset name (used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows `N`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns `d`.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column lookup by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, TypeError> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| TypeError::UnknownColumn(name.to_string()))
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize, TypeError> {
+        self.columns
+            .iter()
+            .position(|c| c.name() == name)
+            .ok_or_else(|| TypeError::UnknownColumn(name.to_string()))
+    }
+
+    /// Materialises row `i` as values in schema order.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Draws a uniform random sample of `n` rows without replacement (deterministic in
+    /// `seed`), preserving relative row order. If `n >= n_rows` the whole dataset is
+    /// returned.
+    ///
+    /// This implements the `D ← downsample D to Ns rows` step of Algorithm 1 (line 1);
+    /// the same primitive feeds the sampling baseline.
+    pub fn sample(&self, n: usize, seed: u64) -> Dataset {
+        if n >= self.n_rows {
+            return self.clone();
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rows: Vec<usize> = index_sample(&mut rng, self.n_rows, n).into_vec();
+        rows.sort_unstable();
+        self.take(&rows)
+    }
+
+    /// Returns a new dataset with only the given rows, in the given order.
+    pub fn take(&self, rows: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            columns: self.columns.iter().map(|c| c.take(rows)).collect(),
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Approximate in-memory size in bytes, used for "total storage" comparisons
+    /// (Fig 11(b)).
+    pub fn heap_size(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_size()).sum()
+    }
+}
+
+/// Incremental [`Dataset`] constructor that validates column lengths and name
+/// uniqueness.
+pub struct DatasetBuilder {
+    name: String,
+    columns: Vec<Column>,
+    n_rows: Option<usize>,
+}
+
+impl DatasetBuilder {
+    /// Adds a column, checking length and name uniqueness.
+    pub fn column(mut self, col: Column) -> Result<Self, TypeError> {
+        if self.columns.iter().any(|c| c.name() == col.name()) {
+            return Err(TypeError::DuplicateColumn(col.name().to_string()));
+        }
+        match self.n_rows {
+            None => self.n_rows = Some(col.len()),
+            Some(n) if n != col.len() => {
+                return Err(TypeError::LengthMismatch {
+                    column: col.name().to_string(),
+                    expected: n,
+                    got: col.len(),
+                })
+            }
+            _ => {}
+        }
+        self.columns.push(col);
+        Ok(self)
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            name: self.name,
+            n_rows: self.n_rows.unwrap_or(0),
+            columns: self.columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::builder("toy")
+            .column(Column::from_ints("a", (0..100).map(Some).collect()))
+            .unwrap()
+            .column(Column::from_floats("b", (0..100).map(|i| Some(i as f64 / 2.0)).collect(), 1))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn builder_validates_lengths() {
+        let err = Dataset::builder("x")
+            .column(Column::from_ints("a", vec![Some(1)]))
+            .unwrap()
+            .column(Column::from_ints("b", vec![Some(1), Some(2)]));
+        assert!(matches!(err, Err(TypeError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let err = Dataset::builder("x")
+            .column(Column::from_ints("a", vec![Some(1)]))
+            .unwrap()
+            .column(Column::from_ints("a", vec![Some(2)]));
+        assert!(matches!(err, Err(TypeError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_sized() {
+        let d = toy();
+        let s1 = d.sample(10, 42);
+        let s2 = d.sample(10, 42);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.n_rows(), 10);
+        assert_eq!(s1.n_columns(), 2);
+        let s3 = d.sample(10, 43);
+        assert_ne!(s1, s3, "different seeds should differ with high probability");
+    }
+
+    #[test]
+    fn sample_larger_than_data_returns_all() {
+        let d = toy();
+        assert_eq!(d.sample(1000, 1).n_rows(), 100);
+    }
+
+    #[test]
+    fn row_materialisation() {
+        let d = toy();
+        assert_eq!(d.row(4), vec![Value::Int(4), Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let d = toy();
+        assert_eq!(d.column_index("b").unwrap(), 1);
+        assert!(d.column_by_name("zzz").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for dataset construction and access.
+
+use std::fmt;
+
+/// Errors raised while building or accessing datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A column was added whose length differs from the rows already in the table.
+    LengthMismatch {
+        /// Column being added.
+        column: String,
+        /// Expected number of rows.
+        expected: usize,
+        /// Length of the offending column.
+        got: usize,
+    },
+    /// A column name was used twice.
+    DuplicateColumn(String),
+    /// A column name was not found.
+    UnknownColumn(String),
+    /// A dictionary code pointed outside the dictionary.
+    BadDictionaryCode {
+        /// Column with the bad code.
+        column: String,
+        /// The offending code.
+        code: u32,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::LengthMismatch { column, expected, got } => write!(
+                f,
+                "column '{column}' has {got} rows but the table has {expected}"
+            ),
+            TypeError::DuplicateColumn(c) => write!(f, "duplicate column name '{c}'"),
+            TypeError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            TypeError::BadDictionaryCode { column, code } => {
+                write!(f, "dictionary code {code} out of range in column '{column}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

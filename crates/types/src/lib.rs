@@ -1,0 +1,28 @@
+//! Columnar dataset substrate for the PairwiseHist AQP framework.
+//!
+//! The paper's problem definition (§3) considers a dataset `D` with `N` rows and `d`
+//! attributes that may be integers, floating-point measurements, categorical values or
+//! timestamps, with missing values. This crate provides that substrate: a typed,
+//! null-aware, columnar in-memory table that the compression layer ([`ph-gd`]), the
+//! synopsis ([`ph-core`]), the exact engine ([`ph-exact`]) and every baseline operate
+//! on.
+//!
+//! Layout choices follow the usual analytical-store idioms: one contiguous buffer per
+//! column plus a word-packed validity bitmap, so scans are cache-friendly and null
+//! checks are branch-cheap.
+//!
+//! [`ph-gd`]: https://docs.rs/ph-gd
+//! [`ph-core`]: https://docs.rs/ph-core
+//! [`ph-exact`]: https://docs.rs/ph-exact
+
+mod bitmap;
+mod column;
+mod dataset;
+mod error;
+mod value;
+
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnData, ColumnType};
+pub use dataset::{Dataset, DatasetBuilder};
+pub use error::TypeError;
+pub use value::Value;

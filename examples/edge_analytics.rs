@@ -1,0 +1,71 @@
+//! Edge analytics scenario from the paper's introduction: a resource-constrained
+//! device holds only the sub-megabyte synopsis, answers local analytics queries in
+//! microseconds, and syncs nothing but the synopsis bytes from the cloud.
+//!
+//! ```text
+//! cargo run --release --example edge_analytics
+//! ```
+
+use std::sync::Arc;
+
+use pairwisehist::prelude::*;
+
+fn main() {
+    // --- Cloud side: ten million IoT temperature readings (scaled down here) ---
+    let cloud_data = pairwisehist::datagen::generate("Temp", 500_000, 3).expect("dataset");
+    let pre = Arc::new(Preprocessor::fit(&cloud_data));
+    let store = GdCompressor::new().compress(&pre.encode(&cloud_data));
+    let ph = PairwiseHist::build_from_gd(
+        &store,
+        pre.clone(),
+        &PairwiseHistConfig { ns: 100_000, ..Default::default() },
+    );
+    let wire = ph.to_bytes();
+    println!(
+        "cloud: {} rows compressed {:.1}x; synopsis to ship: {} bytes",
+        cloud_data.n_rows(),
+        store.stats().ratio,
+        wire.len()
+    );
+
+    // --- Edge side: only `wire` and the transforms cross the network ---
+    let edge = PairwiseHist::from_bytes(&wire, pre).expect("synopsis deserializes");
+    println!("edge: synopsis loaded, {} columns\n", edge.n_columns());
+
+    let questions = [
+        ("how many readings above 25C?", "SELECT COUNT(temperature) FROM Temp WHERE temperature > 25;"),
+        ("average humidity when warm", "SELECT AVG(humidity) FROM Temp WHERE temperature > 20;"),
+        ("median temperature on sensor0", "SELECT MEDIAN(temperature) FROM Temp WHERE device = 'sensor0';"),
+        ("worst-case battery under load", "SELECT MIN(battery) FROM Temp WHERE temperature > 22;"),
+        ("per-device hot readings", "SELECT COUNT(temperature) FROM Temp WHERE temperature > 25 GROUP BY device;"),
+    ];
+    for (label, sql) in questions {
+        let query = parse_query(sql).unwrap();
+        let t0 = std::time::Instant::now();
+        let answer = edge.execute(&query).unwrap();
+        let micros = t0.elapsed().as_secs_f64() * 1e6;
+        match answer {
+            AqpAnswer::Scalar(Some(e)) => {
+                println!("{label}: {:.2} in [{:.2}, {:.2}]  ({micros:.0} us)", e.value, e.lo, e.hi)
+            }
+            AqpAnswer::Scalar(None) => println!("{label}: no matching data ({micros:.0} us)"),
+            AqpAnswer::Groups(groups) => {
+                println!("{label} ({micros:.0} us):");
+                for (device, e) in groups {
+                    println!("    {device}: {:.0} in [{:.0}, {:.0}]", e.value, e.lo, e.hi);
+                }
+            }
+        }
+    }
+
+    // Sanity: the edge answers agree with exact evaluation on the cloud data.
+    let q = parse_query("SELECT AVG(humidity) FROM Temp WHERE temperature > 20;").unwrap();
+    let est = edge.execute(&q).unwrap().scalar().unwrap();
+    let truth = evaluate(&q, &cloud_data).unwrap().scalar().unwrap();
+    println!(
+        "\ncheck vs cloud ground truth: estimate {:.3} vs exact {:.3} ({:.2}% error)",
+        est.value,
+        truth,
+        (est.value - truth).abs() / truth * 100.0
+    );
+}

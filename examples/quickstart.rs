@@ -1,0 +1,60 @@
+//! Quickstart: build a PairwiseHist synopsis over a table and run bounded
+//! approximate queries, comparing against exact answers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pairwisehist::prelude::*;
+
+fn main() {
+    // A synthetic analogue of the paper's Power dataset: ~200k rows of correlated
+    // household electricity measurements.
+    let data = pairwisehist::datagen::generate("Power", 200_000, 42).expect("dataset");
+    println!("dataset: {} ({} rows x {} columns)", data.name(), data.n_rows(), data.n_columns());
+
+    // Build the synopsis from a 100k-row sample (the paper's default setup:
+    // M = 1% of Ns, alpha = 0.001).
+    let t0 = std::time::Instant::now();
+    let ph = PairwiseHist::build(&data, &PairwiseHistConfig::default());
+    println!(
+        "synopsis built in {:.0} ms -> {} bytes ({} 1-d bins, {} 2-d cells)\n",
+        t0.elapsed().as_secs_f64() * 1e3,
+        ph.synopsis_size().total,
+        ph.total_1d_bins(),
+        ph.total_2d_cells(),
+    );
+
+    let queries = [
+        "SELECT COUNT(global_active_power) FROM Power WHERE voltage < 238;",
+        "SELECT AVG(global_active_power) FROM Power WHERE voltage < 238 AND global_intensity > 5;",
+        "SELECT SUM(sub_metering_3) FROM Power WHERE global_active_power > 1.5;",
+        "SELECT MEDIAN(voltage) FROM Power WHERE global_active_power > 2;",
+        "SELECT MAX(global_intensity) FROM Power WHERE voltage >= 240;",
+        "SELECT VAR(voltage) FROM Power WHERE weekday = 3;",
+    ];
+
+    for sql in queries {
+        let query = parse_query(sql).expect("valid query");
+        let t0 = std::time::Instant::now();
+        let approx = ph.execute(&query).expect("supported query");
+        let micros = t0.elapsed().as_secs_f64() * 1e6;
+        let truth = evaluate(&query, &data).expect("exact").scalar();
+        match (approx.scalar(), truth) {
+            (Some(est), Some(truth)) => {
+                println!("{sql}");
+                println!(
+                    "  estimate {:>12.3}   bounds [{:.3}, {:.3}]   exact {:>12.3}   \
+                     err {:.3}%   {:.0} us",
+                    est.value,
+                    est.lo,
+                    est.hi,
+                    truth,
+                    (est.value - truth).abs() / truth.abs().max(1e-12) * 100.0,
+                    micros,
+                );
+            }
+            (a, t) => println!("{sql}\n  approx = {a:?}, exact = {t:?}"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # PairwiseHist
+//!
+//! A from-scratch Rust implementation of **PairwiseHist: Fast, Accurate and
+//! Space-Efficient Approximate Query Processing with Data Compression**
+//! (Hurst, Lucani, Zhang — VLDB 2024), together with every substrate the paper's
+//! framework depends on:
+//!
+//! * [`core`] — the PairwiseHist synopsis itself: one- and two-dimensional
+//!   histograms refined by recursive χ² uniformity testing, per-bin metadata,
+//!   the compact Fig 6 storage encoding, and bounded execution of seven
+//!   aggregation functions;
+//! * [`gd`] — GreedyGD: generalized-deduplication compression whose bases double
+//!   as the synopsis seed and whose store supports random row access;
+//! * [`sql`] — the query-template parser (`SELECT F(X) FROM t WHERE … GROUP BY g`);
+//! * [`exact`] — the ground-truth row-scan engine used by the evaluation;
+//! * [`baselines`] — sampling, DeepDB-like SPN, and DBEst-like KDE engines;
+//! * [`datagen`] — synthetic analogues of the paper's 11 evaluation datasets and
+//!   the IDEBench-style Gaussian scale-up;
+//! * [`workload`] — seeded random query workloads with selectivity control;
+//! * [`types`], [`stats`], [`encoding`] — the columnar table, statistics and
+//!   bit-coding substrates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pairwisehist::prelude::*;
+//!
+//! // A small correlated table.
+//! let data = Dataset::builder("demo")
+//!     .column(Column::from_ints("x", (0..20_000).map(|i| Some((i * i) % 997)).collect())).unwrap()
+//!     .column(Column::from_ints("y", (0..20_000).map(|i| Some(((i * i) % 997) * 2)).collect())).unwrap()
+//!     .build();
+//!
+//! // Build the synopsis and ask an approximate question.
+//! let ph = PairwiseHist::build(&data, &PairwiseHistConfig::default());
+//! let query = parse_query("SELECT AVG(y) FROM demo WHERE x > 500;").unwrap();
+//! let estimate = ph.execute(&query).unwrap().scalar().unwrap();
+//!
+//! // Compare against the exact engine.
+//! let truth = evaluate(&query, &data).unwrap().scalar().unwrap();
+//! assert!((estimate.value - truth).abs() / truth < 0.05);
+//! assert!(estimate.lo <= truth && truth <= estimate.hi);
+//! ```
+//!
+//! See `examples/` for the full compression pipeline (Fig 2), an edge-analytics
+//! scenario and a flight-delay analysis, and `crates/bench` for the binaries that
+//! regenerate every table and figure of the paper's evaluation.
+
+pub use ph_baselines as baselines;
+pub use ph_core as core;
+pub use ph_datagen as datagen;
+pub use ph_encoding as encoding;
+pub use ph_exact as exact;
+pub use ph_gd as gd;
+pub use ph_sql as sql;
+pub use ph_stats as stats;
+pub use ph_types as types;
+pub use ph_workload as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use ph_core::{AqpAnswer, AqpError, Estimate, PairwiseHist, PairwiseHistConfig, SplitRule};
+    pub use ph_exact::{evaluate, ExactAnswer};
+    pub use ph_gd::{GdCompressor, GdStore, Preprocessor};
+    pub use ph_sql::{parse_query, AggFunc, Query};
+    pub use ph_types::{Column, ColumnType, Dataset, Value};
+}
