@@ -1,13 +1,15 @@
 //! Criterion microbenchmarks for query execution latency (the Fig 11(c) metric):
-//! one benchmark per aggregation function, plus a multi-predicate mixed query.
+//! one benchmark per aggregation function, a multi-predicate mixed query, the
+//! factored GROUP BY path, and scaling in both predicate count and group count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use ph_bench::{power_with_day, power_with_groups};
 use ph_core::{PairwiseHist, PairwiseHistConfig};
 use ph_sql::parse_query;
 
 fn latency(c: &mut Criterion) {
-    let data = ph_datagen::generate("Power", 100_000, 2).expect("dataset");
+    let data = power_with_day(100_000);
     let ph = PairwiseHist::build(&data, &PairwiseHistConfig { ns: 100_000, ..Default::default() });
 
     let queries = [
@@ -25,16 +27,12 @@ fn latency(c: &mut Criterion) {
         ),
         (
             "group_by",
-            "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 GROUP BY weekday;",
+            "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 GROUP BY day;",
         ),
     ];
     let mut group = c.benchmark_group("query_latency");
     for (name, sql) in queries {
         let q = parse_query(sql).expect("valid query");
-        if name == "group_by" {
-            // GROUP BY on an integer column is invalid; rewrite to a categorical.
-            continue;
-        }
         group.bench_function(name, |b| b.iter(|| ph.execute(&q).unwrap()));
     }
     group.finish();
@@ -55,6 +53,27 @@ fn latency(c: &mut Criterion) {
         ))
         .expect("valid query");
         group.bench_function(format!("{}_predicates", n + 1), |b| {
+            b.iter(|| ph.execute(&q).unwrap())
+        });
+    }
+    group.finish();
+
+    // Latency vs group count: the factored GROUP BY path evaluates the shared
+    // predicate once and adds O(1) work per group, so latency should grow far
+    // slower than group count.
+    let mut group = c.benchmark_group("latency_vs_groups");
+    let power = ph_datagen::generate("Power", 100_000, 2).expect("dataset");
+    for n_groups in [8usize, 32, 128, 512] {
+        let data = power_with_groups(&power, n_groups);
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: 100_000, ..Default::default() },
+        );
+        let q = parse_query(
+            "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 GROUP BY g;",
+        )
+        .expect("valid query");
+        group.bench_function(format!("{n_groups}_groups"), |b| {
             b.iter(|| ph.execute(&q).unwrap())
         });
     }

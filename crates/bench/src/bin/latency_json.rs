@@ -1,0 +1,162 @@
+//! Machine-readable query-latency summary: `BENCH_query_latency.json`.
+//!
+//! Measures the standard Power/100k query set (the Fig 11(c) metric), the
+//! factored GROUP BY path against a per-group rescan that emulates unfactored
+//! execution (one full scalar query per group — the seed's O(groups × plan)
+//! shape), and latency scaling in the group count. Future PRs diff this file's
+//! numbers to track the perf trajectory.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin latency_json [out_path]`
+
+use std::time::Instant;
+
+use ph_bench::{power_with_day, power_with_groups};
+use ph_core::{PairwiseHist, PairwiseHistConfig};
+use ph_sql::{parse_query, Query};
+
+/// Median wall-clock microseconds per call over several measured batches.
+fn measure_us(mut f: impl FnMut()) -> f64 {
+    // Warmup.
+    for _ in 0..3 {
+        f();
+    }
+    // Size a batch to ~40ms, then take the median of 5 batch means.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-7);
+    let per_batch = ((0.04 / once) as usize).clamp(5, 20_000);
+    let mut batch_means = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..per_batch {
+            f();
+        }
+        batch_means.push(t.elapsed().as_secs_f64() / per_batch as f64 * 1e6);
+    }
+    batch_means.sort_by(|a, b| a.total_cmp(b));
+    batch_means[2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query_latency.json".into());
+    let rows = 100_000usize;
+    let data = power_with_day(rows);
+    let ph =
+        PairwiseHist::build(&data, &PairwiseHistConfig { ns: rows, ..Default::default() });
+
+    let scalar_queries = [
+        ("count", "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("sum", "SELECT SUM(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("avg", "SELECT AVG(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("min", "SELECT MIN(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("max", "SELECT MAX(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("median", "SELECT MEDIAN(global_active_power) FROM Power WHERE voltage > 238;"),
+        ("var", "SELECT VAR(global_active_power) FROM Power WHERE voltage > 238;"),
+        (
+            "multi_predicate",
+            "SELECT AVG(global_active_power) FROM Power WHERE voltage > 236 AND \
+             global_intensity < 30 AND sub_metering_3 >= 1 OR weekday = 6;",
+        ),
+    ];
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for (name, sql) in scalar_queries {
+        let q = parse_query(sql).expect("valid query");
+        let us = measure_us(|| {
+            ph.execute(&q).unwrap();
+        });
+        entries.push((name.to_string(), us));
+        eprintln!("{name:<18} {us:10.1} µs");
+    }
+
+    // GROUP BY: factored path vs a per-group rescan (one scalar query per
+    // group), which re-runs the whole predicate recursion per group exactly
+    // like unfactored execution did.
+    let grouped =
+        parse_query("SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 GROUP BY day;")
+            .expect("valid query");
+    let factored_us = measure_us(|| {
+        ph.execute(&grouped).unwrap();
+    });
+    let rescan_queries: Vec<Query> = (1..=7)
+        .map(|d| {
+            parse_query(&format!(
+                "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 AND day = 'd{d}';"
+            ))
+            .expect("valid query")
+        })
+        .collect();
+    let rescan_us = measure_us(|| {
+        for q in &rescan_queries {
+            ph.execute(q).unwrap();
+        }
+    });
+    let speedup = rescan_us / factored_us;
+    eprintln!("group_by(day)      {factored_us:10.1} µs  (per-group rescan {rescan_us:.1} µs, {speedup:.2}x)");
+    entries.push(("group_by".into(), factored_us));
+
+    // Group-count scaling on a slim Power projection.
+    let mut scaling: Vec<(usize, f64, f64)> = Vec::new();
+    let power = ph_datagen::generate("Power", rows, 2).expect("dataset");
+    for n_groups in [8usize, 32, 128, 512] {
+        let slim = power_with_groups(&power, n_groups);
+        let ph_g = PairwiseHist::build(
+            &slim,
+            &PairwiseHistConfig { ns: rows, ..Default::default() },
+        );
+        let q = parse_query(
+            "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 GROUP BY g;",
+        )
+        .expect("valid query");
+        let us = measure_us(|| {
+            ph_g.execute(&q).unwrap();
+        });
+        let labels: Vec<String> = (0..n_groups).map(|i| format!("g{i:03}")).collect();
+        let rescan: Vec<Query> = labels
+            .iter()
+            .map(|l| {
+                parse_query(&format!(
+                    "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238 AND g = '{l}';"
+                ))
+                .expect("valid query")
+            })
+            .collect();
+        let rescan_us_g = measure_us(|| {
+            for q in &rescan {
+                ph_g.execute(q).unwrap();
+            }
+        });
+        eprintln!(
+            "groups={n_groups:<4}       {us:10.1} µs  (per-group rescan {rescan_us_g:.1} µs, {:.2}x)",
+            rescan_us_g / us
+        );
+        scaling.push((n_groups, us, rescan_us_g));
+    }
+
+    // Hand-rolled JSON (no serde in the offline environment).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"dataset\": \"Power\",\n  \"rows\": {rows},\n"));
+    json.push_str("  \"queries\": {\n");
+    for (i, (name, us)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {us:.2}{comma}\n", json_escape(name)));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"group_by_day\": {{ \"factored_us\": {factored_us:.2}, \"per_group_rescan_us\": {rescan_us:.2}, \"speedup\": {speedup:.2} }},\n"
+    ));
+    json.push_str("  \"latency_vs_groups\": [\n");
+    for (i, (n, us, rescan)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"groups\": {n}, \"factored_us\": {us:.2}, \"per_group_rescan_us\": {rescan:.2} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write summary");
+    eprintln!("wrote {out_path}");
+}

@@ -74,13 +74,9 @@ fn defined(w: &Weights) -> bool {
     w.total() > W_EPS
 }
 
-/// `COUNT = ‖w‖₁ / ρ` (§5.4.1).
+/// `COUNT = ‖w‖₁ / ρ` (§5.4.1). All three totals are cached on the weighting.
 fn count(w: &Weights, rho: f64) -> Estimate {
-    Estimate::ordered(
-        w.total() / rho,
-        w.lo.iter().sum::<f64>() / rho,
-        w.hi.iter().sum::<f64>() / rho,
-    )
+    Estimate::ordered(w.total() / rho, w.total_lo() / rho, w.total_hi() / rho)
 }
 
 /// `SUM = w · c / ρ` (§5.4.2).
@@ -94,19 +90,20 @@ fn sum(w: &Weights, bins: &DimBins, rho: f64) -> Estimate {
 }
 
 /// `AVG = w · c / ‖w‖₁`; bounds evaluate both weighting extrema (§5.4.3).
+/// Totals come pre-computed from the weighting.
 fn avg(w: &Weights, bins: &DimBins) -> Estimate {
-    let weighted_mean = |wv: &[f64], c: &[f64]| -> Option<f64> {
-        let total: f64 = wv.iter().sum();
+    let weighted_mean = |wv: &[f64], total: f64, c: &[f64]| -> Option<f64> {
         (total > W_EPS).then(|| wv.iter().zip(c).map(|(x, y)| x * y).sum::<f64>() / total)
     };
-    let value = weighted_mean(&w.w, &bins.mid).expect("caller checked non-empty");
+    let value =
+        weighted_mean(&w.w, w.total(), &bins.mid).expect("caller checked non-empty");
     let mut lo = value;
     let mut hi = value;
-    for wv in [&w.lo, &w.hi] {
-        if let Some(m) = weighted_mean(wv, &bins.c_lo) {
+    for (wv, total) in [(&w.lo, w.total_lo()), (&w.hi, w.total_hi())] {
+        if let Some(m) = weighted_mean(wv, total, &bins.c_lo) {
             lo = lo.min(m);
         }
-        if let Some(m) = weighted_mean(wv, &bins.c_hi) {
+        if let Some(m) = weighted_mean(wv, total, &bins.c_hi) {
             hi = hi.max(m);
         }
     }
@@ -202,8 +199,8 @@ fn last(v: &[f64], thresh: f64, k: usize) -> Option<usize> {
 
 /// MEDIAN (§5.4.6, Eq 34–37).
 fn median(w: &Weights, bins: &DimBins) -> Estimate {
-    let t_star = median_bin(&w.w).expect("caller checked non-empty");
-    let total: f64 = w.w.iter().sum();
+    let t_star = median_bin_with_total(&w.w, w.total()).expect("caller checked non-empty");
+    let total = w.total();
     let before: f64 = w.w[..t_star].iter().sum();
     let f = ((0.5 * total - before) / w.w[t_star]).clamp(0.0, 1.0);
     let value = if bins.uniq[t_star] == 2 {
@@ -219,8 +216,8 @@ fn median(w: &Weights, bins: &DimBins) -> Estimate {
     // weighting extrema (Eq 36-37).
     let mut t_lo = t_star;
     let mut t_hi = t_star;
-    for wv in [&w.lo, &w.hi] {
-        if let Some(t) = median_bin(wv) {
+    for (wv, total) in [(&w.lo, w.total_lo()), (&w.hi, w.total_hi())] {
+        if let Some(t) = median_bin_with_total(wv, total) {
             t_lo = t_lo.min(t);
             t_hi = t_hi.max(t);
         }
@@ -228,9 +225,8 @@ fn median(w: &Weights, bins: &DimBins) -> Estimate {
     Estimate::ordered(value, bins.vmin[t_lo] as f64, bins.vmax[t_hi] as f64)
 }
 
-/// First index where the cumulative weight reaches half the total.
-fn median_bin(w: &[f64]) -> Option<usize> {
-    let total: f64 = w.iter().sum();
+/// First index where the cumulative weight reaches half the (pre-computed) total.
+fn median_bin_with_total(w: &[f64], total: f64) -> Option<usize> {
     if total <= W_EPS {
         return None;
     }
@@ -247,8 +243,7 @@ fn median_bin(w: &[f64]) -> Option<usize> {
 
 /// VAR (§5.4.7, Eq 38–39).
 fn var(w: &Weights, bins: &DimBins) -> Estimate {
-    let moments = |wv: &[f64], x: &[f64]| -> Option<f64> {
-        let total: f64 = wv.iter().sum();
+    let moments = |wv: &[f64], total: f64, x: &[f64]| -> Option<f64> {
         if total <= W_EPS {
             return None;
         }
@@ -256,11 +251,9 @@ fn var(w: &Weights, bins: &DimBins) -> Estimate {
         let m2 = wv.iter().zip(x).map(|(a, b)| a * b * b).sum::<f64>() / total;
         Some((m2 - m1 * m1).max(0.0))
     };
-    let value = moments(&w.w, &bins.mid).expect("caller checked non-empty");
-    let avg_est = {
-        let total: f64 = w.w.iter().sum();
-        w.w.iter().zip(&bins.mid).map(|(a, b)| a * b).sum::<f64>() / total
-    };
+    let value = moments(&w.w, w.total(), &bins.mid).expect("caller checked non-empty");
+    let avg_est =
+        w.w.iter().zip(&bins.mid).map(|(a, b)| a * b).sum::<f64>() / w.total();
     // ξ⁻: each bin's points as close to the mean as possible; ξ⁺: as far as possible.
     let k = bins.k();
     let mut xi_lo = Vec::with_capacity(k);
@@ -278,11 +271,11 @@ fn var(w: &Weights, bins: &DimBins) -> Estimate {
     }
     let mut lo = value;
     let mut hi = value;
-    for wv in [&w.lo, &w.hi] {
-        if let Some(v) = moments(wv, &xi_lo) {
+    for (wv, total) in [(&w.lo, w.total_lo()), (&w.hi, w.total_hi())] {
+        if let Some(v) = moments(wv, total, &xi_lo) {
             lo = lo.min(v);
         }
-        if let Some(v) = moments(wv, &xi_hi) {
+        if let Some(v) = moments(wv, total, &xi_hi) {
             hi = hi.max(v);
         }
     }
@@ -310,7 +303,7 @@ mod tests {
 
     fn uniform_weights(bins: &DimBins) -> Weights {
         let w: Vec<f64> = bins.counts.iter().map(|&c| c as f64).collect();
-        Weights { w: w.clone(), lo: w.clone(), hi: w }
+        Weights::new(w.clone(), w.clone(), w)
     }
 
     #[test]
@@ -349,11 +342,7 @@ mod tests {
     #[test]
     fn min_skips_zero_weight_bins() {
         let b = bins();
-        let w = Weights {
-            w: vec![0.0, 300.0],
-            lo: vec![0.0, 280.0],
-            hi: vec![0.0, 300.0],
-        };
+        let w = Weights::new(vec![0.0, 300.0], vec![0.0, 280.0], vec![0.0, 300.0]);
         let mn = estimate(AggFunc::Min, &w, &b, 1.0, false, 50).unwrap();
         assert_eq!(mn.value, 10.0);
     }
@@ -382,7 +371,7 @@ mod tests {
     #[test]
     fn empty_selection_none_except_count() {
         let b = bins();
-        let w = Weights { w: vec![0.0, 0.0], lo: vec![0.0, 0.0], hi: vec![0.0, 0.0] };
+        let w = Weights::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![0.0, 0.0]);
         assert!(estimate(AggFunc::Sum, &w, &b, 1.0, false, 50).is_none());
         assert!(estimate(AggFunc::Avg, &w, &b, 1.0, false, 50).is_none());
         assert!(estimate(AggFunc::Min, &w, &b, 1.0, false, 50).is_none());
@@ -403,7 +392,7 @@ mod tests {
             50,
             &mut chi2,
         );
-        let w = Weights { w: vec![10.0], lo: vec![5.0], hi: vec![15.0] };
+        let w = Weights::new(vec![10.0], vec![5.0], vec![15.0]);
         // Single-column query, w < h/2: estimate should flip to vmax.
         let e = estimate(AggFunc::Min, &w, &b, 1.0, true, 50).unwrap();
         assert_eq!(e.value, 9.0);

@@ -121,6 +121,9 @@ pub struct PairwiseHist {
     pub(crate) build_stats: BuildStats,
     /// Sample size at the last full build (staleness accounting for updates).
     pub(crate) ns_at_build: usize,
+    /// Whether query execution may fan work out across cores (inherited from
+    /// [`PairwiseHistConfig::parallel`]; results are identical either way).
+    pub(crate) parallel_exec: bool,
 }
 
 /// Triangular index of pair `(i, j)` with `i < j`.
@@ -272,9 +275,9 @@ impl PairwiseHist {
         } else {
             let next = AtomicUsize::new(0);
             let results: Mutex<&mut Vec<Option<PairHist>>> = Mutex::new(&mut pairs);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut local_chi2 = Chi2Cache::new(cfg.alpha);
                         loop {
                             let t = next.fetch_add(1, Ordering::Relaxed);
@@ -286,8 +289,7 @@ impl PairwiseHist {
                         }
                     });
                 }
-            })
-            .expect("pair construction threads panicked");
+            });
         }
         let pairs: Vec<PairHist> =
             pairs.into_iter().map(|p| p.expect("pair built")).collect();
@@ -319,6 +321,7 @@ impl PairwiseHist {
             crit,
             z98: normal_quantile(0.99),
             build_stats: BuildStats { secs_1d, secs_2d },
+            parallel_exec: cfg.parallel,
         }
     }
 
@@ -369,6 +372,15 @@ impl PairwiseHist {
     /// Wall-clock construction phases.
     pub fn build_stats(&self) -> BuildStats {
         self.build_stats
+    }
+
+    /// Enables or disables multi-core query execution (grouped queries fan out
+    /// across threads when the per-group work is large enough). Results are
+    /// identical either way. Builds inherit [`PairwiseHistConfig::parallel`];
+    /// synopses restored with [`PairwiseHist::from_bytes`] default to enabled,
+    /// so thread-restricted hosts should switch this off after loading.
+    pub fn set_parallel_exec(&mut self, on: bool) {
+        self.parallel_exec = on;
     }
 }
 

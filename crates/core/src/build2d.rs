@@ -62,15 +62,26 @@ impl PairHist {
     /// parent bin of column `i`; `false` is the transpose. `parent_k` is the number
     /// of 1-d bins of the result column.
     pub fn fold_coverage(&self, cov: &[f64], cover_on_j: bool, parent_k: usize) -> Vec<f64> {
-        let (ki, kj) = (self.ki(), self.kj());
         let mut out = vec![0.0; parent_k];
+        self.fold_coverage_into(cov, cover_on_j, &mut out);
+        out
+    }
+
+    /// [`fold_coverage`](Self::fold_coverage) into a caller-provided buffer
+    /// (cleared first), so the query hot path can reuse one scratch allocation
+    /// across every leaf it evaluates.
+    pub fn fold_coverage_into(&self, cov: &[f64], cover_on_j: bool, out: &mut [f64]) {
+        let (ki, kj) = (self.ki(), self.kj());
+        out.fill(0.0);
         if cover_on_j {
             assert_eq!(cov.len(), kj, "coverage must match the j dimension");
             for ri in 0..ki {
                 let row = &self.counts[ri * kj..(ri + 1) * kj];
                 let mut acc = 0.0;
+                // Skipping zero-coverage terms is exact (they contribute +0.0)
+                // and makes point coverage — the GROUP BY leaf shape — cheap.
                 for (c, b) in row.iter().zip(cov) {
-                    if *c > 0 {
+                    if *c > 0 && *b != 0.0 {
                         acc += *c as f64 * b;
                     }
                 }
@@ -91,7 +102,6 @@ impl PairHist {
                 }
             }
         }
-        out
     }
 }
 

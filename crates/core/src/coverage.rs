@@ -14,6 +14,10 @@ use crate::bins::DimBins;
 
 /// A union of disjoint, sorted, closed integer intervals `[lo, hi]` over the encoded
 /// domain of one column.
+///
+/// Equality is structural and canonical (the interval list is always normalised:
+/// sorted, disjoint, non-adjacent), which is what the query engine's per-leaf
+/// coverage memo compares by.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeSet {
     ivs: Vec<(u64, u64)>,

@@ -10,7 +10,11 @@ use crate::aggregate::{estimate, Estimate};
 use crate::build::PairwiseHist;
 use crate::coverage::RangeSet;
 use crate::plan::{compile_predicate, PlanNode};
-use crate::weights::{compute_weights, W_EPS};
+use crate::weights::{compute_weights, weights_from_probs, Probs, WeightCtx, W_EPS};
+
+/// A grouped query fans its per-group work across cores once the total
+/// per-group bin work crosses this (groups × aggregation-column bins).
+const PARALLEL_GROUP_WORK: usize = 4096;
 
 /// Errors raised during approximate query execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,29 +114,96 @@ impl PairwiseHist {
                 let n_groups = gtr
                     .n_categories()
                     .ok_or_else(|| AqpError::BadGroupBy(g.clone()))?;
-                let mut out = BTreeMap::new();
-                for rank in 0..n_groups {
-                    let leaf =
-                        PlanNode::Leaf { col: gcol, ranges: RangeSet::point(rank as u64) };
-                    let grouped = match &plan {
-                        Some(p) => PlanNode::And(vec![p.clone(), leaf]),
-                        None => leaf,
-                    };
-                    let w = compute_weights(self, Some(&grouped), agg_col);
-                    if w.total() <= W_EPS {
-                        continue; // group has no estimated satisfying rows
-                    }
-                    let clamp = conjunctive_range(&grouped, agg_col);
-                    if let Some(e) = self.finish(q.agg, &w, agg_col, false, clamp.as_ref()) {
-                        let label = self.pre.transform(gcol).category(rank)
-                            .expect("rank within dictionary")
-                            .to_string();
-                        out.insert(label, e);
-                    }
-                }
-                Ok(AqpAnswer::Groups(out))
+                Ok(AqpAnswer::Groups(self.execute_groups(
+                    q.agg,
+                    plan.as_ref(),
+                    agg_col,
+                    gcol,
+                    n_groups,
+                )))
             }
         }
+    }
+
+    /// Factored GROUP BY execution (the Fig 7 pipeline run once, not per group).
+    ///
+    /// The shared predicate's probability vector is evaluated a single time;
+    /// each group then contributes only its own leaf — a point coverage on the
+    /// group column, combined with the shared vector by the element-wise AND
+    /// rule (Eq 25). That turns the seed's O(groups × plan) recursion into
+    /// O(plan + groups), and the per-group loop itself fans out across cores
+    /// when `groups × bins` is large enough to pay for the threads.
+    ///
+    /// Every group's weighting is *identical* (bit-for-bit) to recomputing
+    /// `AND(plan, group-leaf)` from scratch: the AND rule is a plain product,
+    /// and IEEE multiplication commutes.
+    fn execute_groups(
+        &self,
+        agg: AggFunc,
+        plan: Option<&PlanNode>,
+        agg_col: usize,
+        gcol: usize,
+        n_groups: usize,
+    ) -> BTreeMap<String, Estimate> {
+        let mut ctx = WeightCtx::new(self, agg_col);
+        let shared: Option<Probs> = plan.map(|p| ctx.eval(p));
+        // The order-statistic clamp never involves the group column: it only
+        // applies to MIN/MAX/MEDIAN, whose aggregation column is numeric while
+        // the group column is categorical — so it is group-invariant and
+        // computed once.
+        let clamp = plan.and_then(|p| conjunctive_range(p, agg_col));
+
+        // One group's estimate, through whichever context the calling thread owns.
+        let one_group = |ctx: &mut WeightCtx<'_>, rank: usize| -> Option<(String, Estimate)> {
+            let mut probs = ctx.eval_leaf(gcol, &RangeSet::point(rank as u64));
+            if let Some(sh) = &shared {
+                probs.and_assign(sh);
+            }
+            let w = weights_from_probs(self, agg_col, &probs);
+            ctx.recycle(probs);
+            if w.total() <= W_EPS {
+                return None; // group has no estimated satisfying rows
+            }
+            let e = self.finish(agg, &w, agg_col, false, clamp.as_ref())?;
+            let label = self
+                .pre
+                .transform(gcol)
+                .category(rank)
+                .expect("rank within dictionary")
+                .to_string();
+            Some((label, e))
+        };
+
+        let k = self.hist1d(agg_col).k();
+        let workers = if self.parallel_exec && n_groups * k >= PARALLEL_GROUP_WORK {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n_groups)
+        } else {
+            1
+        };
+        if workers <= 1 {
+            return (0..n_groups).filter_map(|rank| one_group(&mut ctx, rank)).collect();
+        }
+        let chunk = n_groups.div_ceil(workers);
+        let mut out = BTreeMap::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wi| {
+                    let one_group = &one_group;
+                    scope.spawn(move || {
+                        // Each worker owns its context; the shared probability
+                        // vector and clamp are read-only across threads.
+                        let mut local = WeightCtx::new(self, agg_col);
+                        (wi * chunk..((wi + 1) * chunk).min(n_groups))
+                            .filter_map(|rank| one_group(&mut local, rank))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("group worker panicked"));
+            }
+        });
+        out
     }
 
     /// Estimates the selectivity of a predicate: the fraction of table rows it
@@ -406,6 +477,190 @@ mod tests {
             }
         }
         assert!(correct >= 3, "bounds should contain truth for most queries ({correct}/4)");
+    }
+
+    /// The seed's per-group recomputation, kept as the reference: build
+    /// `AND(plan, group-leaf)` and run the full weighting recursion per group.
+    fn group_by_naive(
+        ph: &PairwiseHist,
+        agg: AggFunc,
+        plan: Option<&PlanNode>,
+        agg_col: usize,
+        gcol: usize,
+        n_groups: usize,
+    ) -> BTreeMap<String, Estimate> {
+        let mut out = BTreeMap::new();
+        for rank in 0..n_groups {
+            let leaf = PlanNode::Leaf { col: gcol, ranges: RangeSet::point(rank as u64) };
+            let grouped = match plan {
+                Some(p) => PlanNode::And(vec![p.clone(), leaf]),
+                None => leaf,
+            };
+            let w = crate::weights::reference::compute_weights_naive(
+                ph,
+                Some(&grouped),
+                agg_col,
+            );
+            if w.total() <= W_EPS {
+                continue;
+            }
+            let clamp = conjunctive_range(&grouped, agg_col);
+            if let Some(e) = ph.finish(agg, &w, agg_col, false, clamp.as_ref()) {
+                let label = ph
+                    .pre
+                    .transform(gcol)
+                    .category(rank)
+                    .expect("rank within dictionary")
+                    .to_string();
+                out.insert(label, e);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn factored_group_by_matches_naive_recomputation_exactly() {
+        let data = flights_like(25_000, 21);
+        let ph = build(&data);
+        let gcol = ph.pre.column_index("carrier").unwrap();
+        let n_groups = ph.pre.transform(gcol).n_categories().unwrap();
+        for sql in [
+            "SELECT COUNT(delay) FROM flights GROUP BY carrier",
+            "SELECT COUNT(delay) FROM flights WHERE dist > 500 GROUP BY carrier",
+            "SELECT AVG(dist) FROM flights WHERE air_time > 100 GROUP BY carrier",
+            "SELECT SUM(dist) FROM flights WHERE dist > 200 AND delay < 60 GROUP BY carrier",
+            "SELECT MIN(dist) FROM flights WHERE dist > 300 OR air_time > 150 GROUP BY carrier",
+            "SELECT MEDIAN(delay) FROM flights WHERE dist < 1500 GROUP BY carrier",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let agg_col = ph.pre.column_index(&q.column).unwrap();
+            let plan = q
+                .predicate
+                .as_ref()
+                .map(|p| compile_predicate(p, &ph.pre).unwrap());
+            let factored = ph.execute(&q).unwrap();
+            let naive = group_by_naive(&ph, q.agg, plan.as_ref(), agg_col, gcol, n_groups);
+            let AqpAnswer::Groups(factored) = factored else { panic!("expected groups") };
+            assert_eq!(factored, naive, "{sql}: factored GROUP BY must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_group_by_agree() {
+        // Enough groups that groups × bins crosses the parallel threshold: the
+        // fanned-out path must produce answers identical to the serial one.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let n = 40_000;
+        let x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..2000))).collect();
+        let y: Vec<Option<i64>> =
+            x.iter().map(|v| Some(v.unwrap() / 2 + rng.gen_range(0..100))).collect();
+        let names: Vec<String> = (0..n).map(|i| format!("g{:03}", i % 300)).collect();
+        let g: Vec<Option<&str>> = names.iter().map(|s| Some(s.as_str())).collect();
+        let data = Dataset::builder("t")
+            .column(Column::from_ints("x", x))
+            .unwrap()
+            .column(Column::from_ints("y", y))
+            .unwrap()
+            .column(Column::from_strings("g", g))
+            .unwrap()
+            .build();
+        let serial = build(&data); // parallel: false
+        let parallel = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: data.n_rows(), parallel: true, ..Default::default() },
+        );
+        assert_eq!(serial.hist1d, parallel.hist1d, "builds must agree first");
+        let q = parse_query("SELECT COUNT(x) FROM t WHERE y > 300 GROUP BY g").unwrap();
+        let a = serial.execute(&q).unwrap();
+        let b = parallel.execute(&q).unwrap();
+        assert_eq!(a, b);
+        let groups = a.groups().expect("grouped answer");
+        assert!(groups.len() > 250, "most groups populated, got {}", groups.len());
+    }
+
+    /// Random-query corpus: the canonicalized optimized pipeline agrees with the
+    /// naive reference — bit-identical where canonicalization is structure-only,
+    /// and within 1e-12 of ground-truth-equivalent weights everywhere (the
+    /// random corpus below only produces cross-column merges, which are exact).
+    #[test]
+    fn random_query_corpus_weights_match_reference() {
+        use rand::{Rng, SeedableRng};
+        let data = flights_like(15_000, 23);
+        let ph = build(&data);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        let cols = ["dist", "air_time", "delay"];
+        for case in 0..40 {
+            // 1-3 range conditions joined by AND/OR over numeric columns.
+            let n_conds = rng.gen_range(1..=3);
+            let mut pred = String::new();
+            for i in 0..n_conds {
+                if i > 0 {
+                    pred.push_str(if rng.gen_bool(0.5) { " AND " } else { " OR " });
+                }
+                let col = cols[rng.gen_range(0..cols.len())];
+                let op = ["<", "<=", ">", ">="][rng.gen_range(0..4)];
+                let lit = rng.gen_range(50..1800);
+                pred.push_str(&format!("{col} {op} {lit}"));
+            }
+            let sql = format!("SELECT COUNT(delay) FROM flights WHERE {pred}");
+            let q = parse_query(&sql).unwrap();
+            let agg_col = ph.pre.column_index("delay").unwrap();
+            let canonical =
+                compile_predicate(q.predicate.as_ref().unwrap(), &ph.pre).unwrap();
+            let raw = crate::plan::compile_predicate_raw(q.predicate.as_ref().unwrap(), &ph.pre)
+                .unwrap();
+            let fast = compute_weights(&ph, Some(&canonical), agg_col);
+            let naive_canonical = crate::weights::reference::compute_weights_naive(
+                &ph,
+                Some(&canonical),
+                agg_col,
+            );
+            assert_eq!(
+                fast, naive_canonical,
+                "case {case} ({sql}): optimized kernel must match reference"
+            );
+            // Canonicalization itself: same-column merges are exact interval
+            // algebra; cross-column structure is preserved. Compare against the
+            // raw (uncanonicalized) plan within 1e-12.
+            let naive_raw = crate::weights::reference::compute_weights_naive(
+                &ph,
+                Some(&raw),
+                agg_col,
+            );
+            let same_col_merge_possible = {
+                // When one AND/OR level sees the same column twice, merging
+                // replaces the independence approximation by exact algebra and
+                // weights may legitimately differ.
+                fn has_dup(node: &PlanNode) -> bool {
+                    match node {
+                        PlanNode::Leaf { .. } => false,
+                        PlanNode::And(ch) | PlanNode::Or(ch) => {
+                            let mut cols = Vec::new();
+                            for c in ch {
+                                if let PlanNode::Leaf { col, .. } = c {
+                                    if cols.contains(col) {
+                                        return true;
+                                    }
+                                    cols.push(*col);
+                                }
+                            }
+                            ch.iter().any(has_dup)
+                        }
+                    }
+                }
+                has_dup(&raw)
+            };
+            if !same_col_merge_possible {
+                for t in 0..fast.w.len() {
+                    assert!(
+                        (fast.w[t] - naive_raw.w[t]).abs() < 1e-12
+                            && (fast.lo[t] - naive_raw.lo[t]).abs() < 1e-12
+                            && (fast.hi[t] - naive_raw.hi[t]).abs() < 1e-12,
+                        "case {case} ({sql}): canonicalized weights diverged at bin {t}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

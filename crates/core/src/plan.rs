@@ -56,8 +56,19 @@ impl PlanNode {
     }
 }
 
-/// Compiles a predicate against the fitted pre-processing transforms.
+/// Compiles a predicate against the fitted pre-processing transforms and
+/// canonicalizes the result (the optimizer pass every query runs through).
 pub(crate) fn compile_predicate(
+    pred: &Predicate,
+    pre: &Preprocessor,
+) -> Result<PlanNode, AqpError> {
+    Ok(canonicalize(compile_predicate_raw(pred, pre)?))
+}
+
+/// Literal transformation only: compiles the predicate tree one-to-one, without
+/// any consolidation. The canonicalization equivalence tests diff this against
+/// the canonical plan.
+pub(crate) fn compile_predicate_raw(
     pred: &Predicate,
     pre: &Preprocessor,
 ) -> Result<PlanNode, AqpError> {
@@ -66,16 +77,16 @@ pub(crate) fn compile_predicate(
         Predicate::And(children) => {
             let compiled: Vec<PlanNode> = children
                 .iter()
-                .map(|p| compile_predicate(p, pre))
+                .map(|p| compile_predicate_raw(p, pre))
                 .collect::<Result<_, _>>()?;
-            Ok(consolidate(compiled, true))
+            Ok(PlanNode::And(compiled))
         }
         Predicate::Or(children) => {
             let compiled: Vec<PlanNode> = children
                 .iter()
-                .map(|p| compile_predicate(p, pre))
+                .map(|p| compile_predicate_raw(p, pre))
                 .collect::<Result<_, _>>()?;
-            Ok(consolidate(compiled, false))
+            Ok(PlanNode::Or(compiled))
         }
     }
 }
@@ -97,12 +108,45 @@ fn compile_condition(c: &Condition, pre: &Preprocessor) -> Result<PlanNode, AqpE
     Ok(PlanNode::Leaf { col, ranges: RangeSet::from_condition(c.op, lit, tr.max_enc()) })
 }
 
-/// Merges same-column leaves directly connected by one AND (`intersect = true`) or
-/// one OR (`intersect = false`); everything else is kept as-is.
-fn consolidate(children: Vec<PlanNode>, intersect: bool) -> PlanNode {
+/// Canonicalizes a plan tree (the paper's delayed-transformation consolidation,
+/// §5.2, run as a real optimizer pass over the whole tree):
+///
+/// 1. nested same-operator nodes are flattened (`AND(AND(a, b), c)` →
+///    `AND(a, b, c)`; likewise OR) — exactly probability-preserving, since both
+///    combination rules are associative;
+/// 2. same-column leaves under one operator merge into a single [`RangeSet`]
+///    leaf (intersection under AND, union under OR) — interval algebra is exact,
+///    so this sidesteps the conditional-independence approximation that Eq 25–26
+///    would otherwise apply to maximally-dependent conditions;
+/// 3. empty sets short-circuit: an AND containing an empty leaf *is* the empty
+///    selection, and empty branches of an OR contribute nothing;
+/// 4. single-child operators unwrap.
+///
+/// Rules 1, 3 and 4 never change the computed weights; rule 2 strictly
+/// sharpens them.
+pub(crate) fn canonicalize(node: PlanNode) -> PlanNode {
+    match node {
+        PlanNode::Leaf { .. } => node,
+        PlanNode::And(children) => rebuild(children, true),
+        PlanNode::Or(children) => rebuild(children, false),
+    }
+}
+
+/// Canonicalizes and recombines one operator's children (`intersect = true` for
+/// AND, `false` for OR).
+fn rebuild(children: Vec<PlanNode>, intersect: bool) -> PlanNode {
+    // Recurse, then flatten grandchildren under the same operator.
+    let mut flat: Vec<PlanNode> = Vec::with_capacity(children.len());
+    for child in children {
+        match (canonicalize(child), intersect) {
+            (PlanNode::And(gc), true) | (PlanNode::Or(gc), false) => flat.extend(gc),
+            (other, _) => flat.push(other),
+        }
+    }
+    // Merge same-column leaves.
     let mut leaves: Vec<(usize, RangeSet)> = Vec::new();
     let mut rest: Vec<PlanNode> = Vec::new();
-    for child in children {
+    for child in flat {
         match child {
             PlanNode::Leaf { col, ranges } => {
                 match leaves.iter_mut().find(|(c, _)| *c == col) {
@@ -119,17 +163,33 @@ fn consolidate(children: Vec<PlanNode>, intersect: bool) -> PlanNode {
             other => rest.push(other),
         }
     }
+    // Empty-set simplification.
+    let first_col = leaves.first().map(|(c, _)| *c);
+    if intersect {
+        // AND with a contradictory column selects nothing.
+        if let Some(&(col, _)) = leaves.iter().find(|(_, rs)| rs.is_empty()) {
+            return PlanNode::Leaf { col, ranges: RangeSet::empty() };
+        }
+    } else {
+        // Empty OR branches contribute nothing (probability 0 with exact
+        // (0, 0) bounds, so the complement-product is unchanged).
+        leaves.retain(|(_, rs)| !rs.is_empty());
+    }
     let mut nodes: Vec<PlanNode> = leaves
         .into_iter()
         .map(|(col, ranges)| PlanNode::Leaf { col, ranges })
         .collect();
     nodes.extend(rest);
-    if nodes.len() == 1 {
-        nodes.pop().unwrap()
-    } else if intersect {
-        PlanNode::And(nodes)
-    } else {
-        PlanNode::Or(nodes)
+    match nodes.len() {
+        // OR of only empty branches: preserve an empty leaf so the engine still
+        // sees the predicate's column.
+        0 => PlanNode::Leaf {
+            col: first_col.expect("operator node has at least one child"),
+            ranges: RangeSet::empty(),
+        },
+        1 => nodes.pop().unwrap(),
+        _ if intersect => PlanNode::And(nodes),
+        _ => PlanNode::Or(nodes),
     }
 }
 
@@ -243,6 +303,83 @@ mod tests {
             compile_predicate(&q.predicate.unwrap(), &pre()),
             Err(AqpError::UnknownColumn(_))
         ));
+    }
+
+    fn leaf(col: usize, lo: u64, hi: u64) -> PlanNode {
+        PlanNode::Leaf { col, ranges: RangeSet::interval(lo, hi) }
+    }
+
+    #[test]
+    fn nested_same_operator_flattens_and_merges() {
+        // AND(AND(x ∈ [10,50], y ∈ [0,9]), x ∈ [30,80]) → AND(x ∈ [30,50], y ∈ [0,9]).
+        let p = canonicalize(PlanNode::And(vec![
+            PlanNode::And(vec![leaf(0, 10, 50), leaf(1, 0, 9)]),
+            leaf(0, 30, 80),
+        ]));
+        match p {
+            PlanNode::And(children) => {
+                assert_eq!(children.len(), 2);
+                assert!(children.contains(&leaf(0, 30, 50)));
+                assert!(children.contains(&leaf(1, 0, 9)));
+            }
+            other => panic!("expected flattened AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_or_flattens_and_unions() {
+        let p = canonicalize(PlanNode::Or(vec![
+            PlanNode::Or(vec![leaf(0, 0, 3), leaf(0, 10, 12)]),
+            leaf(0, 4, 6),
+        ]));
+        match p {
+            PlanNode::Leaf { col: 0, ranges } => {
+                assert_eq!(ranges.intervals(), &[(0, 6), (10, 12)]);
+            }
+            other => panic!("expected single merged leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_with_contradiction_collapses_to_empty_leaf() {
+        let p = canonicalize(PlanNode::And(vec![
+            leaf(0, 10, 20),
+            leaf(1, 0, 5),
+            PlanNode::Leaf { col: 0, ranges: RangeSet::interval(30, 40) },
+        ]));
+        match p {
+            PlanNode::Leaf { col: 0, ranges } => assert!(ranges.is_empty()),
+            other => panic!("expected empty leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_drops_empty_branches() {
+        let p = canonicalize(PlanNode::Or(vec![
+            PlanNode::Leaf { col: 0, ranges: RangeSet::empty() },
+            leaf(1, 5, 9),
+        ]));
+        assert_eq!(p, leaf(1, 5, 9));
+        // All branches empty: one empty leaf survives as the predicate's anchor.
+        let p = canonicalize(PlanNode::Or(vec![
+            PlanNode::Leaf { col: 2, ranges: RangeSet::empty() },
+            PlanNode::Leaf { col: 3, ranges: RangeSet::empty() },
+        ]));
+        match p {
+            PlanNode::Leaf { col: 2, ranges } => assert!(ranges.is_empty()),
+            other => panic!("expected empty anchor leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_tree_keeps_cross_column_structure() {
+        // OR(AND(x, y), AND(x, y)) must not merge across the operator boundary.
+        let arm = || PlanNode::And(vec![leaf(0, 0, 9), leaf(1, 0, 9)]);
+        let p = canonicalize(PlanNode::Or(vec![arm(), arm()]));
+        match p {
+            PlanNode::Or(children) => assert_eq!(children.len(), 2),
+            other => panic!("expected OR of two ANDs, got {other:?}"),
+        }
     }
 
     #[test]

@@ -148,6 +148,10 @@ impl PairwiseHist {
     /// [`Preprocessor`] travels with the compressed store (Fig 2), not the synopsis,
     /// so it is supplied here.
     ///
+    /// Parallel query execution is an execution-environment property, not synopsis
+    /// data, so it is not serialized; restored synopses default to enabled — use
+    /// [`PairwiseHist::set_parallel_exec`] to opt out on thread-restricted hosts.
+    ///
     /// Returns `None` on malformed input.
     pub fn from_bytes(data: &[u8], pre: Arc<Preprocessor>) -> Option<Self> {
         let mut pos = 0usize;
@@ -353,6 +357,7 @@ impl PairwiseHist {
             crit,
             z98: normal_quantile(0.99),
             build_stats: BuildStats { secs_1d: 0.0, secs_2d: 0.0 },
+            parallel_exec: true,
         })
     }
 }

@@ -10,15 +10,30 @@
 //! delayed transformation makes tolerable. Bounds propagate monotonically (both
 //! combination rules are increasing in each argument), then get widened for sampling
 //! uncertainty (Eq 29).
+//!
+//! # Hot-path architecture
+//!
+//! Evaluation runs through a [`WeightCtx`]: AND/OR nodes fold their children into
+//! caller-provided [`Probs`] buffers drawn from a depth-bounded pool instead of
+//! allocating three fresh vectors per node per child, pair-histogram folds write
+//! into one reusable scratch buffer, and per-`(column, RangeSet)` leaf coverage is
+//! memoized for the lifetime of the context — so SUM's internal COUNT re-estimate,
+//! repeated leaves, and every group of a factored GROUP BY reuse identical coverage
+//! vectors instead of recomputing them.
+
+use std::collections::HashMap;
 
 use crate::build::PairwiseHist;
-use crate::coverage::{bin_coverage, coverage_bounds};
+use crate::coverage::{bin_coverage, coverage_bounds, RangeSet};
 use crate::plan::PlanNode;
 
 /// Numerical floor for "non-zero weight" tests.
 pub(crate) const W_EPS: f64 = 1e-9;
 
 /// Weightings for the aggregation column: estimate and bounds, in sample units.
+///
+/// The ℓ₁ totals of all three vectors are computed eagerly at construction, so
+/// aggregation call sites never re-sum the vectors.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Weights {
     /// Estimated per-bin satisfying counts `w`.
@@ -27,20 +42,265 @@ pub(crate) struct Weights {
     pub lo: Vec<f64>,
     /// Upper bounds `w⁺`.
     pub hi: Vec<f64>,
+    total: f64,
+    total_lo: f64,
+    total_hi: f64,
 }
 
 impl Weights {
-    /// `‖w‖₁`.
+    /// Builds the weighting, caching `‖w‖₁`, `‖w⁻‖₁` and `‖w⁺‖₁`.
+    pub fn new(w: Vec<f64>, lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        let total = w.iter().sum();
+        let total_lo = lo.iter().sum();
+        let total_hi = hi.iter().sum();
+        Self { w, lo, hi, total, total_lo, total_hi }
+    }
+
+    /// `‖w‖₁` (cached).
     pub fn total(&self) -> f64 {
-        self.w.iter().sum()
+        self.total
+    }
+
+    /// `‖w⁻‖₁` (cached).
+    pub fn total_lo(&self) -> f64 {
+        self.total_lo
+    }
+
+    /// `‖w⁺‖₁` (cached).
+    pub fn total_hi(&self) -> f64 {
+        self.total_hi
     }
 }
 
-/// Per-bin probability triples (estimate, lower, upper).
-struct Probs {
-    p: Vec<f64>,
-    lo: Vec<f64>,
-    hi: Vec<f64>,
+/// Per-bin probability triples (estimate, lower, upper), all sized to the
+/// aggregation column's bin count.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Probs {
+    pub p: Vec<f64>,
+    pub lo: Vec<f64>,
+    pub hi: Vec<f64>,
+}
+
+impl Probs {
+    fn ones(k: usize) -> Self {
+        Self { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] }
+    }
+
+    fn fill_ones(&mut self) {
+        self.p.fill(1.0);
+        self.lo.fill(1.0);
+        self.hi.fill(1.0);
+    }
+
+    fn copy_from(&mut self, other: &Probs) {
+        self.p.copy_from_slice(&other.p);
+        self.lo.copy_from_slice(&other.lo);
+        self.hi.copy_from_slice(&other.hi);
+    }
+
+    /// Element-wise AND combination (Eq 25): `self ∧= child`.
+    #[inline]
+    pub(crate) fn and_assign(&mut self, child: &Probs) {
+        for t in 0..self.p.len() {
+            self.p[t] *= child.p[t];
+            self.lo[t] *= child.lo[t];
+            self.hi[t] *= child.hi[t];
+        }
+    }
+
+    /// Accumulates one OR branch's complement (Eq 26): `self ·= (1 − child)`.
+    #[inline]
+    fn or_accumulate(&mut self, child: &Probs) {
+        for t in 0..self.p.len() {
+            self.p[t] *= 1.0 - child.p[t];
+            self.lo[t] *= 1.0 - child.lo[t];
+            self.hi[t] *= 1.0 - child.hi[t];
+        }
+    }
+
+    /// Finishes the OR rule in place: `self = 1 − self`. The complement swaps the
+    /// bound roles back.
+    #[inline]
+    fn complement(&mut self) {
+        for t in 0..self.p.len() {
+            self.p[t] = 1.0 - self.p[t];
+            self.lo[t] = 1.0 - self.lo[t];
+            self.hi[t] = 1.0 - self.hi[t];
+        }
+    }
+}
+
+/// Reusable evaluation state for weight computation against one aggregation
+/// column: a depth-bounded pool of [`Probs`] scratch buffers, one pair-fold
+/// scratch vector, and the per-leaf coverage memo.
+///
+/// Build one per `execute` call and reuse it across every weighting that call
+/// needs (grouped queries evaluate the shared predicate once and every group
+/// leaf through the same context).
+pub(crate) struct WeightCtx<'ph> {
+    ph: &'ph PairwiseHist,
+    agg_col: usize,
+    /// Aggregation-column bin count; every pooled buffer has this length.
+    k: usize,
+    /// Released scratch buffers, ready for reuse (length ≈ max tree depth).
+    pool: Vec<Probs>,
+    /// Memoized leaf probabilities: per column, the (ranges → probs) pairs seen
+    /// so far. A plan references few distinct range sets per column, so lookup
+    /// is a short equality scan — no key cloning or hashing on the hot path.
+    leaf_memo: HashMap<usize, Vec<(RangeSet, Probs)>>,
+    /// Scratch for per-refined-bin coverage triples (leaf on a non-agg column).
+    cov: Vec<f64>,
+    cov_lo: Vec<f64>,
+    cov_hi: Vec<f64>,
+    /// Scratch for the pair-histogram fold output (length `k`).
+    fold: Vec<f64>,
+}
+
+impl<'ph> WeightCtx<'ph> {
+    pub fn new(ph: &'ph PairwiseHist, agg_col: usize) -> Self {
+        let k = ph.hist1d(agg_col).k();
+        Self {
+            ph,
+            agg_col,
+            k,
+            pool: Vec::new(),
+            leaf_memo: HashMap::new(),
+            cov: Vec::new(),
+            cov_lo: Vec::new(),
+            cov_hi: Vec::new(),
+            fold: vec![0.0; k],
+        }
+    }
+
+    fn acquire(&mut self) -> Probs {
+        self.pool.pop().unwrap_or_else(|| Probs::ones(self.k))
+    }
+
+    fn release(&mut self, buf: Probs) {
+        self.pool.push(buf);
+    }
+
+    /// Evaluates the plan into a fresh (pooled) buffer and returns it.
+    pub fn eval(&mut self, node: &PlanNode) -> Probs {
+        let mut out = self.acquire();
+        self.eval_into(node, &mut out);
+        out
+    }
+
+    /// Returns a buffer to the pool once the caller is done with it.
+    pub fn recycle(&mut self, buf: Probs) {
+        self.release(buf);
+    }
+
+    /// Evaluates a single leaf without memoizing it — the factored GROUP BY
+    /// path uses this for per-group leaves, which are all distinct and would
+    /// only bloat the memo.
+    pub fn eval_leaf(&mut self, col: usize, ranges: &RangeSet) -> Probs {
+        let mut out = self.acquire();
+        if col == self.agg_col {
+            self.leaf_same_column(ranges, &mut out);
+        } else {
+            self.leaf_cross_column(col, ranges, &mut out);
+        }
+        out
+    }
+
+    /// `Pr(node | bin t of agg_col)` per bin, with bounds (Eq 27–28), written
+    /// into `out`.
+    fn eval_into(&mut self, node: &PlanNode, out: &mut Probs) {
+        match node {
+            PlanNode::Leaf { col, ranges } => self.leaf_into(*col, ranges, out),
+            PlanNode::And(children) => {
+                out.fill_ones();
+                let mut child_buf = self.acquire();
+                for child in children {
+                    self.eval_into(child, &mut child_buf);
+                    out.and_assign(&child_buf);
+                }
+                self.release(child_buf);
+            }
+            PlanNode::Or(children) => {
+                // 1 − ∏(1 − p): complements multiply (Eq 26).
+                out.fill_ones();
+                let mut child_buf = self.acquire();
+                for child in children {
+                    self.eval_into(child, &mut child_buf);
+                    out.or_accumulate(&child_buf);
+                }
+                self.release(child_buf);
+                out.complement();
+            }
+        }
+    }
+
+    /// Leaf probabilities, memoized per `(column, ranges)`.
+    fn leaf_into(&mut self, col: usize, ranges: &RangeSet, out: &mut Probs) {
+        if let Some(cached) = self
+            .leaf_memo
+            .get(&col)
+            .and_then(|entries| entries.iter().find(|(rs, _)| rs == ranges))
+        {
+            out.copy_from(&cached.1);
+            return;
+        }
+        let fresh = self.eval_leaf(col, ranges);
+        out.copy_from(&fresh);
+        self.leaf_memo.entry(col).or_default().push((ranges.clone(), fresh));
+    }
+
+    /// Direct coverage of the aggregation column's own bins (Eq 15–16, 22–23).
+    fn leaf_same_column(&mut self, ranges: &RangeSet, out: &mut Probs) {
+        let bins = self.ph.hist1d(self.agg_col);
+        let m_min = self.ph.params().m_min;
+        for t in 0..self.k {
+            let beta = bin_coverage(bins, t, ranges);
+            let (bl, bh) = coverage_bounds(beta, bins.counts[t], bins.uniq[t], m_min, |dof| {
+                self.ph.critical(dof)
+            });
+            out.p[t] = beta;
+            out.lo[t] = bl;
+            out.hi[t] = bh;
+        }
+    }
+
+    /// Coverage through the pair histogram: coverage over the condition column's
+    /// refined bins, folded into the aggregation column's 1-d bins
+    /// (`H⁽ⁱʲ⁾β ⊘ H⁽ⁱ⁾`, Eq 27).
+    fn leaf_cross_column(&mut self, col: usize, ranges: &RangeSet, out: &mut Probs) {
+        let ph = self.ph;
+        let pair = ph.pair(self.agg_col, col);
+        let cover_on_j = pair.col_j == col;
+        let cov_dim = if cover_on_j { &pair.dim_j } else { &pair.dim_i };
+        let kb = cov_dim.bins.k();
+        let m_min = ph.params().m_min;
+        self.cov.resize(kb, 0.0);
+        self.cov_lo.resize(kb, 0.0);
+        self.cov_hi.resize(kb, 0.0);
+        for t in 0..kb {
+            let beta = bin_coverage(&cov_dim.bins, t, ranges);
+            let (bl, bh) = coverage_bounds(
+                beta,
+                cov_dim.bins.counts[t],
+                cov_dim.bins.uniq[t],
+                m_min,
+                |dof| ph.critical(dof),
+            );
+            self.cov[t] = beta;
+            self.cov_lo[t] = bl;
+            self.cov_hi[t] = bh;
+        }
+        let h1d = &ph.hist1d(self.agg_col).counts;
+        for (src, dst) in
+            [(&self.cov, &mut out.p), (&self.cov_lo, &mut out.lo), (&self.cov_hi, &mut out.hi)]
+        {
+            pair.fold_coverage_into(src, cover_on_j, &mut self.fold);
+            for t in 0..self.k {
+                let h = h1d[t];
+                dst[t] =
+                    if h > 0 { (self.fold[t] / h as f64).clamp(0.0, 1.0) } else { 0.0 };
+            }
+        }
+    }
 }
 
 /// Computes bin weightings for `agg_col` under an optional compiled predicate.
@@ -49,12 +309,32 @@ pub(crate) fn compute_weights(
     plan: Option<&PlanNode>,
     agg_col: usize,
 ) -> Weights {
+    let mut ctx = WeightCtx::new(ph, agg_col);
+    compute_weights_ctx(&mut ctx, plan)
+}
+
+/// [`compute_weights`] through a caller-owned context (so one `execute` call can
+/// share scratch buffers and the leaf memo across several weightings).
+pub(crate) fn compute_weights_ctx(ctx: &mut WeightCtx<'_>, plan: Option<&PlanNode>) -> Weights {
+    match plan {
+        None => {
+            let k = ctx.k;
+            let ones = Probs::ones(k);
+            weights_from_probs(ctx.ph, ctx.agg_col, &ones)
+        }
+        Some(node) => {
+            let probs = ctx.eval(node);
+            let w = weights_from_probs(ctx.ph, ctx.agg_col, &probs);
+            ctx.recycle(probs);
+            w
+        }
+    }
+}
+
+/// Scales per-bin probabilities by bin counts and widens for sampling (Eq 29).
+pub(crate) fn weights_from_probs(ph: &PairwiseHist, agg_col: usize, probs: &Probs) -> Weights {
     let bins = ph.hist1d(agg_col);
     let k = bins.k();
-    let probs = match plan {
-        None => Probs { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] },
-        Some(node) => prob_vector(ph, node, agg_col),
-    };
     let mut w = Vec::with_capacity(k);
     let mut lo = Vec::with_capacity(k);
     let mut hi = Vec::with_capacity(k);
@@ -65,7 +345,7 @@ pub(crate) fn compute_weights(
         hi.push(h * probs.hi[t]);
     }
     widen_for_sampling(ph, bins.counts.as_slice(), &w, &mut lo, &mut hi);
-    Weights { w, lo, hi }
+    Weights::new(w, lo, hi)
 }
 
 /// Eq 29: widens weighting bounds for sampling uncertainty with the finite-population
@@ -105,96 +385,102 @@ fn widen_for_sampling(
     }
 }
 
-/// `Pr(node | bin t of agg_col)` per bin, with bounds (Eq 27–28).
-fn prob_vector(ph: &PairwiseHist, node: &PlanNode, agg_col: usize) -> Probs {
-    let k = ph.hist1d(agg_col).k();
-    match node {
-        PlanNode::Leaf { col, ranges } => {
-            if *col == agg_col {
-                // Direct coverage of the aggregation column's own bins.
-                let bins = ph.hist1d(agg_col);
-                let mut p = Vec::with_capacity(k);
-                let mut lo = Vec::with_capacity(k);
-                let mut hi = Vec::with_capacity(k);
-                for t in 0..k {
-                    let beta = bin_coverage(bins, t, ranges);
-                    let (bl, bh) = coverage_bounds(
-                        beta,
-                        bins.counts[t],
-                        bins.uniq[t],
-                        ph.params().m_min,
-                        |dof| ph.critical(dof),
-                    );
-                    p.push(beta);
-                    lo.push(bl);
-                    hi.push(bh);
+/// Reference implementation kept for the equivalence property tests: the direct
+/// Eq 25–28 recursion with per-node allocation, no memoization and no buffer
+/// reuse. The optimized [`WeightCtx`] path must match it bit-for-bit on any
+/// plan (same operations in the same order, modulo commuting one multiply).
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    pub fn prob_vector_naive(ph: &PairwiseHist, node: &PlanNode, agg_col: usize) -> Probs {
+        let k = ph.hist1d(agg_col).k();
+        match node {
+            PlanNode::Leaf { col, ranges } => {
+                if *col == agg_col {
+                    let bins = ph.hist1d(agg_col);
+                    let mut p = Vec::with_capacity(k);
+                    let mut lo = Vec::with_capacity(k);
+                    let mut hi = Vec::with_capacity(k);
+                    for t in 0..k {
+                        let beta = bin_coverage(bins, t, ranges);
+                        let (bl, bh) = coverage_bounds(
+                            beta,
+                            bins.counts[t],
+                            bins.uniq[t],
+                            ph.params().m_min,
+                            |dof| ph.critical(dof),
+                        );
+                        p.push(beta);
+                        lo.push(bl);
+                        hi.push(bh);
+                    }
+                    Probs { p, lo, hi }
+                } else {
+                    let pair = ph.pair(agg_col, *col);
+                    let cover_on_j = pair.col_j == *col;
+                    let cov_dim = if cover_on_j { &pair.dim_j } else { &pair.dim_i };
+                    let kb = cov_dim.bins.k();
+                    let mut cov = Vec::with_capacity(kb);
+                    let mut cov_lo = Vec::with_capacity(kb);
+                    let mut cov_hi = Vec::with_capacity(kb);
+                    for t in 0..kb {
+                        let beta = bin_coverage(&cov_dim.bins, t, ranges);
+                        let (bl, bh) = coverage_bounds(
+                            beta,
+                            cov_dim.bins.counts[t],
+                            cov_dim.bins.uniq[t],
+                            ph.params().m_min,
+                            |dof| ph.critical(dof),
+                        );
+                        cov.push(beta);
+                        cov_lo.push(bl);
+                        cov_hi.push(bh);
+                    }
+                    let h1d = &ph.hist1d(agg_col).counts;
+                    let fold = |c: &[f64]| -> Vec<f64> {
+                        pair.fold_coverage(c, cover_on_j, k)
+                            .iter()
+                            .zip(h1d)
+                            .map(|(&num, &h)| {
+                                if h > 0 { (num / h as f64).clamp(0.0, 1.0) } else { 0.0 }
+                            })
+                            .collect()
+                    };
+                    Probs { p: fold(&cov), lo: fold(&cov_lo), hi: fold(&cov_hi) }
                 }
-                Probs { p, lo, hi }
-            } else {
-                // Through the pair histogram: coverage over the condition column's
-                // refined bins, folded into the aggregation column's 1-d bins
-                // (H⁽ⁱʲ⁾β ⊘ H⁽ⁱ⁾, Eq 27).
-                let pair = ph.pair(agg_col, *col);
-                let cover_on_j = pair.col_j == *col;
-                let cov_dim = if cover_on_j { &pair.dim_j } else { &pair.dim_i };
-                let kb = cov_dim.bins.k();
-                let mut cov = Vec::with_capacity(kb);
-                let mut cov_lo = Vec::with_capacity(kb);
-                let mut cov_hi = Vec::with_capacity(kb);
-                for t in 0..kb {
-                    let beta = bin_coverage(&cov_dim.bins, t, ranges);
-                    let (bl, bh) = coverage_bounds(
-                        beta,
-                        cov_dim.bins.counts[t],
-                        cov_dim.bins.uniq[t],
-                        ph.params().m_min,
-                        |dof| ph.critical(dof),
-                    );
-                    cov.push(beta);
-                    cov_lo.push(bl);
-                    cov_hi.push(bh);
+            }
+            PlanNode::And(children) => {
+                let mut acc = Probs::ones(k);
+                for child in children {
+                    let c = prob_vector_naive(ph, child, agg_col);
+                    acc.and_assign(&c);
                 }
-                let h1d = &ph.hist1d(agg_col).counts;
-                let fold = |c: &[f64]| -> Vec<f64> {
-                    pair.fold_coverage(c, cover_on_j, k)
-                        .iter()
-                        .zip(h1d)
-                        .map(|(&num, &h)| if h > 0 { (num / h as f64).clamp(0.0, 1.0) } else { 0.0 })
-                        .collect()
-                };
-                Probs { p: fold(&cov), lo: fold(&cov_lo), hi: fold(&cov_hi) }
+                acc
+            }
+            PlanNode::Or(children) => {
+                let mut acc = Probs::ones(k);
+                for child in children {
+                    let c = prob_vector_naive(ph, child, agg_col);
+                    acc.or_accumulate(&c);
+                }
+                acc.complement();
+                acc
             }
         }
-        PlanNode::And(children) => {
-            let mut acc = Probs { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] };
-            for child in children {
-                let c = prob_vector(ph, child, agg_col);
-                for t in 0..k {
-                    acc.p[t] *= c.p[t];
-                    acc.lo[t] *= c.lo[t];
-                    acc.hi[t] *= c.hi[t];
-                }
-            }
-            acc
-        }
-        PlanNode::Or(children) => {
-            // 1 − ∏(1 − p): complements multiply (Eq 26).
-            let mut acc = Probs { p: vec![1.0; k], lo: vec![1.0; k], hi: vec![1.0; k] };
-            for child in children {
-                let c = prob_vector(ph, child, agg_col);
-                for t in 0..k {
-                    acc.p[t] *= 1.0 - c.p[t];
-                    acc.lo[t] *= 1.0 - c.lo[t];
-                    acc.hi[t] *= 1.0 - c.hi[t];
-                }
-            }
-            Probs {
-                p: acc.p.into_iter().map(|x| 1.0 - x).collect(),
-                // Complement swaps the bound roles back.
-                lo: acc.lo.into_iter().map(|x| 1.0 - x).collect(),
-                hi: acc.hi.into_iter().map(|x| 1.0 - x).collect(),
-            }
-        }
+    }
+
+    /// The naive weighting pipeline: allocate-per-node recursion, then scale.
+    pub fn compute_weights_naive(
+        ph: &PairwiseHist,
+        plan: Option<&PlanNode>,
+        agg_col: usize,
+    ) -> Weights {
+        let probs = match plan {
+            None => Probs::ones(ph.hist1d(agg_col).k()),
+            Some(node) => prob_vector_naive(ph, node, agg_col),
+        };
+        weights_from_probs(ph, agg_col, &probs)
     }
 }
 
@@ -295,5 +581,54 @@ mod tests {
         let (_, ph) = setup(5000);
         let w = weights_for(&ph, "SELECT COUNT(x) FROM t WHERE x > 100000", 0);
         assert!(w.total() < W_EPS);
+    }
+
+    #[test]
+    fn cached_totals_match_recomputation() {
+        let (_, ph) = setup(8000);
+        for sql in [
+            "SELECT COUNT(x) FROM t WHERE y > 300",
+            "SELECT COUNT(x) FROM t WHERE x < 100 OR y > 800",
+        ] {
+            let w = weights_for(&ph, sql, 0);
+            assert_eq!(w.total(), w.w.iter().sum::<f64>());
+            assert_eq!(w.total_lo(), w.lo.iter().sum::<f64>());
+            assert_eq!(w.total_hi(), w.hi.iter().sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn optimized_kernel_matches_reference_bitwise() {
+        let (_, ph) = setup(10_000);
+        for sql in [
+            "SELECT COUNT(x) FROM t WHERE y > 300",
+            "SELECT COUNT(x) FROM t WHERE x > 50 AND y < 700",
+            "SELECT COUNT(x) FROM t WHERE x < 100 OR y > 800 AND x > 30",
+            "SELECT COUNT(x) FROM t WHERE x > 10 AND x < 400 AND y > 100 OR y < 50",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let plan = compile_predicate(q.predicate.as_ref().unwrap(), ph.preprocessor())
+                .unwrap();
+            let fast = compute_weights(&ph, Some(&plan), 0);
+            let naive = reference::compute_weights_naive(&ph, Some(&plan), 0);
+            assert_eq!(fast, naive, "{sql}");
+        }
+    }
+
+    #[test]
+    fn leaf_memo_reuses_identical_leaves() {
+        let (_, ph) = setup(5000);
+        let q = parse_query("SELECT COUNT(x) FROM t WHERE y > 300").unwrap();
+        let plan = compile_predicate(q.predicate.as_ref().unwrap(), ph.preprocessor())
+            .unwrap();
+        let mut ctx = WeightCtx::new(&ph, 0);
+        let a = ctx.eval(&plan);
+        let memo_entries = |ctx: &WeightCtx| -> usize {
+            ctx.leaf_memo.values().map(|v| v.len()).sum()
+        };
+        assert_eq!(memo_entries(&ctx), 1);
+        let b = ctx.eval(&plan);
+        assert_eq!(memo_entries(&ctx), 1, "second evaluation must hit the memo");
+        assert_eq!(a, b);
     }
 }

@@ -258,7 +258,7 @@ fn flights(n: usize, seed: u64) -> Dataset {
 
         let dist = (100.0 + lognormal(&mut rng, 6.2, 0.75)).min(5000.0);
         distance.push(Some(dist as i64));
-        let sdep = rng.gen_range(500..2200);
+        let sdep: i64 = rng.gen_range(500..2200);
         sched_dep.push(Some(sdep));
         let at = dist / 7.5 + 15.0 * gaussian(&mut rng).abs();
         let stime = at + 35.0;

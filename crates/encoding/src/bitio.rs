@@ -1,11 +1,9 @@
 //! MSB-first bit reader and writer.
 
-use bytes::{BufMut, BytesMut};
-
 /// Appends bits MSB-first into a growable byte buffer.
 #[derive(Debug, Default)]
 pub struct BitWriter {
-    buf: BytesMut,
+    buf: Vec<u8>,
     /// Bits staged in `cur`, counted from the MSB.
     cur: u8,
     cur_bits: u32,
@@ -37,7 +35,7 @@ impl BitWriter {
         self.cur_bits += 1;
         self.total_bits += 1;
         if self.cur_bits == 8 {
-            self.buf.put_u8(self.cur);
+            self.buf.push(self.cur);
             self.cur = 0;
             self.cur_bits = 0;
         }
@@ -59,9 +57,9 @@ impl BitWriter {
     /// Flushes (zero-padding the final partial byte) and returns the bytes.
     pub fn finish(mut self) -> Vec<u8> {
         if self.cur_bits > 0 {
-            self.buf.put_u8(self.cur << (8 - self.cur_bits));
+            self.buf.push(self.cur << (8 - self.cur_bits));
         }
-        self.buf.to_vec()
+        self.buf
     }
 }
 

@@ -332,11 +332,16 @@ fn encode_column(col: &Column, tr: &ColumnTransform) -> Vec<u64> {
         ColumnTransform::Numeric { min_scaled, scale, max_enc, null_code } => {
             let factor = 10f64.powi(*scale as i32);
             let null = null_code.unwrap_or(max_enc + 1);
+            // Values below the fitted minimum have no non-negative encoding and
+            // saturate at 0 (a silent wrap to a huge u64 would corrupt every
+            // consumer). Values *above* the fitted range stay as-is: they remain
+            // representable, and incremental ingestion uses them to extend the
+            // synopsis's outer bins.
             match col.data() {
                 ColumnData::Int(vals) => {
                     for (i, &v) in vals.iter().enumerate() {
                         if col.is_valid(i) {
-                            out.push((v - min_scaled) as u64);
+                            out.push((v - min_scaled).max(0) as u64);
                         } else {
                             out.push(null);
                         }
@@ -346,7 +351,7 @@ fn encode_column(col: &Column, tr: &ColumnTransform) -> Vec<u64> {
                     for (i, &v) in vals.iter().enumerate() {
                         if col.is_valid(i) {
                             let scaled = (v * factor).round() as i64;
-                            out.push((scaled - min_scaled) as u64);
+                            out.push((scaled - min_scaled).max(0) as u64);
                         } else {
                             out.push(null);
                         }
@@ -493,6 +498,25 @@ mod tests {
         // encoded 23 -> 10.22
         assert!((a * 23.0 + b - 10.22).abs() < 1e-9);
         assert!(pre.transform(2).affine().is_none());
+    }
+
+    #[test]
+    fn out_of_range_values_saturate_below_and_extend_above() {
+        // Fit on [100, 200], then encode a batch that exceeds the range on both
+        // sides: below-minimum values saturate at 0 (never wrap to huge u64s);
+        // above-maximum values keep their true distance so ingestion can extend
+        // outer bins.
+        let base = Dataset::builder("t")
+            .column(Column::from_ints("x", vec![Some(100), Some(200)]))
+            .unwrap()
+            .build();
+        let pre = Preprocessor::fit(&base);
+        let fresh = Dataset::builder("t")
+            .column(Column::from_ints("x", vec![Some(50), Some(150), Some(260)]))
+            .unwrap()
+            .build();
+        let enc = pre.encode(&fresh);
+        assert_eq!(enc.columns[0], vec![0, 50, 160]);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! warmup-then-measure wall-clock loop instead of criterion's full statistical
+//! pipeline. Results print one line per benchmark:
+//!
+//! ```text
+//! group/name              time: 12.345 µs/iter  (1234 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock measurement budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(400);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{param}") }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// (total duration, iteration count) accumulated by the last `iter` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: establishes caches/branch predictors and yields a per-iter guess.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        let target = (MEASURE.as_nanos() as u64 / per_iter.max(1)).clamp(10, 5_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(f());
+        }
+        self.result = Some((start.elapsed(), target));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup time is excluded by timing each routine call individually.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut measured = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = measured.as_nanos().max(1) as u64 / warm_iters.max(1);
+        let target = (MEASURE.as_nanos() as u64 / per_iter.max(1)).clamp(10, 1_000_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.result = Some((total, target));
+    }
+}
+
+/// Runs one benchmark closure and prints its timing line.
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            let human = if ns < 1_000.0 {
+                format!("{ns:.1} ns/iter")
+            } else if ns < 1_000_000.0 {
+                format!("{:.3} µs/iter", ns / 1_000.0)
+            } else {
+                format!("{:.3} ms/iter", ns / 1_000_000.0)
+            };
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:.1} Melem/s", n as f64 / ns * 1_000.0)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:.1} MB/s", n as f64 / ns * 1_000.0)
+                }
+                None => String::new(),
+            };
+            println!("{label:<44} time: {human}  ({iters} iters){extra}");
+        }
+        None => println!("{label:<44} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Top-level harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), None, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its sample by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { result: None };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.result.is_some());
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros so
+//! `#[derive(Serialize, Deserialize)]` annotations compile without the
+//! real serde stack (see `shims/serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace's types carry serde derive annotations as schema documentation,
+//! but all real serialization in this codebase is hand-rolled byte encoding
+//! (see `ph-core`'s Fig 6 storage layout). With no registry access, these
+//! derives expand to nothing rather than pulling in the full serde stack.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
