@@ -18,9 +18,9 @@ use std::collections::HashMap;
 use ph_sql::{AggFunc, CmpOp, Predicate, Query};
 use ph_types::{ColumnType, Dataset};
 
-use crate::{Approx, AqpBaseline, Unsupported};
+use crate::{AqpBaseline, Estimate, Unsupported};
 
-/// Training parameters.
+/// Training parameters, including the query templates to train models for.
 #[derive(Debug, Clone)]
 pub struct KdeConfig {
     /// Sample size per template.
@@ -31,11 +31,29 @@ pub struct KdeConfig {
     pub reg_bins: usize,
     /// Sampling seed.
     pub seed: u64,
+    /// `(aggregation column, predicate column)` templates to train. Empty means
+    /// "every ordered pair of numeric columns" — the exhaustive model set the
+    /// paper charges DBEst++ with when sizing it against PairwiseHist (§6), at the
+    /// corresponding construction cost.
+    pub templates: Vec<(String, String)>,
 }
 
 impl Default for KdeConfig {
     fn default() -> Self {
-        Self { sample_n: 10_000, grid: 256, reg_bins: 64, seed: 0x4b44_4521 }
+        Self { sample_n: 10_000, grid: 256, reg_bins: 64, seed: 0x4b44_4521, templates: Vec::new() }
+    }
+}
+
+impl KdeConfig {
+    /// Default parameters with an explicit template list.
+    pub fn for_templates(templates: &[(&str, &str)]) -> Self {
+        Self {
+            templates: templates
+                .iter()
+                .map(|&(a, p)| (a.to_string(), p.to_string()))
+                .collect(),
+            ..Default::default()
+        }
     }
 }
 
@@ -66,14 +84,29 @@ pub struct KdeAqp {
 }
 
 impl KdeAqp {
-    /// Trains one model per `(aggregation column, predicate column)` template.
+    /// Trains one model per `(aggregation column, predicate column)` template in
+    /// `cfg.templates` (every ordered numeric pair when the list is empty).
     ///
     /// Template columns must be numeric; categorical-only templates are skipped
     /// (DBEst++ cannot answer them anyway).
-    pub fn build(data: &Dataset, templates: &[(&str, &str)], cfg: &KdeConfig) -> Self {
+    pub fn build(data: &Dataset, cfg: &KdeConfig) -> Self {
         let sample = data.sample(cfg.sample_n, cfg.seed);
+        let templates: Vec<(String, String)> = if cfg.templates.is_empty() {
+            let numeric: Vec<&str> = data
+                .columns()
+                .iter()
+                .filter(|c| c.ty().is_numeric())
+                .map(|c| c.name())
+                .collect();
+            numeric
+                .iter()
+                .flat_map(|&a| numeric.iter().map(move |&p| (a.to_string(), p.to_string())))
+                .collect()
+        } else {
+            cfg.templates.clone()
+        };
         let mut models = HashMap::new();
-        for (agg_name, pred_name) in templates {
+        for (agg_name, pred_name) in &templates {
             let (Ok(agg), Ok(pred)) =
                 (sample.column_index(agg_name), sample.column_index(pred_name))
             else {
@@ -102,6 +135,63 @@ impl KdeAqp {
     /// Number of trained templates.
     pub fn n_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// Resolves a query to its trained template and predicate interval, rejecting
+    /// every shape DBEst++ cannot express — the full check `AqpEngine::prepare`
+    /// runs, and the front half of `execute`.
+    fn resolve(&self, query: &Query) -> Result<(&TemplateModel, f64, f64), Unsupported> {
+        if query.group_by.is_some() {
+            return Err(Unsupported::Shape("GROUP BY not supported".into()));
+        }
+        match query.agg {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Avg | AggFunc::Var => {}
+            other => return Err(Unsupported::Aggregate(other.name().into())),
+        }
+        let agg = self
+            .names
+            .iter()
+            .position(|n| n == &query.column)
+            .ok_or_else(|| Unsupported::Invalid(format!("unknown column {}", query.column)))?;
+        if self.types[agg] == ColumnType::Categorical {
+            return Err(Unsupported::Shape("categorical-only queries not supported".into()));
+        }
+
+        // Predicate shape: a conjunction over exactly one (numeric, non-timestamp-
+        // inequality) column — DBEst's two-column template limit.
+        let Some(pred) = &query.predicate else {
+            return Err(Unsupported::Shape("DBEst templates need a predicate".into()));
+        };
+        if pred.has_or() {
+            return Err(Unsupported::OrPredicate);
+        }
+        let cols = pred.columns();
+        if cols.len() != 1 {
+            return Err(Unsupported::Shape(format!(
+                "{} predicate columns; templates support one",
+                cols.len()
+            )));
+        }
+        let pcol = self
+            .names
+            .iter()
+            .position(|n| n == cols[0])
+            .ok_or_else(|| Unsupported::Invalid(format!("unknown column {}", cols[0])))?;
+        if self.types[pcol] == ColumnType::Categorical {
+            return Err(Unsupported::Shape("categorical predicate columns not supported".into()));
+        }
+        let (mut a, mut b) = (f64::NEG_INFINITY, f64::INFINITY);
+        collect_interval(pred, self.types[pcol], &mut a, &mut b)?;
+        let model = self
+            .models
+            .get(&(agg, pcol))
+            .ok_or_else(|| Unsupported::Shape("no model trained for this template".into()))?;
+        Ok((model, a, b))
+    }
+
+    /// The cheap shape check behind `AqpEngine::prepare`.
+    fn validate(&self, query: &Query) -> Result<(), Unsupported> {
+        self.resolve(query).map(|_| ())
     }
 }
 
@@ -214,52 +304,8 @@ impl AqpBaseline for KdeAqp {
         "kde"
     }
 
-    fn execute(&self, query: &Query) -> Result<Approx, Unsupported> {
-        if query.group_by.is_some() {
-            return Err(Unsupported::Shape("GROUP BY not supported".into()));
-        }
-        match query.agg {
-            AggFunc::Count | AggFunc::Sum | AggFunc::Avg | AggFunc::Var => {}
-            other => return Err(Unsupported::Aggregate(other.name().into())),
-        }
-        let agg = self
-            .names
-            .iter()
-            .position(|n| n == &query.column)
-            .ok_or_else(|| Unsupported::Invalid(format!("unknown column {}", query.column)))?;
-        if self.types[agg] == ColumnType::Categorical {
-            return Err(Unsupported::Shape("categorical-only queries not supported".into()));
-        }
-
-        // Predicate shape: a conjunction over exactly one (numeric, non-timestamp-
-        // inequality) column — DBEst's two-column template limit.
-        let Some(pred) = &query.predicate else {
-            return Err(Unsupported::Shape("DBEst templates need a predicate".into()));
-        };
-        if pred.has_or() {
-            return Err(Unsupported::OrPredicate);
-        }
-        let cols = pred.columns();
-        if cols.len() != 1 {
-            return Err(Unsupported::Shape(format!(
-                "{} predicate columns; templates support one",
-                cols.len()
-            )));
-        }
-        let pcol = self
-            .names
-            .iter()
-            .position(|n| n == cols[0])
-            .ok_or_else(|| Unsupported::Invalid(format!("unknown column {}", cols[0])))?;
-        if self.types[pcol] == ColumnType::Categorical {
-            return Err(Unsupported::Shape("categorical predicate columns not supported".into()));
-        }
-        let (mut a, mut b) = (f64::NEG_INFINITY, f64::INFINITY);
-        collect_interval(pred, self.types[pcol], &mut a, &mut b)?;
-        let model = self
-            .models
-            .get(&(agg, pcol))
-            .ok_or_else(|| Unsupported::Shape("no model trained for this template".into()))?;
+    fn execute(&self, query: &Query) -> Result<Estimate, Unsupported> {
+        let (model, a, b) = self.resolve(query)?;
         let (mass, m1, m2) = model.integrate(a.max(model.lo), b.min(model.hi));
         let scale = self.n_total as f64 * model.valid_frac;
         let out = match query.agg {
@@ -281,7 +327,7 @@ impl AqpBaseline for KdeAqp {
             _ => unreachable!(),
         };
         // DBEst++ provides no error bounds (Table 1).
-        Ok(Approx::unbounded(out))
+        Ok(Estimate::unbounded(out))
     }
 
     fn size_bytes(&self) -> usize {
@@ -289,6 +335,8 @@ impl AqpBaseline for KdeAqp {
         self.models.len() * (self.grid * 8 + 2 * 64 * 8 + 48)
     }
 }
+
+crate::baseline_engine!(KdeAqp);
 
 /// Collects a conjunctive interval on the single predicate column, rejecting the
 /// shapes DBEst++ cannot express.
@@ -364,8 +412,10 @@ mod tests {
     fn build(d: &Dataset) -> KdeAqp {
         KdeAqp::build(
             d,
-            &[("y", "x"), ("x", "x"), ("x", "ts")],
-            &KdeConfig { sample_n: d.n_rows(), ..Default::default() },
+            &KdeConfig {
+                sample_n: d.n_rows(),
+                ..KdeConfig::for_templates(&[("y", "x"), ("x", "x"), ("x", "ts")])
+            },
         )
     }
 
@@ -413,7 +463,7 @@ mod tests {
     #[test]
     fn missing_template_is_reported() {
         let d = data(5_000);
-        let kde = KdeAqp::build(&d, &[("y", "x")], &KdeConfig::default());
+        let kde = KdeAqp::build(&d, &KdeConfig::for_templates(&[("y", "x")]));
         let q = parse_query("SELECT COUNT(x) FROM t WHERE y > 100").unwrap();
         assert!(matches!(kde.execute(&q), Err(Unsupported::Shape(_))));
     }
@@ -421,7 +471,7 @@ mod tests {
     #[test]
     fn storage_grows_with_templates() {
         let d = data(5_000);
-        let one = KdeAqp::build(&d, &[("y", "x")], &KdeConfig::default());
+        let one = KdeAqp::build(&d, &KdeConfig::for_templates(&[("y", "x")]));
         let three = build(&d);
         assert!(three.n_models() > one.n_models());
         assert!(three.size_bytes() > one.size_bytes());

@@ -15,39 +15,26 @@
 //!   column, with DBEst's structural limits (one model per template, ≤ 2 columns,
 //!   no OR, no MIN/MAX/MEDIAN).
 //!
-//! All three expose [`AqpBaseline`], so the benchmark harness can drive every engine
-//! with the same parsed queries it gives PairwiseHist and the exact engine.
+//! All three expose [`AqpBaseline`] (the scalar-only baseline interface the bench
+//! harness drives) **and** the workspace-wide [`ph_core::AqpEngine`] trait, so any
+//! engine in the workspace — PairwiseHist, the exact scan, or a baseline — answers
+//! the same parsed queries and returns the same [`Estimate`]/`AqpAnswer` types.
 
 mod kde;
 mod sampling;
 mod spn;
 
 pub use kde::{KdeAqp, KdeConfig};
-pub use sampling::SamplingAqp;
+pub use sampling::{SamplingAqp, SamplingConfig};
 pub use spn::{SpnAqp, SpnConfig};
 
-/// An approximate answer from a baseline engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Approx {
-    /// Point estimate.
-    pub value: f64,
-    /// Lower confidence bound (equal to `value` for engines without bounds).
-    pub lo: f64,
-    /// Upper confidence bound.
-    pub hi: f64,
-}
+/// The shared bounded-estimate type all engines answer with.
+pub use ph_core::Estimate;
 
-impl Approx {
-    /// An estimate without bounds.
-    pub fn unbounded(value: f64) -> Self {
-        Self { value, lo: value, hi: value }
-    }
-
-    /// Whether the engine's bounds contain `truth`.
-    pub fn contains(&self, truth: f64) -> bool {
-        self.lo <= truth && truth <= self.hi
-    }
-}
+/// Former baseline-only answer type, now unified with [`ph_core::Estimate`]
+/// (identical fields; `unbounded` and `contains` moved with it).
+#[deprecated(since = "0.2.0", note = "use ph_core::Estimate (re-exported here as Estimate)")]
+pub type Approx = Estimate;
 
 /// Why a baseline declined a query — the paper's §2/§6 catalogue of unsupported
 /// query shapes drives workload support accounting.
@@ -74,14 +61,64 @@ impl std::fmt::Display for Unsupported {
     }
 }
 
+impl std::error::Error for Unsupported {}
+
+impl From<Unsupported> for ph_types::PhError {
+    fn from(e: Unsupported) -> Self {
+        match e {
+            Unsupported::Invalid(s) => ph_types::PhError::InvalidQuery(s),
+            other => ph_types::PhError::Unsupported(other.to_string()),
+        }
+    }
+}
+
 /// Common baseline interface: answer a parsed query approximately, or say why not.
 pub trait AqpBaseline {
     /// Engine name for experiment tables.
     fn name(&self) -> &'static str;
 
     /// Executes a (scalar) query.
-    fn execute(&self, query: &ph_sql::Query) -> Result<Approx, Unsupported>;
+    fn execute(&self, query: &ph_sql::Query) -> Result<Estimate, Unsupported>;
 
     /// Serialized model size in bytes (the paper's synopsis-size metric).
     fn size_bytes(&self) -> usize;
 }
+
+/// Implements [`ph_core::AqpEngine`] for a baseline on top of [`AqpBaseline`] plus
+/// a per-engine `validate(&self, &Query) -> Result<(), Unsupported>` method (the
+/// cheap shape check `prepare` runs instead of a full execution).
+macro_rules! baseline_engine {
+    ($ty:ty) => {
+        impl ph_core::AqpEngine for $ty {
+            fn name(&self) -> &'static str {
+                crate::AqpBaseline::name(self)
+            }
+
+            fn footprint(&self) -> usize {
+                self.size_bytes()
+            }
+
+            fn prepare(
+                &self,
+                query: &ph_sql::Query,
+            ) -> Result<ph_core::Prepared, ph_types::PhError> {
+                self.validate(query)?;
+                Ok(ph_core::Prepared::new(
+                    crate::AqpBaseline::name(self),
+                    query.clone(),
+                    Box::new(()),
+                ))
+            }
+
+            fn execute(
+                &self,
+                prepared: &ph_core::Prepared,
+            ) -> Result<ph_core::AqpAnswer, ph_types::PhError> {
+                prepared.check_engine(crate::AqpBaseline::name(self))?;
+                let est = crate::AqpBaseline::execute(self, prepared.query())?;
+                Ok(ph_core::AqpAnswer::Scalar(Some(est)))
+            }
+        }
+    };
+}
+pub(crate) use baseline_engine;

@@ -4,7 +4,22 @@ use ph_sql::{AggFunc, Query};
 use ph_stats::{normal_quantile, Welford};
 use ph_types::Dataset;
 
-use crate::{Approx, AqpBaseline, Unsupported};
+use crate::{AqpBaseline, Estimate, Unsupported};
+
+/// Construction parameters for the sampling baseline.
+#[derive(Debug, Clone)]
+pub struct SamplingConfig {
+    /// Rows to sample.
+    pub sample_n: usize,
+    /// Sampling seed (deterministic).
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self { sample_n: 100_000, seed: 0x5341_4d50 }
+    }
+}
 
 /// Uniform row sample + scan-time estimation (the classical AQP recipe behind
 /// BlinkDB/VerdictDB-style systems).
@@ -21,13 +36,42 @@ pub struct SamplingAqp {
 }
 
 impl SamplingAqp {
-    /// Draws an `n`-row uniform sample of `data` (deterministic in `seed`).
-    pub fn build(data: &Dataset, n: usize, seed: u64) -> Self {
+    /// Draws a uniform sample of `data` per `cfg` (deterministic in the seed).
+    pub fn build(data: &Dataset, cfg: &SamplingConfig) -> Self {
         Self {
-            sample: data.sample(n, seed),
+            sample: data.sample(cfg.sample_n, cfg.seed),
             n_total: data.n_rows(),
             z: normal_quantile(0.99),
         }
+    }
+
+    /// Resolves a query against the sample schema, rejecting everything `execute`
+    /// cannot answer — the single source of truth for both `AqpEngine::prepare`
+    /// and the scan itself.
+    fn resolve(
+        &self,
+        query: &Query,
+    ) -> Result<(usize, Option<ph_exact::CompiledPredicate>), Unsupported> {
+        if query.group_by.is_some() {
+            return Err(Unsupported::Shape("GROUP BY handled per-group by the harness".into()));
+        }
+        let agg_col = self
+            .sample
+            .column_index(&query.column)
+            .map_err(|e| Unsupported::Invalid(e.to_string()))?;
+        let pred = match &query.predicate {
+            Some(p) => Some(
+                ph_exact::CompiledPredicate::compile(p, &self.sample)
+                    .map_err(|e| Unsupported::Invalid(e.to_string()))?,
+            ),
+            None => None,
+        };
+        Ok((agg_col, pred))
+    }
+
+    /// The cheap shape check behind `AqpEngine::prepare`.
+    fn validate(&self, query: &Query) -> Result<(), Unsupported> {
+        self.resolve(query).map(|_| ())
     }
 
     /// Sampling ratio `ρ`.
@@ -51,21 +95,8 @@ impl AqpBaseline for SamplingAqp {
         "sampling"
     }
 
-    fn execute(&self, query: &Query) -> Result<Approx, Unsupported> {
-        if query.group_by.is_some() {
-            return Err(Unsupported::Shape("GROUP BY handled per-group by the harness".into()));
-        }
-        let agg_col = self
-            .sample
-            .column_index(&query.column)
-            .map_err(|e| Unsupported::Invalid(e.to_string()))?;
-        let pred = match &query.predicate {
-            Some(p) => Some(
-                ph_exact::CompiledPredicate::compile(p, &self.sample)
-                    .map_err(|e| Unsupported::Invalid(e.to_string()))?,
-            ),
-            None => None,
-        };
+    fn execute(&self, query: &Query) -> Result<Estimate, Unsupported> {
+        let (agg_col, pred) = self.resolve(query)?;
 
         let ns = self.sample.n_rows();
         let col = self.sample.column(agg_col);
@@ -102,7 +133,7 @@ impl AqpBaseline for SamplingAqp {
                 let est = contrib.mean().unwrap_or(0.0) * ns as f64 / rho;
                 let sd = contrib.variance_sample().unwrap_or(0.0).sqrt();
                 let se = sd * (ns as f64).sqrt() / rho * fpc.sqrt();
-                Approx { value: est, lo: est - self.z * se, hi: est + self.z * se }
+                Estimate { value: est, lo: est - self.z * se, hi: est + self.z * se }
             }
             AggFunc::Avg => {
                 if matched.is_empty() {
@@ -114,7 +145,7 @@ impl AqpBaseline for SamplingAqp {
                 }
                 let est = w.mean().unwrap();
                 let se = (w.variance_sample().unwrap_or(0.0) / m).sqrt() * fpc.sqrt();
-                Approx { value: est, lo: est - self.z * se, hi: est + self.z * se }
+                Estimate { value: est, lo: est - self.z * se, hi: est + self.z * se }
             }
             AggFunc::Var => {
                 if matched.is_empty() {
@@ -127,7 +158,7 @@ impl AqpBaseline for SamplingAqp {
                 let est = w.variance_population().unwrap();
                 // Asymptotic se of the variance under normality: var·√(2/m).
                 let se = est * (2.0 / m).sqrt();
-                Approx { value: est, lo: (est - self.z * se).max(0.0), hi: est + self.z * se }
+                Estimate { value: est, lo: (est - self.z * se).max(0.0), hi: est + self.z * se }
             }
             AggFunc::Min | AggFunc::Max => {
                 if matched.is_empty() {
@@ -143,7 +174,7 @@ impl AqpBaseline for SamplingAqp {
                             a.max(b)
                         }
                     });
-                Approx::unbounded(est)
+                Estimate::unbounded(est)
             }
             AggFunc::Median => {
                 if matched.is_empty() {
@@ -160,7 +191,7 @@ impl AqpBaseline for SamplingAqp {
                 let spread = (self.z * m.sqrt() / 2.0).ceil() as usize;
                 let lo_idx = mid.saturating_sub(spread);
                 let hi_idx = (mid + spread).min(matched.len() - 1);
-                Approx { value: est, lo: matched[lo_idx], hi: matched[hi_idx] }
+                Estimate { value: est, lo: matched[lo_idx], hi: matched[hi_idx] }
             }
         };
         Ok(approx)
@@ -170,6 +201,8 @@ impl AqpBaseline for SamplingAqp {
         self.sample.heap_size()
     }
 }
+
+crate::baseline_engine!(SamplingAqp);
 
 #[cfg(test)]
 mod tests {
@@ -192,7 +225,7 @@ mod tests {
     #[test]
     fn count_estimate_and_bounds() {
         let d = data(100_000);
-        let s = SamplingAqp::build(&d, 10_000, 1);
+        let s = SamplingAqp::build(&d, &SamplingConfig { sample_n: 10_000, seed: 1 });
         let q = parse_query("SELECT COUNT(x) FROM t WHERE x < 500").unwrap();
         let a = s.execute(&q).unwrap();
         let truth = ph_exact::evaluate(&q, &d).unwrap().scalar().unwrap();
@@ -203,7 +236,7 @@ mod tests {
     #[test]
     fn avg_tracks_truth() {
         let d = data(50_000);
-        let s = SamplingAqp::build(&d, 5_000, 2);
+        let s = SamplingAqp::build(&d, &SamplingConfig { sample_n: 5_000, seed: 2 });
         let q = parse_query("SELECT AVG(x) FROM t WHERE x >= 250").unwrap();
         let a = s.execute(&q).unwrap();
         let truth = ph_exact::evaluate(&q, &d).unwrap().scalar().unwrap();
@@ -213,7 +246,7 @@ mod tests {
     #[test]
     fn full_sample_has_zero_width_count_bounds() {
         let d = data(1_000);
-        let s = SamplingAqp::build(&d, 1_000, 3);
+        let s = SamplingAqp::build(&d, &SamplingConfig { sample_n: 1_000, seed: 3 });
         let q = parse_query("SELECT COUNT(x) FROM t").unwrap();
         let a = s.execute(&q).unwrap();
         assert_eq!(a.value, 1000.0);
@@ -224,7 +257,7 @@ mod tests {
     fn min_is_biased_upward_on_small_samples() {
         // The classical sampling failure: sample MIN >= true MIN always.
         let d = data(100_000);
-        let s = SamplingAqp::build(&d, 100, 4);
+        let s = SamplingAqp::build(&d, &SamplingConfig { sample_n: 100, seed: 4 });
         let q = parse_query("SELECT MIN(x) FROM t").unwrap();
         let a = s.execute(&q).unwrap();
         let truth = ph_exact::evaluate(&q, &d).unwrap().scalar().unwrap();
@@ -234,7 +267,7 @@ mod tests {
     #[test]
     fn empty_selection_unsupported_for_avg() {
         let d = data(1_000);
-        let s = SamplingAqp::build(&d, 1_000, 5);
+        let s = SamplingAqp::build(&d, &SamplingConfig { sample_n: 1_000, seed: 5 });
         let q = parse_query("SELECT AVG(x) FROM t WHERE x > 99999").unwrap();
         assert!(s.execute(&q).is_err());
     }

@@ -24,7 +24,7 @@ use ph_sql::{AggFunc, CmpOp, Predicate, Query};
 use ph_stats::normal_quantile;
 use ph_types::{ColumnType, Dataset};
 
-use crate::{Approx, AqpBaseline, Unsupported};
+use crate::{AqpBaseline, Estimate, Unsupported};
 
 /// SPN structure-learning parameters.
 #[derive(Debug, Clone)]
@@ -169,6 +169,40 @@ impl SpnAqp {
         walk(&self.root)
     }
 
+    /// Resolves a query against the learned network, rejecting every shape DeepDB
+    /// cannot answer — the single source of truth for both `AqpEngine::prepare`
+    /// and `execute`.
+    fn resolve(&self, query: &Query) -> Result<(usize, Vec<Constraint>), Unsupported> {
+        if query.group_by.is_some() {
+            return Err(Unsupported::Shape("GROUP BY not implemented".into()));
+        }
+        match query.agg {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Avg => {}
+            other => return Err(Unsupported::Aggregate(other.name().into())),
+        }
+        let agg_col = self
+            .names
+            .iter()
+            .position(|n| n == &query.column)
+            .ok_or_else(|| Unsupported::Invalid(format!("unknown column {}", query.column)))?;
+        if self.types[agg_col] == ColumnType::Categorical && query.agg != AggFunc::Count {
+            return Err(Unsupported::Invalid(format!(
+                "{} on categorical column",
+                query.agg
+            )));
+        }
+        let mut cons = vec![Constraint::unconstrained(); self.names.len()];
+        if let Some(p) = &query.predicate {
+            self.constraints(p, &mut cons)?;
+        }
+        Ok((agg_col, cons))
+    }
+
+    /// The cheap shape check behind `AqpEngine::prepare`.
+    fn validate(&self, query: &Query) -> Result<(), Unsupported> {
+        self.resolve(query).map(|_| ())
+    }
+
     /// Extracts per-column conjunctive constraints; errors on OR (like DeepDB).
     fn constraints(
         &self,
@@ -255,29 +289,8 @@ impl AqpBaseline for SpnAqp {
         "spn"
     }
 
-    fn execute(&self, query: &Query) -> Result<Approx, Unsupported> {
-        if query.group_by.is_some() {
-            return Err(Unsupported::Shape("GROUP BY not implemented".into()));
-        }
-        match query.agg {
-            AggFunc::Count | AggFunc::Sum | AggFunc::Avg => {}
-            other => return Err(Unsupported::Aggregate(other.name().into())),
-        }
-        let agg_col = self
-            .names
-            .iter()
-            .position(|n| n == &query.column)
-            .ok_or_else(|| Unsupported::Invalid(format!("unknown column {}", query.column)))?;
-        if self.types[agg_col] == ColumnType::Categorical && query.agg != AggFunc::Count {
-            return Err(Unsupported::Invalid(format!(
-                "{} on categorical column",
-                query.agg
-            )));
-        }
-        let mut cons = vec![Constraint::unconstrained(); self.names.len()];
-        if let Some(p) = &query.predicate {
-            self.constraints(p, &mut cons)?;
-        }
+    fn execute(&self, query: &Query) -> Result<Estimate, Unsupported> {
+        let (agg_col, cons) = self.resolve(query)?;
         let (p, m1, m2) = eval(&self.root, &cons, agg_col);
         let n = self.n_total as f64;
         let ns = self.n_sample as f64;
@@ -285,7 +298,7 @@ impl AqpBaseline for SpnAqp {
         Ok(match query.agg {
             AggFunc::Count => {
                 let se = (p.clamp(0.0, 1.0) * (1.0 - p.clamp(0.0, 1.0)) / ns).sqrt();
-                Approx {
+                Estimate {
                     value: n * p,
                     lo: (n * (p - z * se)).max(0.0),
                     hi: n * (p + z * se),
@@ -293,7 +306,7 @@ impl AqpBaseline for SpnAqp {
             }
             AggFunc::Sum => {
                 let se = ((m2 - m1 * m1).max(0.0) / ns).sqrt();
-                Approx { value: n * m1, lo: n * (m1 - z * se), hi: n * (m1 + z * se) }
+                Estimate { value: n * m1, lo: n * (m1 - z * se), hi: n * (m1 + z * se) }
             }
             AggFunc::Avg => {
                 if p <= 1e-12 {
@@ -302,7 +315,7 @@ impl AqpBaseline for SpnAqp {
                 let avg = m1 / p;
                 let var = (m2 / p - avg * avg).max(0.0);
                 let se = (var / (ns * p)).sqrt();
-                Approx { value: avg, lo: avg - z * se, hi: avg + z * se }
+                Estimate { value: avg, lo: avg - z * se, hi: avg + z * se }
             }
             _ => unreachable!(),
         })
@@ -321,6 +334,8 @@ impl AqpBaseline for SpnAqp {
         walk(&self.root)
     }
 }
+
+crate::baseline_engine!(SpnAqp);
 
 /// Bottom-up moment evaluation: returns
 /// `(E[1_P·v], E[X_a·1_P·v], E[X_a²·1_P·v])` over the node's row slice, where `v`

@@ -101,12 +101,12 @@ fn main() {
             &SpnConfig { sample_n: 1_000_000.min(rows), seed, ..Default::default() },
         );
         let templates = kde_templates(&queries);
-        let template_refs: Vec<(&str, &str)> =
-            templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
         let kde = KdeAqp::build(
             &data,
-            &template_refs,
-            &KdeConfig { sample_n: 100_000.min(rows), seed, ..Default::default() },
+            &KdeConfig {
+                sample_n: 100_000.min(rows), seed, templates: templates.clone(),
+                ..Default::default()
+            },
         );
 
         let spn_out = run_baseline(&spn, &queries);

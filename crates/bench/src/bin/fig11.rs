@@ -61,19 +61,21 @@ fn main() {
             &SpnConfig { sample_n: 100_000.min(rows), seed, ..Default::default() },
         );
         let templates = kde_templates(&queries);
-        let template_refs: Vec<(&str, &str)> =
-            templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
         let t0 = Instant::now();
         let kde_100k = KdeAqp::build(
             &data,
-            &template_refs,
-            &KdeConfig { sample_n: 100_000.min(rows), seed, ..Default::default() },
+            &KdeConfig {
+                sample_n: 100_000.min(rows), seed, templates: templates.clone(),
+                ..Default::default()
+            },
         );
         let kde_secs = t0.elapsed().as_secs_f64();
         let kde_10k = KdeAqp::build(
             &data,
-            &template_refs,
-            &KdeConfig { sample_n: 10_000.min(rows), seed, ..Default::default() },
+            &KdeConfig {
+                sample_n: 10_000.min(rows), seed, templates: templates.clone(),
+                ..Default::default()
+            },
         );
 
         // (a) synopsis sizes.

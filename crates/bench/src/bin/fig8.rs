@@ -61,13 +61,13 @@ fn main() {
             sizes.push(fmt_bytes(spn.size_bytes()));
         }
         let templates = kde_templates(&queries);
-        let template_refs: Vec<(&str, &str)> =
-            templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
         for ns in [100_000usize, 10_000] {
             let kde = KdeAqp::build(
                 &data,
-                &template_refs,
-                &KdeConfig { sample_n: ns, seed, ..Default::default() },
+                &KdeConfig {
+                    sample_n: ns, seed, templates: templates.clone(),
+                    ..Default::default()
+                },
             );
             let outcomes = run_baseline(&kde, &queries);
             let stats = error_stats(&outcomes, &truths);

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use ph_bench::{power_with_day, power_with_groups};
-use ph_core::{PairwiseHist, PairwiseHistConfig};
+use ph_core::{PairwiseHist, PairwiseHistConfig, Session};
 use ph_sql::{parse_query, Query};
 
 /// Median wall-clock microseconds per call over several measured batches.
@@ -99,6 +99,33 @@ fn main() {
     eprintln!("group_by(day)      {factored_us:10.1} µs  (per-group rescan {rescan_us:.1} µs, {speedup:.2}x)");
     entries.push(("group_by".into(), factored_us));
 
+    // Prepared (Session plan cache) vs reparse-every-time execution: the same
+    // template answered through `Session::sql` (text-cache hit → straight to
+    // histogram arithmetic) against the pre-Session posture of `parse_query` +
+    // `execute` per call. Measured on the heaviest template (multi-predicate
+    // AND/OR) and a single-predicate one.
+    let mut session = Session::with_config(PairwiseHistConfig { ns: rows, ..Default::default() });
+    session.register(data.clone()).expect("register Power");
+    let mut prepared_cases: Vec<(String, f64, f64)> = Vec::new();
+    for (name, sql) in [
+        ("count", scalar_queries[0].1),
+        ("multi_predicate", scalar_queries[7].1),
+    ] {
+        let reparsed_us = measure_us(|| {
+            let q = parse_query(sql).unwrap();
+            ph.execute(&q).unwrap();
+        });
+        let plan = session.prepare(sql).expect("plan the template once");
+        let prepared_us = measure_us(|| {
+            session.execute(&plan).unwrap();
+        });
+        eprintln!(
+            "prepared:{name:<11} {prepared_us:10.1} µs  (reparse {reparsed_us:.1} µs, {:.2}x)",
+            reparsed_us / prepared_us
+        );
+        prepared_cases.push((name.to_string(), prepared_us, reparsed_us));
+    }
+
     // Group-count scaling on a slim Power projection.
     let mut scaling: Vec<(usize, f64, f64)> = Vec::new();
     let power = ph_datagen::generate("Power", rows, 2).expect("dataset");
@@ -149,6 +176,16 @@ fn main() {
     json.push_str(&format!(
         "  \"group_by_day\": {{ \"factored_us\": {factored_us:.2}, \"per_group_rescan_us\": {rescan_us:.2}, \"speedup\": {speedup:.2} }},\n"
     ));
+    json.push_str("  \"prepared_vs_reparse\": [\n");
+    for (i, (name, prepared, reparsed)) in prepared_cases.iter().enumerate() {
+        let comma = if i + 1 < prepared_cases.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"query\": \"{}\", \"prepared_us\": {prepared:.2}, \"reparsed_us\": {reparsed:.2}, \"speedup\": {:.2} }}{comma}\n",
+            json_escape(name),
+            reparsed / prepared
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"latency_vs_groups\": [\n");
     for (i, (n, us, rescan)) in scaling.iter().enumerate() {
         let comma = if i + 1 < scaling.len() { "," } else { "" };

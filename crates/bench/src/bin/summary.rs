@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use ph_baselines::{AqpBaseline, KdeAqp, KdeConfig, SamplingAqp, SpnAqp, SpnConfig};
+use ph_baselines::{AqpBaseline, KdeAqp, KdeConfig, SamplingAqp, SamplingConfig, SpnAqp, SpnConfig};
 use ph_bench::{
     bounds_stats, build_pipeline, error_stats, fmt_bytes, fmt_duration, ground_truths,
     kde_templates, run_baseline, run_pairwisehist, scaled_dataset, Args, Table,
@@ -71,13 +71,13 @@ fn main() {
 
     // DBEst-like KDE.
     let templates = kde_templates(&queries);
-    let template_refs: Vec<(&str, &str)> =
-        templates.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
     let t0 = Instant::now();
     let kde = KdeAqp::build(
         &data,
-        &template_refs,
-        &KdeConfig { sample_n: ns.min(rows), seed, ..Default::default() },
+        &KdeConfig {
+            sample_n: ns.min(rows), seed, templates: templates.clone(),
+            ..Default::default()
+        },
     );
     let kde_secs = t0.elapsed().as_secs_f64();
     let out = run_baseline(&kde, &queries);
@@ -94,7 +94,7 @@ fn main() {
 
     // Classical uniform sampling.
     let t0 = Instant::now();
-    let sampling = SamplingAqp::build(&data, ns.min(rows), seed);
+    let sampling = SamplingAqp::build(&data, &SamplingConfig { sample_n: ns.min(rows), seed });
     let sampling_secs = t0.elapsed().as_secs_f64();
     let out = run_baseline(&sampling, &queries);
     let es = error_stats(&out, &truths);

@@ -28,6 +28,13 @@ impl Estimate {
         Self { value, lo: lo.min(value), hi: hi.max(value) }
     }
 
+    /// A point estimate with no spread (`lo == value == hi`) — engines that provide
+    /// no bounds (sample extremes, DBEst-style models, the exact engine) return
+    /// these.
+    pub fn unbounded(value: f64) -> Self {
+        Self { value, lo: value, hi: value }
+    }
+
     /// Bound width relative to the estimate (the Table 6 "width" metric).
     pub fn rel_width(&self) -> f64 {
         if self.value.abs() < f64::EPSILON {

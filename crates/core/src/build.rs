@@ -124,6 +124,18 @@ pub struct PairwiseHist {
     /// Whether query execution may fan work out across cores (inherited from
     /// [`PairwiseHistConfig::parallel`]; results are identical either way).
     pub(crate) parallel_exec: bool,
+    /// Process-unique construction epoch: prepared plans embed it, and execution
+    /// rejects plans from a different epoch (clones share the epoch — their plans
+    /// are interchangeable; a rebuild never does).
+    pub(crate) plan_epoch: u64,
+}
+
+/// Monotonic source for [`PairwiseHist::plan_epoch`]. Never reused within a
+/// process, so a stale plan can never collide with a fresh synopsis (no
+/// pointer-reuse ABA).
+pub(crate) fn next_plan_epoch() -> u64 {
+    static EPOCH: AtomicUsize = AtomicUsize::new(1);
+    EPOCH.fetch_add(1, Ordering::Relaxed) as u64
 }
 
 /// Triangular index of pair `(i, j)` with `i < j`.
@@ -322,6 +334,7 @@ impl PairwiseHist {
             z98: normal_quantile(0.99),
             build_stats: BuildStats { secs_1d, secs_2d },
             parallel_exec: cfg.parallel,
+            plan_epoch: next_plan_epoch(),
         }
     }
 

@@ -5,11 +5,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use ph_sql::{AggFunc, Query};
+use ph_types::PhError;
 
 use crate::aggregate::{estimate, Estimate};
 use crate::build::PairwiseHist;
 use crate::coverage::RangeSet;
 use crate::plan::{compile_predicate, PlanNode};
+use crate::prepared::{AqpEngine, Prepared};
 use crate::weights::{compute_weights, weights_from_probs, Probs, WeightCtx, W_EPS};
 
 /// A grouped query fans its per-group work across cores once the total
@@ -44,6 +46,15 @@ impl fmt::Display for AqpError {
 
 impl std::error::Error for AqpError {}
 
+impl From<AqpError> for PhError {
+    fn from(e: AqpError) -> Self {
+        match e {
+            AqpError::UnknownColumn(c) => PhError::UnknownColumn(c),
+            other => PhError::InvalidQuery(other.to_string()),
+        }
+    }
+}
+
 /// Result of approximate execution: a bounded scalar or one bounded value per group.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AqpAnswer {
@@ -71,10 +82,67 @@ impl AqpAnswer {
     }
 }
 
+/// PairwiseHist's compiled query plan: everything [`PairwiseHist::execute`] derives
+/// from the query text before touching a single histogram bin. Carried as the
+/// opaque payload of a [`Prepared`], so repeated templates skip name resolution,
+/// literal transformation and plan canonicalization entirely.
+#[derive(Debug, Clone)]
+pub(crate) struct PhPlan {
+    /// Resolved aggregation column.
+    agg_col: usize,
+    /// Canonicalized predicate plan (§5.1–5.2), if any.
+    plan: Option<PlanNode>,
+    /// Table 3 "1-d" special case: all predicate columns equal the aggregation column.
+    single_col: bool,
+    /// Conjunctively-implied range of the aggregation column (order-statistic clamp).
+    clamp: Option<RangeSet>,
+    /// Resolved GROUP BY: `(group column, category count)`.
+    group: Option<(usize, usize)>,
+}
+
 impl PairwiseHist {
     /// Executes an approximate query (§5). Estimates and bounds are returned in the
     /// original value domain.
+    ///
+    /// One-shot path: plans and runs. For repeated templates, plan once via
+    /// [`AqpEngine::prepare`] and run [`PairwiseHist::execute_prepared`] — or let a
+    /// `Session` do the caching.
     pub fn execute(&self, q: &Query) -> Result<AqpAnswer, AqpError> {
+        let plan = self.plan_query(q)?;
+        Ok(self.run_plan(q.agg, &plan))
+    }
+
+    /// Runs a plan previously prepared through the [`AqpEngine`] interface.
+    ///
+    /// Plans are bound to the preprocessor instance they were compiled against
+    /// (they embed resolved column indices and encoded-domain literals); a plan
+    /// prepared before a rebuild — or by a different synopsis — is rejected.
+    pub fn execute_prepared(&self, p: &Prepared) -> Result<AqpAnswer, PhError> {
+        p.check_engine(ENGINE_NAME)?;
+        if p.token() != self.plan_token() {
+            return Err(PhError::InvalidQuery(
+                "stale prepared plan: the synopsis (or its preprocessor) changed since \
+                 prepare; re-prepare the query"
+                    .into(),
+            ));
+        }
+        let plan = p.payload::<PhPlan>().ok_or_else(|| {
+            PhError::InvalidQuery("prepared payload is not a PairwiseHist plan".into())
+        })?;
+        Ok(self.run_plan(p.query().agg, plan))
+    }
+
+    /// Token identifying the synopsis instance plans are compiled against: a
+    /// process-unique construction epoch (clones share it — their plans are
+    /// interchangeable; a rebuild or reload never does, and epochs are never
+    /// reused, so there is no pointer-ABA loophole).
+    fn plan_token(&self) -> u64 {
+        self.plan_epoch
+    }
+
+    /// The prepare phase: name resolution, type checks, literal transformation and
+    /// plan canonicalization — everything except touching the histograms.
+    pub(crate) fn plan_query(&self, q: &Query) -> Result<PhPlan, AqpError> {
         let pre = &self.pre;
         let agg_col = pre
             .column_index(&q.column)
@@ -95,14 +163,10 @@ impl PairwiseHist {
             && plan
                 .as_ref()
                 .is_none_or(|p| p.columns().iter().all(|&c| c == agg_col));
+        let clamp = plan.as_ref().and_then(|p| conjunctive_range(p, agg_col));
 
-        match &q.group_by {
-            None => {
-                let w = compute_weights(self, plan.as_ref(), agg_col);
-                let clamp = plan.as_ref().and_then(|p| conjunctive_range(p, agg_col));
-                let e = self.finish(q.agg, &w, agg_col, single_col, clamp.as_ref());
-                Ok(AqpAnswer::Scalar(e))
-            }
+        let group = match &q.group_by {
+            None => None,
             Some(g) => {
                 let gcol = g
                     .as_str()
@@ -110,18 +174,32 @@ impl PairwiseHist {
                     .next()
                     .and_then(|name| pre.column_index(name))
                     .ok_or_else(|| AqpError::UnknownColumn(g.clone()))?;
-                let gtr = pre.transform(gcol);
-                let n_groups = gtr
+                let n_groups = pre
+                    .transform(gcol)
                     .n_categories()
                     .ok_or_else(|| AqpError::BadGroupBy(g.clone()))?;
-                Ok(AqpAnswer::Groups(self.execute_groups(
-                    q.agg,
-                    plan.as_ref(),
-                    agg_col,
-                    gcol,
-                    n_groups,
-                )))
+                Some((gcol, n_groups))
             }
+        };
+        Ok(PhPlan { agg_col, plan, single_col, clamp, group })
+    }
+
+    /// The execute phase: pure histogram arithmetic over a compiled plan.
+    fn run_plan(&self, agg: AggFunc, p: &PhPlan) -> AqpAnswer {
+        match p.group {
+            None => {
+                let w = compute_weights(self, p.plan.as_ref(), p.agg_col);
+                let e =
+                    self.finish(agg, &w, p.agg_col, p.single_col, p.clamp.as_ref());
+                AqpAnswer::Scalar(e)
+            }
+            Some((gcol, n_groups)) => AqpAnswer::Groups(self.execute_groups(
+                agg,
+                p.plan.as_ref(),
+                p.agg_col,
+                gcol,
+                n_groups,
+            )),
         }
     }
 
@@ -296,6 +374,29 @@ impl PairwiseHist {
                 Estimate::ordered(a * enc.value + b, a * enc.lo + b, a * enc.hi + b)
             }
         })
+    }
+}
+
+/// [`AqpEngine::name`] of PairwiseHist.
+const ENGINE_NAME: &str = "pairwisehist";
+
+impl AqpEngine for PairwiseHist {
+    fn name(&self) -> &'static str {
+        ENGINE_NAME
+    }
+
+    fn footprint(&self) -> usize {
+        self.synopsis_size().total
+    }
+
+    fn prepare(&self, query: &Query) -> Result<Prepared, PhError> {
+        let plan = self.plan_query(query)?;
+        Ok(Prepared::new(ENGINE_NAME, query.clone(), Box::new(plan))
+            .with_token(self.plan_token()))
+    }
+
+    fn execute(&self, prepared: &Prepared) -> Result<AqpAnswer, PhError> {
+        self.execute_prepared(prepared)
     }
 }
 

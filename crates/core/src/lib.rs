@@ -45,6 +45,8 @@ mod build2d;
 mod coverage;
 mod engine;
 mod plan;
+mod prepared;
+mod session;
 mod storage;
 mod uniform;
 mod update;
@@ -56,4 +58,6 @@ pub use build::{BuildStats, PairwiseHist, PairwiseHistConfig, SplitRule};
 pub use build2d::PairHist;
 pub use coverage::RangeSet;
 pub use engine::{AqpAnswer, AqpError};
+pub use prepared::{AqpEngine, Prepared};
+pub use session::{CacheStats, IngestReport, Session};
 pub use storage::SynopsisSize;

@@ -1,0 +1,733 @@
+//! The `Session` catalog facade: named tables, prepared-plan caching, incremental
+//! ingest with a staleness-triggered rebuild policy, and whole-synopsis
+//! persistence.
+//!
+//! A `Session` is the single front door the serving story needs: applications
+//! register datasets once, then speak SQL. Behind the door it
+//!
+//! * builds and owns one PairwiseHist engine per table, routing each query by its
+//!   `FROM` table;
+//! * caches canonicalized plans keyed by [`Query::fingerprint`], so a repeated
+//!   template (the common case under production traffic — dashboards re-issue the
+//!   same handful of shapes) skips parsing *and* the whole `plan.rs` pass and goes
+//!   straight to histogram arithmetic;
+//! * folds new rows in through the edge-free update path (`update.rs`) and
+//!   rebuilds a table's synopsis from retained raw rows once
+//!   [`PairwiseHist::staleness`] crosses a configurable threshold;
+//! * persists every table's synopsis + preprocessor to a directory and reopens it
+//!   cold — the "compressed synopsis doubles as the serving structure" posture:
+//!   what ships to an edge node or a replica is exactly the store it serves from.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ph_core::Session;
+//! use ph_types::{Column, Dataset};
+//!
+//! let data = Dataset::builder("demo")
+//!     .column(Column::from_ints("x", (0..10_000).map(|i| Some(i % 100)).collect())).unwrap()
+//!     .column(Column::from_ints("y", (0..10_000).map(|i| Some((i % 100) * 2)).collect())).unwrap()
+//!     .build();
+//!
+//! let mut session = Session::new();
+//! session.register(data).unwrap();
+//! let est = session.sql("SELECT COUNT(y) FROM demo WHERE x >= 50;").unwrap()
+//!     .scalar().unwrap();
+//! assert!((est.value - 5000.0).abs() < 100.0);
+//! assert!(est.lo <= 5000.0 && 5000.0 <= est.hi);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use ph_sql::parse_query;
+use ph_types::{Dataset, PhError};
+
+use crate::build::{PairwiseHist, PairwiseHistConfig};
+use crate::engine::AqpAnswer;
+use crate::prepared::{AqpEngine, Prepared};
+
+/// Plan-cache capacity. Caching is keyed by full query fingerprint (structure and
+/// literals), so adversarially unique literals could grow the map without bound;
+/// past this many distinct templates the cache is simply cleared — correct, and
+/// cheap relative to the cost of tracking recency.
+const PLAN_CACHE_CAP: usize = 4096;
+
+/// One registered table: its engine, the build configuration used (re-used on
+/// rebuild), and — when the table was registered from raw rows rather than opened
+/// from disk — the accumulated dataset that makes rebuilds possible.
+struct TableEntry {
+    engine: PairwiseHist,
+    cfg: PairwiseHistConfig,
+    /// Raw rows, kept only for tables registered in-memory. `None` after
+    /// [`Session::open_dir`]: a reopened catalog serves from the synopsis alone.
+    data: Option<Dataset>,
+}
+
+/// Cache of prepared plans shared by all tables (fingerprints embed the table
+/// name), plus a text-level index that lets byte-identical SQL skip parsing too.
+#[derive(Default)]
+struct PlanCache {
+    by_fingerprint: HashMap<u64, Arc<Prepared>>,
+    by_text: HashMap<String, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Records a spelling → fingerprint mapping, keeping the text index bounded:
+    /// distinct re-spellings of cached templates (whitespace/case variants) must
+    /// not grow memory without limit in a long-lived serving process.
+    fn insert_text(&mut self, sql: &str, fp: u64) {
+        if self.by_text.len() >= PLAN_CACHE_CAP * 4 {
+            self.by_text.clear();
+        }
+        self.by_text.insert(sql.to_string(), fp);
+    }
+}
+
+/// Running totals of the plan cache, for observability and the latency benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a cached plan.
+    pub hits: u64,
+    /// Queries that had to be planned.
+    pub misses: u64,
+    /// Distinct templates currently cached.
+    pub entries: usize,
+}
+
+/// Outcome of one [`Session::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// Rows folded into the synopsis.
+    pub rows: usize,
+    /// The table's staleness *after* this batch (0 right after a rebuild).
+    pub staleness: f64,
+    /// Whether the staleness policy triggered a full rebuild.
+    pub rebuilt: bool,
+}
+
+/// A catalog of named tables with prepared queries, incremental ingest, and
+/// synopsis persistence. See the [module docs](self) for the architecture.
+pub struct Session {
+    tables: BTreeMap<String, TableEntry>,
+    cache: Mutex<PlanCache>,
+    default_cfg: PairwiseHistConfig,
+    /// Rebuild a table once its staleness exceeds this (see
+    /// [`PairwiseHist::staleness`]); tables without retained raw rows only report.
+    max_staleness: f64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// An empty catalog with the paper's default build configuration.
+    pub fn new() -> Self {
+        Self::with_config(PairwiseHistConfig::default())
+    }
+
+    /// An empty catalog whose [`Session::register`] uses `cfg` for every build.
+    pub fn with_config(cfg: PairwiseHistConfig) -> Self {
+        Self {
+            tables: BTreeMap::new(),
+            cache: Mutex::new(PlanCache::default()),
+            default_cfg: cfg,
+            max_staleness: 0.5,
+        }
+    }
+
+    /// Sets the staleness threshold above which [`Session::ingest`] rebuilds the
+    /// table's synopsis from retained raw rows (default 0.5 — rebuild once at most
+    /// half the sample post-dates the last refinement).
+    pub fn set_max_staleness(&mut self, threshold: f64) {
+        self.max_staleness = threshold.max(0.0);
+    }
+
+    /// Registers a dataset under its own name, building a synopsis with the
+    /// session's default configuration. The raw rows are retained so the staleness
+    /// policy can rebuild later.
+    pub fn register(&mut self, data: Dataset) -> Result<(), PhError> {
+        let cfg = self.default_cfg.clone();
+        self.register_with(data, &cfg)
+    }
+
+    /// Registers a dataset with an explicit build configuration.
+    pub fn register_with(
+        &mut self,
+        data: Dataset,
+        cfg: &PairwiseHistConfig,
+    ) -> Result<(), PhError> {
+        let name = data.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(PhError::Schema(format!("table '{name}' is already registered")));
+        }
+        // The entry keeps the *requested* configuration; `ns` is clamped to the
+        // rows actually present at each (re)build, so a table that grows past the
+        // requested sample size samples up to it again on rebuild.
+        let mut build_cfg = cfg.clone();
+        build_cfg.ns = build_cfg.ns.min(data.n_rows().max(1));
+        let engine = PairwiseHist::build(&data, &build_cfg);
+        self.tables.insert(name, TableEntry { engine, cfg: cfg.clone(), data: Some(data) });
+        Ok(())
+    }
+
+    /// Registered table names, in sorted order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// The synopsis engine serving `table`, if registered.
+    pub fn engine(&self, table: &str) -> Option<&PairwiseHist> {
+        self.tables.get(table).map(|t| &t.engine)
+    }
+
+    /// Total serialized footprint of every registered synopsis, in bytes.
+    pub fn footprint(&self) -> usize {
+        self.tables.values().map(|t| t.engine.footprint()).sum()
+    }
+
+    /// Parses, routes and executes one query, going through the plan cache.
+    ///
+    /// Byte-identical SQL skips parsing entirely; a re-formatted spelling of a
+    /// cached template still skips planning (fingerprints are canonical).
+    pub fn sql(&self, sql: &str) -> Result<AqpAnswer, PhError> {
+        // Text-level fast path.
+        if let Some(p) = self.cached_by_text(sql) {
+            return self.execute(&p);
+        }
+        let prepared = self.prepare_internal(sql)?;
+        self.execute(&prepared)
+    }
+
+    /// Parses and plans one query, returning the cached plan handle. Repeated calls
+    /// with the same template return the same `Arc` without re-planning; pair with
+    /// [`Session::execute`] for parse-once/execute-many loops.
+    pub fn prepare(&self, sql: &str) -> Result<Arc<Prepared>, PhError> {
+        if let Some(p) = self.cached_by_text(sql) {
+            return Ok(p);
+        }
+        self.prepare_internal(sql)
+    }
+
+    /// Executes a plan from [`Session::prepare`], routing by its `FROM` table.
+    pub fn execute(&self, prepared: &Prepared) -> Result<AqpAnswer, PhError> {
+        let table = &prepared.query().table;
+        let entry = self
+            .tables
+            .get(table)
+            .ok_or_else(|| PhError::UnknownTable(table.clone()))?;
+        entry.engine.execute_prepared(prepared)
+    }
+
+    /// Plan-cache totals since the session was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        let c = self.cache.lock().expect("plan cache lock");
+        CacheStats { hits: c.hits, misses: c.misses, entries: c.by_fingerprint.len() }
+    }
+
+    fn cached_by_text(&self, sql: &str) -> Option<Arc<Prepared>> {
+        let mut cache = self.cache.lock().expect("plan cache lock");
+        let fp = cache.by_text.get(sql).copied()?;
+        let p = cache.by_fingerprint.get(&fp).cloned();
+        if p.is_some() {
+            cache.hits += 1;
+        }
+        p
+    }
+
+    /// Slow path: parse, then fingerprint-level lookup, then plan + insert.
+    fn prepare_internal(&self, sql: &str) -> Result<Arc<Prepared>, PhError> {
+        let query = parse_query(sql)?;
+        let entry = self
+            .tables
+            .get(&query.table)
+            .ok_or_else(|| PhError::UnknownTable(query.table.clone()))?;
+        let fp = query.fingerprint();
+        {
+            let mut cache = self.cache.lock().expect("plan cache lock");
+            if let Some(p) = cache.by_fingerprint.get(&fp).cloned() {
+                // New spelling of a known template: remember the text, skip planning.
+                cache.hits += 1;
+                cache.insert_text(sql, fp);
+                return Ok(p);
+            }
+        }
+        let prepared = Arc::new(entry.engine.prepare(&query)?);
+        let mut cache = self.cache.lock().expect("plan cache lock");
+        cache.misses += 1;
+        if cache.by_fingerprint.len() >= PLAN_CACHE_CAP {
+            cache.by_fingerprint.clear();
+            cache.by_text.clear();
+        }
+        cache.by_fingerprint.insert(fp, prepared.clone());
+        cache.insert_text(sql, fp);
+        Ok(prepared)
+    }
+
+    /// Drops every cached plan for `table` (schema or synopsis changed).
+    fn invalidate_table(&self, table: &str) {
+        let mut cache = self.cache.lock().expect("plan cache lock");
+        cache.by_fingerprint.retain(|_, p| p.query().table != table);
+        let live: std::collections::HashSet<u64> =
+            cache.by_fingerprint.keys().copied().collect();
+        cache.by_text.retain(|_, fp| live.contains(fp));
+    }
+
+    /// Folds a batch of new rows into `table`'s synopsis without rebuilding
+    /// (`update.rs`'s edge-free ingest). The batch must match the table's schema:
+    /// same column names **and** logical types, in order.
+    ///
+    /// Batches containing categorical values unseen at build time cannot take the
+    /// edge-free path (the fitted dictionary has no code for them): when the
+    /// table's raw rows are retained they force a full rebuild instead; a table
+    /// reopened from disk rejects such a batch cleanly.
+    ///
+    /// If the table's raw rows are retained (registered in-memory, not reopened
+    /// from disk) and the post-ingest staleness exceeds the session threshold, the
+    /// synopsis is rebuilt from scratch over all accumulated rows. Any rebuild
+    /// refits the preprocessor — which can change the encoded domain cached plans
+    /// were compiled against — so the table's cached plans are invalidated.
+    pub fn ingest(&mut self, table: &str, batch: &Dataset) -> Result<IngestReport, PhError> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| PhError::UnknownTable(table.to_string()))?;
+        let pre = entry.engine.preprocessor().clone();
+        // Full schema validation up front: nothing below may fail half-applied.
+        if batch.n_columns() != pre.n_columns() {
+            return Err(PhError::Schema(format!(
+                "batch has {} columns, table '{table}' has {}",
+                batch.n_columns(),
+                pre.n_columns()
+            )));
+        }
+        for (c, (name, col)) in batch.columns().iter().zip(
+            pre.names().iter().zip(0..pre.n_columns()),
+        ) {
+            if c.name() != name || c.ty() != pre.column_type(col) {
+                return Err(PhError::Schema(format!(
+                    "batch column '{}' ({:?}) does not match table '{table}' column \
+                     '{name}' ({:?})",
+                    c.name(),
+                    c.ty(),
+                    pre.column_type(col)
+                )));
+            }
+        }
+        // Two batch shapes the fitted transforms cannot encode, so the edge-free
+        // path cannot absorb them: categorical values outside the dictionary, and
+        // NULLs in a column that had none at fit time (no null code exists — the
+        // sentinel the encoder would emit reads back as a real value).
+        let has_novel_category = batch.columns().iter().enumerate().any(|(col, c)| {
+            c.dictionary().is_some_and(|dict| {
+                dict.iter().any(|s| {
+                    !matches!(
+                        pre.encode_literal(col, &ph_types::Value::Str(s.clone())),
+                        Ok(ph_gd::EncodedLiteral::Rank(_))
+                    )
+                })
+            })
+        });
+        let has_novel_null = batch.columns().iter().enumerate().any(|(col, c)| {
+            c.valid_count() < c.len() && pre.transform(col).null_code().is_none()
+        });
+
+        let mut rebuilt = false;
+        if has_novel_category || has_novel_null {
+            let Some(data) = &mut entry.data else {
+                return Err(PhError::Schema(format!(
+                    "batch introduces {} unrepresentable under table '{table}'s fitted \
+                     transforms, and the table has no retained rows to rebuild from",
+                    if has_novel_category { "categorical values" } else { "NULLs" }
+                )));
+            };
+            data.append(batch)?;
+            let mut cfg = entry.cfg.clone();
+            cfg.ns = cfg.ns.min(data.n_rows().max(1));
+            entry.engine = PairwiseHist::build(data, &cfg);
+            rebuilt = true;
+        } else {
+            let encoded = pre.encode(batch);
+            entry.engine.ingest(&encoded);
+            if let Some(data) = &mut entry.data {
+                data.append(batch)?;
+            }
+            if entry.engine.staleness() > self.max_staleness {
+                if let Some(data) = &entry.data {
+                    let mut cfg = entry.cfg.clone();
+                    cfg.ns = cfg.ns.min(data.n_rows().max(1));
+                    entry.engine = PairwiseHist::build(data, &cfg);
+                    rebuilt = true;
+                }
+            }
+        }
+        let staleness = entry.engine.staleness();
+        if rebuilt {
+            self.invalidate_table(table);
+        }
+        Ok(IngestReport { rows: batch.n_rows(), staleness, rebuilt })
+    }
+
+    /// Persists every table to `dir` (created if missing), one self-describing
+    /// `.pwhs` file per table: header + preprocessor + synopsis
+    /// ([`PairwiseHist::to_bytes_named`]). Returns the number of files written.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<usize, PhError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (name, entry) in &self.tables {
+            let blob = entry.engine.to_bytes_named(name);
+            std::fs::write(dir.join(file_name_for(name)), blob)?;
+        }
+        Ok(self.tables.len())
+    }
+
+    /// Reopens a catalog persisted with [`Session::save_dir`]: every `.pwhs` file
+    /// in `dir` becomes a registered table, serving straight from its synopsis.
+    /// Raw rows are *not* restored, so ingest keeps working but the staleness
+    /// policy degrades to reporting (no rebuild source).
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Session, PhError> {
+        let dir = dir.as_ref();
+        let mut session = Session::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("pwhs") {
+                continue;
+            }
+            let bytes = std::fs::read(&path)?;
+            let (name, engine) = PairwiseHist::from_bytes_named(&bytes).ok_or_else(|| {
+                PhError::Corrupt(format!("{} does not decode", path.display()))
+            })?;
+            if session.tables.contains_key(&name) {
+                return Err(PhError::Corrupt(format!(
+                    "table '{name}' appears in more than one file"
+                )));
+            }
+            let cfg = PairwiseHistConfig {
+                ns: engine.params().ns,
+                alpha: engine.params().alpha,
+                m_absolute: Some(engine.params().m_min),
+                ..PairwiseHistConfig::default()
+            };
+            session.tables.insert(name, TableEntry { engine, cfg, data: None });
+        }
+        Ok(session)
+    }
+}
+
+/// Filesystem-safe file name for a table: hostile characters are replaced and a
+/// name hash appended so distinct tables never collide. The authoritative name
+/// lives inside the blob.
+fn file_name_for(table: &str) -> String {
+    let safe: String = table
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    format!("{safe}-{:08x}.pwhs", ph_types::fnv1a(table.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ph_types::Column;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(name: &str, n: usize, seed: u64) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..1000))).collect();
+        let y: Vec<Option<i64>> = x
+            .iter()
+            .map(|v| {
+                if rng.gen_bool(0.03) {
+                    None
+                } else {
+                    Some(v.unwrap() * 2 + rng.gen_range(0..80))
+                }
+            })
+            .collect();
+        let c: Vec<Option<&str>> =
+            (0..n).map(|i| Some(["a", "b", "c"][i % 3])).collect();
+        Dataset::builder(name)
+            .column(Column::from_ints("x", x))
+            .unwrap()
+            .column(Column::from_ints("y", y))
+            .unwrap()
+            .column(Column::from_strings("c", c))
+            .unwrap()
+            .build()
+    }
+
+    fn session_with(name: &str, n: usize, seed: u64) -> Session {
+        let mut s = Session::with_config(PairwiseHistConfig {
+            parallel: false,
+            ..Default::default()
+        });
+        s.register(dataset(name, n, seed)).unwrap();
+        s
+    }
+
+    #[test]
+    fn routes_by_from_table() {
+        let mut s = session_with("t1", 8_000, 1);
+        s.register(dataset("t2", 8_000, 2)).unwrap();
+        assert_eq!(s.tables().collect::<Vec<_>>(), vec!["t1", "t2"]);
+        assert!(s.sql("SELECT COUNT(x) FROM t1").is_ok());
+        assert!(s.sql("SELECT COUNT(x) FROM t2").is_ok());
+        assert!(matches!(
+            s.sql("SELECT COUNT(x) FROM nope"),
+            Err(PhError::UnknownTable(t)) if t == "nope"
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut s = session_with("t", 2_000, 3);
+        assert!(matches!(s.register(dataset("t", 100, 4)), Err(PhError::Schema(_))));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeats_and_reformats() {
+        let s = session_with("t", 8_000, 5);
+        let sql = "SELECT AVG(y) FROM t WHERE x > 300 AND x < 700";
+        let first = s.sql(sql).unwrap();
+        assert_eq!(s.cache_stats(), CacheStats { hits: 0, misses: 1, entries: 1 });
+        // Byte-identical text: hit without parsing.
+        let second = s.sql(sql).unwrap();
+        assert_eq!(first, second, "cached plan must answer identically");
+        assert_eq!(s.cache_stats().hits, 1);
+        // Re-formatted spelling of the same template: parses, then hits by
+        // fingerprint without re-planning.
+        let third = s.sql("select avg(y) from t where x > 300 and x < 700 ;").unwrap();
+        assert_eq!(first, third);
+        assert_eq!(s.cache_stats().hits, 2);
+        assert_eq!(s.cache_stats().entries, 1);
+        // Different literal = different template.
+        s.sql("SELECT AVG(y) FROM t WHERE x > 301 AND x < 700").unwrap();
+        assert_eq!(s.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn prepared_execute_matches_direct_execution() {
+        let s = session_with("t", 10_000, 6);
+        for sql in [
+            "SELECT COUNT(y) FROM t WHERE x > 500",
+            "SELECT SUM(x) FROM t WHERE y > 400 OR x < 100",
+            "SELECT MEDIAN(x) FROM t WHERE c = 'a'",
+            "SELECT COUNT(x) FROM t WHERE y > 200 GROUP BY c",
+        ] {
+            let p = s.prepare(sql).unwrap();
+            let via_prepared = s.execute(&p).unwrap();
+            let direct = s
+                .engine("t")
+                .unwrap()
+                .execute(&ph_sql::parse_query(sql).unwrap())
+                .unwrap();
+            assert_eq!(via_prepared, direct, "{sql}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_as_ph_error() {
+        let s = session_with("t", 1_000, 7);
+        assert!(matches!(s.sql("SELECT COUNT(x FROM t"), Err(PhError::Parse(_))));
+        assert!(matches!(
+            s.sql("SELECT SUM(c) FROM t"),
+            Err(PhError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            s.sql("SELECT COUNT(zzz) FROM t"),
+            Err(PhError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ingest_updates_counts_and_reports_staleness() {
+        let mut s = session_with("t", 10_000, 8);
+        s.set_max_staleness(0.9); // keep the edge-free path for this test
+        let r = s.ingest("t", &dataset("t", 5_000, 9)).unwrap();
+        assert_eq!(r.rows, 5_000);
+        assert!(!r.rebuilt);
+        assert!((r.staleness - 1.0 / 3.0).abs() < 0.01, "got {}", r.staleness);
+        let est = s.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+        assert!((est.value - 15_000.0).abs() / 15_000.0 < 0.02, "{}", est.value);
+    }
+
+    #[test]
+    fn staleness_policy_triggers_rebuild_and_invalidates_plans() {
+        let mut s = session_with("t", 6_000, 10);
+        s.set_max_staleness(0.3);
+        let sql = "SELECT COUNT(x) FROM t WHERE x > 250";
+        s.sql(sql).unwrap();
+        assert_eq!(s.cache_stats().entries, 1);
+        // A batch as large as the base: staleness 0.5 > 0.3 → rebuild.
+        let r = s.ingest("t", &dataset("t", 6_000, 11)).unwrap();
+        assert!(r.rebuilt, "staleness policy must trigger a rebuild");
+        assert_eq!(r.staleness, 0.0, "fresh build is not stale");
+        assert_eq!(s.cache_stats().entries, 0, "rebuild invalidates cached plans");
+        // The rebuilt synopsis serves the combined rows.
+        let est = s.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+        assert!((est.value - 12_000.0).abs() / 12_000.0 < 0.02, "{}", est.value);
+    }
+
+    #[test]
+    fn ingest_schema_mismatch_rejected() {
+        let mut s = session_with("t", 1_000, 12);
+        let bad = Dataset::builder("t")
+            .column(Column::from_ints("x", vec![Some(1)]))
+            .unwrap()
+            .build();
+        assert!(matches!(s.ingest("t", &bad), Err(PhError::Schema(_))));
+        // Same names, wrong type: rejected before anything mutates.
+        let before = s.engine("t").unwrap().params().clone();
+        let bad_ty = Dataset::builder("t")
+            .column(Column::from_floats("x", vec![Some(1.0)], 1))
+            .unwrap()
+            .column(Column::from_ints("y", vec![Some(2)]))
+            .unwrap()
+            .column(Column::from_strings("c", vec![Some("a")]))
+            .unwrap()
+            .build();
+        assert!(matches!(s.ingest("t", &bad_ty), Err(PhError::Schema(_))));
+        assert_eq!(s.engine("t").unwrap().params(), &before, "failed ingest must be a no-op");
+        assert!(matches!(
+            s.ingest("missing", &dataset("t", 10, 13)),
+            Err(PhError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn novel_categories_force_rebuild_or_clean_error() {
+        let mut s = session_with("t", 4_000, 30);
+        s.set_max_staleness(10.0); // only the novel category may trigger a rebuild
+        let batch = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+            let n = 500;
+            let x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..1000))).collect();
+            let y: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..2000))).collect();
+            let c: Vec<Option<&str>> = (0..n).map(|_| Some("NEW")).collect(); // unseen
+            Dataset::builder("t")
+                .column(Column::from_ints("x", x))
+                .unwrap()
+                .column(Column::from_ints("y", y))
+                .unwrap()
+                .column(Column::from_strings("c", c))
+                .unwrap()
+                .build()
+        };
+        // Retained rows: the unseen category forces a full rebuild (no panic).
+        let r = s.ingest("t", &batch).unwrap();
+        assert!(r.rebuilt, "unseen category must force a rebuild");
+        let grouped = s.sql("SELECT COUNT(x) FROM t GROUP BY c").unwrap();
+        assert!(grouped.groups().unwrap().contains_key("NEW"), "new category queryable");
+
+        // A catalog reopened from disk has no rows to rebuild from: clean error.
+        let dir = std::env::temp_dir().join(format!("ph_sess_novel_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        s.save_dir(&dir).unwrap();
+        let mut cold = Session::open_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let batch2 = {
+            let x = vec![Some(1i64)];
+            let y = vec![Some(2i64)];
+            let c = vec![Some("NEWER")];
+            Dataset::builder("t")
+                .column(Column::from_ints("x", x))
+                .unwrap()
+                .column(Column::from_ints("y", y))
+                .unwrap()
+                .column(Column::from_strings("c", c))
+                .unwrap()
+                .build()
+        };
+        assert!(matches!(cold.ingest("t", &batch2), Err(PhError::Schema(_))));
+    }
+
+    #[test]
+    fn novel_nulls_force_rebuild_not_corruption() {
+        // Base table with NO nulls anywhere: the fitted transforms have no null
+        // codes, so a null-bearing batch cannot take the edge-free path (its
+        // sentinel would read back as a real value and corrupt COUNT/MAX).
+        let n = 4_000;
+        let x: Vec<Option<i64>> = (0..n).map(|i| Some(i % 100)).collect();
+        let y: Vec<Option<i64>> = (0..n).map(|i| Some((i % 100) * 2)).collect();
+        let base = Dataset::builder("t")
+            .column(Column::from_ints("x", x))
+            .unwrap()
+            .column(Column::from_ints("y", y))
+            .unwrap()
+            .build();
+        let mut s = Session::with_config(PairwiseHistConfig {
+            parallel: false,
+            ..Default::default()
+        });
+        s.register(base).unwrap();
+        s.set_max_staleness(10.0); // only the novel nulls may trigger the rebuild
+
+        let batch = Dataset::builder("t")
+            .column(Column::from_ints("x", vec![Some(5), None, Some(7)]))
+            .unwrap()
+            .column(Column::from_ints("y", vec![None, Some(4), Some(14)]))
+            .unwrap()
+            .build();
+        let r = s.ingest("t", &batch).unwrap();
+        assert!(r.rebuilt, "null-introducing batch must rebuild, not edge-ingest");
+        let count = s.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+        assert_eq!(count.value, (n + 2) as f64, "nulls must not count as values");
+        let max = s.sql("SELECT MAX(x) FROM t").unwrap().scalar().unwrap();
+        assert!(max.value <= 99.0, "null sentinel must not leak into MAX: {}", max.value);
+    }
+
+    #[test]
+    fn stale_prepared_plans_rejected_after_rebuild() {
+        let mut s = session_with("t", 5_000, 32);
+        s.set_max_staleness(0.3);
+        let sql = "SELECT COUNT(x) FROM t WHERE x > 400";
+        let plan = s.prepare(sql).unwrap();
+        assert!(s.execute(&plan).is_ok());
+        // Trigger a rebuild: the preprocessor refits, held handles go stale.
+        let r = s.ingest("t", &dataset("t", 5_000, 33)).unwrap();
+        assert!(r.rebuilt);
+        assert!(
+            matches!(s.execute(&plan), Err(PhError::InvalidQuery(m)) if m.contains("stale")),
+            "stale plan must be rejected, not silently mis-answered"
+        );
+        // Re-preparing the same text works and answers over the grown table.
+        let fresh = s.prepare(sql).unwrap();
+        assert!(s.execute(&fresh).is_ok());
+    }
+
+    #[test]
+    fn save_and_open_dir_round_trip_answers() {
+        let mut s = session_with("alpha", 12_000, 14);
+        s.register(dataset("beta", 9_000, 15)).unwrap();
+        let dir = std::env::temp_dir().join(format!("ph_session_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(s.save_dir(&dir).unwrap(), 2);
+
+        let reopened = Session::open_dir(&dir).unwrap();
+        assert_eq!(reopened.tables().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+        for sql in [
+            "SELECT COUNT(y) FROM alpha WHERE x > 500",
+            "SELECT AVG(x) FROM alpha WHERE y < 800",
+            "SELECT MEDIAN(y) FROM beta WHERE c = 'b'",
+            "SELECT COUNT(x) FROM beta WHERE x > 100 GROUP BY c",
+        ] {
+            assert_eq!(s.sql(sql).unwrap(), reopened.sql(sql).unwrap(), "{sql}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footprint_sums_engines() {
+        let s = session_with("t", 5_000, 16);
+        assert_eq!(
+            s.footprint(),
+            s.engine("t").unwrap().synopsis_size().total
+        );
+    }
+}

@@ -358,7 +358,79 @@ impl PairwiseHist {
             z98: normal_quantile(0.99),
             build_stats: BuildStats { secs_1d: 0.0, secs_2d: 0.0 },
             parallel_exec: true,
+            plan_epoch: crate::build::next_plan_epoch(),
         })
+    }
+}
+
+/// Magic for the self-describing "table synopsis" blob: name + preprocessor +
+/// synopsis in one unit (the `Session` persistence format).
+const NAMED_MAGIC: &[u8; 4] = b"PWHS";
+const NAMED_VERSION: u8 = 1;
+
+impl PairwiseHist {
+    /// Serializes the synopsis **together with** its fitted preprocessor and the
+    /// table name, as one self-describing blob.
+    ///
+    /// [`PairwiseHist::to_bytes`] deliberately excludes the preprocessor (in the
+    /// Fig 2 pipeline it travels with the compressed store); a serving catalog has
+    /// no compressed store at hand, so its persistence unit must carry everything
+    /// needed to answer queries after a cold start. Layout:
+    ///
+    /// ```text
+    /// "PWHS" | u8 version | u16 name_len | name | u32 pre_len | preprocessor
+    ///        | u64 syn_len | synopsis (Fig 6 encoding)
+    /// ```
+    pub fn to_bytes_named(&self, table: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(NAMED_MAGIC);
+        out.push(NAMED_VERSION);
+        let name = table.as_bytes();
+        debug_assert!(name.len() <= u16::MAX as usize, "table name too long");
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        let pre = self.pre.to_bytes();
+        out.extend_from_slice(&(pre.len() as u32).to_le_bytes());
+        out.extend_from_slice(&pre);
+        let syn = self.to_bytes();
+        out.extend_from_slice(&(syn.len() as u64).to_le_bytes());
+        out.extend_from_slice(&syn);
+        out
+    }
+
+    /// Restores a `(table name, synopsis)` pair from [`PairwiseHist::to_bytes_named`]
+    /// output. Returns `None` on malformed input.
+    pub fn from_bytes_named(data: &[u8]) -> Option<(String, Self)> {
+        let mut pos = 0usize;
+        if data.get(..4)? != NAMED_MAGIC {
+            return None;
+        }
+        pos += 4;
+        if *data.get(pos)? != NAMED_VERSION {
+            return None;
+        }
+        pos += 1;
+        let name_len = u16::from_le_bytes(data.get(pos..pos + 2)?.try_into().ok()?) as usize;
+        pos += 2;
+        let name = std::str::from_utf8(data.get(pos..pos.checked_add(name_len)?)?)
+            .ok()?
+            .to_string();
+        pos += name_len;
+        let pre_len = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let pre = Preprocessor::from_bytes(data.get(pos..pos.checked_add(pre_len)?)?)?;
+        pos += pre_len;
+        let syn_len = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
+        pos += 8;
+        // The length words are corruption-controlled: all arithmetic on them must
+        // be checked so a hostile blob fails with `None`, never a panic.
+        let end = pos.checked_add(syn_len)?;
+        let syn = data.get(pos..end)?;
+        if end != data.len() {
+            return None; // trailing bytes: not a clean blob
+        }
+        let ph = PairwiseHist::from_bytes(syn, Arc::new(pre))?;
+        Some((name, ph))
     }
 }
 

@@ -18,8 +18,10 @@
 //! and allocation-free per row, so a million-row dataset evaluates in milliseconds in
 //! release builds.
 
+mod aqp;
 mod engine;
 mod predicate;
 
+pub use aqp::ExactEngine;
 pub use engine::{evaluate, ExactAnswer, ExactError};
 pub use predicate::CompiledPredicate;

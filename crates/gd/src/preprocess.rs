@@ -50,6 +50,12 @@ impl fmt::Display for GdError {
 
 impl std::error::Error for GdError {}
 
+impl From<GdError> for ph_types::PhError {
+    fn from(e: GdError) -> Self {
+        ph_types::PhError::InvalidQuery(e.to_string())
+    }
+}
+
 /// A query literal mapped into the encoded domain (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EncodedLiteral {
@@ -252,6 +258,114 @@ impl Preprocessor {
         }
     }
 
+    /// Serializes the fitted transforms — names, logical types, per-column constants
+    /// and categorical dictionaries — so a synopsis can travel *with* the
+    /// preprocessing it was built under (the persistence path of a `Session`
+    /// catalog). Inverse of [`Preprocessor::from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"PRE1");
+        out.extend_from_slice(&(self.names.len() as u16).to_le_bytes());
+        for c in 0..self.names.len() {
+            write_str(&mut out, &self.names[c]);
+            match (&self.types[c], &self.transforms[c]) {
+                (ty, ColumnTransform::Numeric { min_scaled, scale, max_enc, null_code }) => {
+                    out.push(match ty {
+                        ColumnType::Int => 0,
+                        ColumnType::Float { .. } => 1,
+                        ColumnType::Timestamp => 2,
+                        ColumnType::Categorical => unreachable!("numeric transform on categorical"),
+                    });
+                    out.push(*scale);
+                    out.extend_from_slice(&min_scaled.to_le_bytes());
+                    out.extend_from_slice(&max_enc.to_le_bytes());
+                    out.push(null_code.is_some() as u8);
+                }
+                (_, ColumnTransform::Categorical { by_rank, null_code }) => {
+                    out.push(3);
+                    out.extend_from_slice(&(by_rank.len() as u32).to_le_bytes());
+                    for s in by_rank {
+                        write_str(&mut out, s);
+                    }
+                    out.push(null_code.is_some() as u8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores a [`Preprocessor`] from [`Preprocessor::to_bytes`] output.
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        if data.get(..4)? != b"PRE1" {
+            return None;
+        }
+        pos += 4;
+        let d = u16::from_le_bytes(data.get(pos..pos + 2)?.try_into().ok()?) as usize;
+        pos += 2;
+        let mut names = Vec::with_capacity(d);
+        let mut types = Vec::with_capacity(d);
+        let mut transforms = Vec::with_capacity(d);
+        for _ in 0..d {
+            names.push(read_str(data, &mut pos)?);
+            let tag = *data.get(pos)?;
+            pos += 1;
+            match tag {
+                0..=2 => {
+                    let scale = *data.get(pos)?;
+                    pos += 1;
+                    let min_scaled =
+                        i64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    let max_enc =
+                        u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    if max_enc >= MAX_ENC {
+                        return None;
+                    }
+                    let has_null = *data.get(pos)? != 0;
+                    pos += 1;
+                    types.push(match tag {
+                        0 => ColumnType::Int,
+                        1 => ColumnType::Float { scale },
+                        _ => ColumnType::Timestamp,
+                    });
+                    transforms.push(ColumnTransform::Numeric {
+                        min_scaled,
+                        scale,
+                        max_enc,
+                        null_code: has_null.then_some(max_enc + 1),
+                    });
+                }
+                3 => {
+                    let n = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?)
+                        as usize;
+                    pos += 4;
+                    if n > 1 << 24 {
+                        return None;
+                    }
+                    let mut by_rank = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        by_rank.push(read_str(data, &mut pos)?);
+                    }
+                    let has_null = *data.get(pos)? != 0;
+                    pos += 1;
+                    types.push(ColumnType::Categorical);
+                    transforms.push(ColumnTransform::Categorical {
+                        null_code: has_null.then_some(by_rank.len() as u64),
+                        by_rank,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        if pos != data.len() {
+            return None; // trailing bytes: not ours
+        }
+        Some(Self { transforms, names, types })
+    }
+
     /// Serialized footprint of the transforms (constants + dictionaries) in bytes;
     /// counted as part of the compressed-store size in storage experiments.
     pub fn metadata_bytes(&self) -> usize {
@@ -265,6 +379,20 @@ impl Preprocessor {
             })
             .sum()
     }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string too long for the wire format");
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(data: &[u8], pos: &mut usize) -> Option<String> {
+    let len = u16::from_le_bytes(data.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
+    *pos += 2;
+    let s = std::str::from_utf8(data.get(*pos..*pos + len)?).ok()?;
+    *pos += len;
+    Some(s.to_string())
 }
 
 fn fit_column(col: &Column) -> ColumnTransform {
@@ -517,6 +645,24 @@ mod tests {
             .build();
         let enc = pre.encode(&fresh);
         assert_eq!(enc.columns[0], vec![0, 50, 160]);
+    }
+
+    #[test]
+    fn serialization_roundtrips_exactly() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let bytes = pre.to_bytes();
+        let back = Preprocessor::from_bytes(&bytes).expect("deserialize");
+        assert_eq!(back, pre);
+        // And the round-trip is bit-stable.
+        assert_eq!(back.to_bytes(), bytes);
+        // Truncations and bad magic fail cleanly.
+        for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Preprocessor::from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Preprocessor::from_bytes(&bad).is_none());
     }
 
     #[test]

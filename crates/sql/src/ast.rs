@@ -200,6 +200,18 @@ pub struct Query {
 }
 
 impl Query {
+    /// Stable 64-bit fingerprint of the query (FNV-1a over the canonical
+    /// [`Display`](fmt::Display) rendering).
+    ///
+    /// Two queries fingerprint identically iff they canonicalize to the same text —
+    /// whitespace, keyword case and a trailing `;` never matter, so
+    /// `"select count(x) from t"` and `"SELECT COUNT(x) FROM t;"` share a
+    /// fingerprint. This is the plan-cache key for prepared queries: a repeated
+    /// template (same structure *and* literals) skips planning entirely.
+    pub fn fingerprint(&self) -> u64 {
+        ph_types::fnv1a(self.to_string().as_bytes())
+    }
+
     /// All distinct columns the query touches (aggregation, predicates, group-by).
     pub fn columns(&self) -> Vec<&str> {
         let mut out = vec![self.column.as_str()];
@@ -255,6 +267,18 @@ mod tests {
             cond("c", CmpOp::Eq, 3),
         ]);
         assert_eq!(p.to_string(), "(a > 1 OR b < 2) AND c = 3");
+    }
+
+    #[test]
+    fn fingerprint_is_canonical() {
+        use crate::parse_query;
+        let a = parse_query("select count(x) from t where a > 1 and b < 2").unwrap();
+        let b = parse_query("SELECT  COUNT( x )  FROM t WHERE a > 1 AND b < 2 ;").unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "formatting must not matter");
+        let c = parse_query("SELECT COUNT(x) FROM t WHERE a > 2 AND b < 2").unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint(), "literals are part of the template");
+        let d = parse_query("SELECT SUM(x) FROM t WHERE a > 1 AND b < 2").unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint(), "aggregate is part of the template");
     }
 
     #[test]

@@ -97,65 +97,83 @@ impl fmt::Display for LexError {
     }
 }
 
+impl LexError {
+    /// Byte offset in the input where the error occurred.
+    pub fn at(&self) -> usize {
+        match self {
+            LexError::UnexpectedChar { at, .. }
+            | LexError::UnterminatedString { at }
+            | LexError::BadNumber { at, .. } => *at,
+        }
+    }
+}
+
 impl std::error::Error for LexError {}
 
-/// Tokenizes `input`.
+/// Tokenizes `input`, discarding positions.
 pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(lex_spanned(input)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenizes `input`, pairing every token with the byte offset where it starts —
+/// the parser threads these offsets into its errors.
+pub fn lex_spanned(input: &str) -> Result<Vec<(Token, usize)>, LexError> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let at = i;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                tokens.push(Token::LParen);
+                tokens.push((Token::LParen, at));
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                tokens.push((Token::RParen, at));
                 i += 1;
             }
             ';' => {
-                tokens.push(Token::Semicolon);
+                tokens.push((Token::Semicolon, at));
                 i += 1;
             }
             ',' => {
-                tokens.push(Token::Comma);
+                tokens.push((Token::Comma, at));
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                tokens.push((Token::Star, at));
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Le);
+                    tokens.push((Token::Le, at));
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token::Ne);
+                    tokens.push((Token::Ne, at));
                     i += 2;
                 } else {
-                    tokens.push(Token::Lt);
+                    tokens.push((Token::Lt, at));
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Ge);
+                    tokens.push((Token::Ge, at));
                     i += 2;
                 } else {
-                    tokens.push(Token::Gt);
+                    tokens.push((Token::Gt, at));
                     i += 1;
                 }
             }
             '=' => {
-                tokens.push(Token::Eq);
+                tokens.push((Token::Eq, at));
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token::Ne);
+                    tokens.push((Token::Ne, at));
                     i += 2;
                 } else {
                     return Err(LexError::UnexpectedChar { ch: '!', at: i });
@@ -182,7 +200,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token::Str(s));
+                tokens.push((Token::Str(s), start));
             }
             '0'..='9' | '.' | '-' | '+' => {
                 let start = i;
@@ -201,7 +219,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 let text: String =
                     input[start..i].chars().filter(|&c| c != '_').collect();
                 match text.parse::<f64>() {
-                    Ok(n) => tokens.push(Token::Number(n)),
+                    Ok(n) => tokens.push((Token::Number(n), start)),
                     Err(_) => return Err(LexError::BadNumber { text, at: start }),
                 }
             }
@@ -212,7 +230,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 {
                     i += 1;
                 }
-                tokens.push(Token::Ident(input[start..i].to_string()));
+                tokens.push((Token::Ident(input[start..i].to_string()), start));
             }
             other => return Err(LexError::UnexpectedChar { ch: other, at: i }),
         }

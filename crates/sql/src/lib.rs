@@ -20,5 +20,5 @@ mod lexer;
 mod parser;
 
 pub use ast::{AggFunc, CmpOp, Condition, Predicate, Query};
-pub use lexer::{LexError, Token};
+pub use lexer::{lex, lex_spanned, LexError, Token};
 pub use parser::{parse_query, ParseError};

@@ -2,15 +2,16 @@
 
 use std::fmt;
 
-use ph_types::Value;
+use ph_types::{PhError, Value};
 
 use crate::ast::{AggFunc, CmpOp, Condition, Predicate, Query};
-use crate::lexer::{lex, LexError, Token};
+use crate::lexer::{lex_spanned, LexError, Token};
 
-/// Parser errors.
+/// Parser errors. Every variant carries the byte offset in the input where the
+/// problem starts (`at == input.len()` means "at end of input").
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
-    /// Tokenizer failure.
+    /// Tokenizer failure (its own variants carry offsets).
     Lex(LexError),
     /// Unexpected token (or end of input) with context.
     Unexpected {
@@ -18,28 +19,53 @@ pub enum ParseError {
         expected: String,
         /// What it found, if anything.
         got: Option<Token>,
+        /// Byte offset of the offending token (input length at end of input).
+        at: usize,
     },
     /// `COUNT(*)` and other star aggregates are outside the paper's template.
-    StarNotSupported,
+    StarNotSupported {
+        /// Byte offset of the `*`.
+        at: usize,
+    },
     /// Unknown aggregation function name.
-    UnknownAggregate(String),
+    UnknownAggregate {
+        /// The name as written.
+        name: String,
+        /// Byte offset of the name.
+        at: usize,
+    },
+}
+
+impl ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub fn at(&self) -> usize {
+        match self {
+            ParseError::Lex(e) => e.at(),
+            ParseError::Unexpected { at, .. }
+            | ParseError::StarNotSupported { at }
+            | ParseError::UnknownAggregate { at, .. } => *at,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "lex error: {e}"),
-            ParseError::Unexpected { expected, got: Some(t) } => {
-                write!(f, "expected {expected}, found '{t}'")
+            ParseError::Unexpected { expected, got: Some(t), at } => {
+                write!(f, "expected {expected}, found '{t}' at byte {at}")
             }
-            ParseError::Unexpected { expected, got: None } => {
-                write!(f, "expected {expected}, found end of input")
+            ParseError::Unexpected { expected, got: None, at } => {
+                write!(f, "expected {expected}, found end of input at byte {at}")
             }
-            ParseError::StarNotSupported => {
-                write!(f, "star aggregates are not supported; aggregate a column, e.g. COUNT(x)")
+            ParseError::StarNotSupported { at } => {
+                write!(
+                    f,
+                    "star aggregates are not supported (byte {at}); aggregate a column, e.g. COUNT(x)"
+                )
             }
-            ParseError::UnknownAggregate(name) => {
-                write!(f, "unknown aggregation function '{name}' (supported: COUNT, SUM, AVG, MIN, MAX, MEDIAN, VAR)")
+            ParseError::UnknownAggregate { name, at } => {
+                write!(f, "unknown aggregation function '{name}' at byte {at} (supported: COUNT, SUM, AVG, MIN, MAX, MEDIAN, VAR)")
             }
         }
     }
@@ -53,28 +79,47 @@ impl From<LexError> for ParseError {
     }
 }
 
+impl From<ParseError> for PhError {
+    fn from(e: ParseError) -> Self {
+        PhError::Parse(e.to_string())
+    }
+}
+
+impl From<LexError> for PhError {
+    fn from(e: LexError) -> Self {
+        PhError::Parse(e.to_string())
+    }
+}
+
 /// Parses one query of the form
 /// `SELECT F(X) FROM t [WHERE predicate] [GROUP BY g] [;]`.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let tokens = lex_spanned(input)?;
+    let mut p = Parser { tokens, pos: 0, eof: input.len() };
     let q = p.query()?;
     p.finish()?;
     Ok(q)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, usize)>,
     pos: usize,
+    /// Byte offset reported for end-of-input errors.
+    eof: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Byte offset of the token about to be consumed (end of input if exhausted).
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.eof, |&(_, at)| at)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -82,9 +127,10 @@ impl Parser {
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let at = self.offset();
         match self.next() {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            got => Err(ParseError::Unexpected { expected: format!("keyword {kw}"), got }),
+            got => Err(ParseError::Unexpected { expected: format!("keyword {kw}"), got, at }),
         }
     }
 
@@ -93,21 +139,24 @@ impl Parser {
     }
 
     fn expect(&mut self, tok: Token) -> Result<(), ParseError> {
+        let at = self.offset();
         match self.next() {
             Some(t) if t == tok => Ok(()),
-            got => Err(ParseError::Unexpected { expected: format!("'{tok}'"), got }),
+            got => Err(ParseError::Unexpected { expected: format!("'{tok}'"), got, at }),
         }
     }
 
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        let at = self.offset();
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            got => Err(ParseError::Unexpected { expected: what.to_string(), got }),
+            got => Err(ParseError::Unexpected { expected: what.to_string(), got, at }),
         }
     }
 
     fn query(&mut self) -> Result<Query, ParseError> {
         self.expect_keyword("SELECT")?;
+        let agg_at = self.offset();
         let agg_name = self.ident("aggregation function")?;
         let agg = match agg_name.to_ascii_uppercase().as_str() {
             "COUNT" => AggFunc::Count,
@@ -117,11 +166,11 @@ impl Parser {
             "MAX" => AggFunc::Max,
             "MEDIAN" => AggFunc::Median,
             "VAR" | "VARIANCE" | "VAR_POP" => AggFunc::Var,
-            _ => return Err(ParseError::UnknownAggregate(agg_name)),
+            _ => return Err(ParseError::UnknownAggregate { name: agg_name, at: agg_at }),
         };
         self.expect(Token::LParen)?;
         if self.peek() == Some(&Token::Star) {
-            return Err(ParseError::StarNotSupported);
+            return Err(ParseError::StarNotSupported { at: self.offset() });
         }
         let column = self.ident("aggregation column")?;
         self.expect(Token::RParen)?;
@@ -176,6 +225,7 @@ impl Parser {
             return Ok(inner);
         }
         let column = self.ident("column name")?;
+        let op_at = self.offset();
         let op = match self.next() {
             Some(Token::Lt) => CmpOp::Lt,
             Some(Token::Le) => CmpOp::Le,
@@ -187,9 +237,11 @@ impl Parser {
                 return Err(ParseError::Unexpected {
                     expected: "comparison operator".to_string(),
                     got,
+                    at: op_at,
                 })
             }
         };
+        let lit_at = self.offset();
         let value = match self.next() {
             Some(Token::Number(n)) => {
                 // Integer-valued literals stay integers so categorical/int columns
@@ -202,7 +254,11 @@ impl Parser {
             }
             Some(Token::Str(s)) => Value::Str(s),
             got => {
-                return Err(ParseError::Unexpected { expected: "literal".to_string(), got })
+                return Err(ParseError::Unexpected {
+                    expected: "literal".to_string(),
+                    got,
+                    at: lit_at,
+                })
             }
         };
         Ok(Predicate::Cond(Condition { column, op, value }))
@@ -214,6 +270,7 @@ impl Parser {
             Some(t) => Err(ParseError::Unexpected {
                 expected: "end of query".to_string(),
                 got: Some(t.clone()),
+                at: self.offset(),
             }),
         }
     }
@@ -283,7 +340,7 @@ mod tests {
     fn star_rejected_with_clear_error() {
         assert_eq!(
             parse_query("SELECT COUNT(*) FROM t"),
-            Err(ParseError::StarNotSupported)
+            Err(ParseError::StarNotSupported { at: 13 })
         );
     }
 
@@ -291,13 +348,29 @@ mod tests {
     fn unknown_aggregate_rejected() {
         assert!(matches!(
             parse_query("SELECT FOO(x) FROM t"),
-            Err(ParseError::UnknownAggregate(_))
+            Err(ParseError::UnknownAggregate { at: 7, .. })
         ));
     }
 
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse_query("SELECT COUNT(x) FROM t; extra").is_err());
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // Offending token position, in the middle of the input.
+        let e = parse_query("SELECT COUNT(x) FROM t WHERE x ? 3").unwrap_err();
+        assert!(matches!(e, ParseError::Lex(LexError::UnexpectedChar { at: 31, .. })));
+        assert_eq!(e.at(), 31);
+        // Missing literal: reported at end of input.
+        let sql = "SELECT COUNT(x) FROM t WHERE x >";
+        let e = parse_query(sql).unwrap_err();
+        assert_eq!(e.at(), sql.len());
+        assert!(e.to_string().contains("end of input"), "{e}");
+        // Display always names the offset.
+        let e = parse_query("SELECT COUNT(x) FROM t WHERE x > >").unwrap_err();
+        assert!(e.to_string().contains("byte 33"), "{e}");
     }
 
     #[test]

@@ -297,6 +297,52 @@ impl Column {
         Column { name: self.name.clone(), ty: self.ty, data, validity }
     }
 
+    /// Appends all rows of `other` to this column.
+    ///
+    /// `other` must have the same name and logical type. Categorical appends remap
+    /// `other`'s dictionary codes into this column's dictionary, extending it with
+    /// previously unseen values.
+    pub fn append(&mut self, other: &Column) -> Result<(), crate::TypeError> {
+        if self.name != other.name || self.ty != other.ty {
+            return Err(crate::TypeError::SchemaMismatch {
+                column: other.name.clone(),
+                detail: format!(
+                    "cannot append '{}' ({:?}) onto '{}' ({:?})",
+                    other.name, other.ty, self.name, self.ty
+                ),
+            });
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Cat(codes, dict), ColumnData::Cat(other_codes, other_dict)) => {
+                // Remap other's codes through a dictionary union.
+                let mut index: std::collections::HashMap<String, u32> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.clone(), i as u32))
+                    .collect();
+                let remap: Vec<u32> = other_dict
+                    .iter()
+                    .map(|s| {
+                        *index.entry(s.clone()).or_insert_with(|| {
+                            dict.push(s.clone());
+                            (dict.len() - 1) as u32
+                        })
+                    })
+                    .collect();
+                for (i, &c) in other_codes.iter().enumerate() {
+                    codes.push(if other.validity.get(i) { remap[c as usize] } else { 0 });
+                }
+            }
+            _ => unreachable!("type tags matched above"),
+        }
+        for bit in other.validity.iter() {
+            self.validity.push(bit);
+        }
+        Ok(())
+    }
+
     /// Approximate in-memory size of the column in bytes (data + validity), used for
     /// the "total storage" comparisons of Fig 11(b).
     pub fn heap_size(&self) -> usize {
@@ -359,6 +405,27 @@ mod tests {
         let c = Column::from_strings("s", vec![Some("x")]);
         assert_eq!(c.numeric(0), None);
         assert!(!c.ty().is_numeric());
+    }
+
+    #[test]
+    fn append_concatenates_and_unions_dictionaries() {
+        let mut a = Column::from_strings("s", vec![Some("x"), None, Some("y")]);
+        let b = Column::from_strings("s", vec![Some("y"), Some("z"), None]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.dictionary().unwrap(), &["x".to_string(), "y".into(), "z".into()]);
+        assert_eq!(a.value(3), Value::Str("y".into()));
+        assert_eq!(a.value(4), Value::Str("z".into()));
+        assert_eq!(a.value(5), Value::Null);
+        assert_eq!(a.valid_count(), 4);
+
+        let mut i = Column::from_ints("n", vec![Some(1), None]);
+        i.append(&Column::from_ints("n", vec![Some(7)])).unwrap();
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.value(2), Value::Int(7));
+        // Name or type mismatch is rejected.
+        assert!(i.append(&Column::from_ints("m", vec![Some(1)])).is_err());
+        assert!(i.append(&Column::from_floats("n", vec![Some(1.0)], 1)).is_err());
     }
 
     #[test]

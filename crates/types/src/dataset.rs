@@ -91,6 +91,46 @@ impl Dataset {
         }
     }
 
+    /// Appends all rows of `other`, which must have an identical schema (same column
+    /// names and types in the same order). Categorical dictionaries are unioned.
+    ///
+    /// This is the raw-row accumulation primitive behind incremental ingestion: a
+    /// catalog that retains the base table can fold batches in and later rebuild a
+    /// fresh synopsis over the combined rows.
+    pub fn append(&mut self, other: &Dataset) -> Result<(), TypeError> {
+        if self.columns.len() != other.columns.len() {
+            return Err(TypeError::SchemaMismatch {
+                column: other.name.clone(),
+                detail: format!(
+                    "{} columns appended onto {}",
+                    other.columns.len(),
+                    self.columns.len()
+                ),
+            });
+        }
+        // Validate the whole schema before mutating anything, so a failed append
+        // leaves `self` untouched.
+        for (mine, theirs) in self.columns.iter().zip(&other.columns) {
+            if mine.name() != theirs.name() || mine.ty() != theirs.ty() {
+                return Err(TypeError::SchemaMismatch {
+                    column: theirs.name().to_string(),
+                    detail: format!(
+                        "expected '{}' ({:?}), got '{}' ({:?})",
+                        mine.name(),
+                        mine.ty(),
+                        theirs.name(),
+                        theirs.ty()
+                    ),
+                });
+            }
+        }
+        for (mine, theirs) in self.columns.iter_mut().zip(&other.columns) {
+            mine.append(theirs)?;
+        }
+        self.n_rows += other.n_rows;
+        Ok(())
+    }
+
     /// Approximate in-memory size in bytes, used for "total storage" comparisons
     /// (Fig 11(b)).
     pub fn heap_size(&self) -> usize {

@@ -25,6 +25,13 @@ pub enum TypeError {
         /// The offending code.
         code: u32,
     },
+    /// Two tables/columns that must share a schema do not.
+    SchemaMismatch {
+        /// Column (or table) where the mismatch was detected.
+        column: String,
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TypeError {
@@ -39,8 +46,74 @@ impl fmt::Display for TypeError {
             TypeError::BadDictionaryCode { column, code } => {
                 write!(f, "dictionary code {code} out of range in column '{column}'")
             }
+            TypeError::SchemaMismatch { column, detail } => {
+                write!(f, "schema mismatch on '{column}': {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for TypeError {}
+
+/// The workspace-level error type.
+///
+/// Every layer's error (`ph_sql::ParseError`, `ph_core::AqpError`,
+/// `ph_exact::ExactError`, `ph_baselines::Unsupported`, `ph_gd::GdError`,
+/// [`TypeError`], `std::io::Error`) converts into `PhError` via `From` impls that
+/// live next to the source types, so the `Session` facade — and any application
+/// built on the `AqpEngine` trait — propagates a single error type with `?`.
+///
+/// Variants classify *who is at fault*: the query text, the query/schema
+/// combination, the engine's repertoire, the catalog, or the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhError {
+    /// The SQL text does not lex or parse (message carries byte offsets).
+    Parse(String),
+    /// The query names a table the catalog does not have.
+    UnknownTable(String),
+    /// The query names a column the schema does not have.
+    UnknownColumn(String),
+    /// Well-formed query that is invalid for this schema (ill-typed predicate,
+    /// numeric aggregate on a categorical column, GROUP BY on a numeric, …).
+    InvalidQuery(String),
+    /// The engine cannot answer this query shape (a baseline's documented gap).
+    Unsupported(String),
+    /// Dataset- or schema-level failure (duplicate table, length mismatch, …).
+    Schema(String),
+    /// Persistence I/O failure.
+    Io(String),
+    /// Persisted bytes exist but do not decode.
+    Corrupt(String),
+}
+
+impl fmt::Display for PhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhError::Parse(m) => write!(f, "parse error: {m}"),
+            PhError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            PhError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            PhError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            PhError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            PhError::Schema(m) => write!(f, "schema error: {m}"),
+            PhError::Io(m) => write!(f, "i/o error: {m}"),
+            PhError::Corrupt(m) => write!(f, "corrupt synopsis data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PhError {}
+
+impl From<TypeError> for PhError {
+    fn from(e: TypeError) -> Self {
+        match e {
+            TypeError::UnknownColumn(c) => PhError::UnknownColumn(c),
+            other => PhError::Schema(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for PhError {
+    fn from(e: std::io::Error) -> Self {
+        PhError::Io(e.to_string())
+    }
+}

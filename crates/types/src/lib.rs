@@ -24,5 +24,18 @@ mod value;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData, ColumnType};
 pub use dataset::{Dataset, DatasetBuilder};
-pub use error::TypeError;
+pub use error::{PhError, TypeError};
 pub use value::Value;
+
+/// FNV-1a over a byte string: the workspace's standard cheap stable hash
+/// (query fingerprints, catalog file names). Not cryptographic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}

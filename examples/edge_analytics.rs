@@ -1,36 +1,47 @@
 //! Edge analytics scenario from the paper's introduction: a resource-constrained
-//! device holds only the sub-megabyte synopsis, answers local analytics queries in
-//! microseconds, and syncs nothing but the synopsis bytes from the cloud.
+//! device holds only the sub-megabyte synopsis catalog, answers local analytics
+//! queries in microseconds, and syncs nothing but the catalog directory from the
+//! cloud.
+//!
+//! The whole flow goes through the [`Session`] facade: the cloud side registers
+//! the table and persists the catalog with `save_dir`; the edge side reopens it
+//! cold with `open_dir` — synopsis plus preprocessing transforms travel together,
+//! no raw rows cross the network.
 //!
 //! ```text
 //! cargo run --release --example edge_analytics
 //! ```
-
-use std::sync::Arc;
 
 use pairwisehist::prelude::*;
 
 fn main() {
     // --- Cloud side: ten million IoT temperature readings (scaled down here) ---
     let cloud_data = pairwisehist::datagen::generate("Temp", 500_000, 3).expect("dataset");
-    let pre = Arc::new(Preprocessor::fit(&cloud_data));
-    let store = GdCompressor::new().compress(&pre.encode(&cloud_data));
-    let ph = PairwiseHist::build_from_gd(
-        &store,
-        pre.clone(),
-        &PairwiseHistConfig { ns: 100_000, ..Default::default() },
-    );
-    let wire = ph.to_bytes();
+    let n_rows = cloud_data.n_rows();
+    let exact = ExactEngine::new(cloud_data.clone());
+
+    let mut cloud = Session::with_config(PairwiseHistConfig::default());
+    cloud.register(cloud_data).expect("register table");
+
+    let dir = std::env::temp_dir().join("pairwisehist_edge_catalog");
+    let n_tables = cloud.save_dir(&dir).expect("persist catalog");
+    let wire_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("catalog dir")
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .map(|m| m.len())
+        .sum();
     println!(
-        "cloud: {} rows compressed {:.1}x; synopsis to ship: {} bytes",
-        cloud_data.n_rows(),
-        store.stats().ratio,
-        wire.len()
+        "cloud: {n_rows} rows registered; catalog to ship: {n_tables} table(s), {wire_bytes} bytes at {}",
+        dir.display()
     );
 
-    // --- Edge side: only `wire` and the transforms cross the network ---
-    let edge = PairwiseHist::from_bytes(&wire, pre).expect("synopsis deserializes");
-    println!("edge: synopsis loaded, {} columns\n", edge.n_columns());
+    // --- Edge side: only the catalog directory crossed the network ---
+    let edge = Session::open_dir(&dir).expect("catalog reopens cold");
+    println!(
+        "edge: catalog loaded, tables: {:?}, {} bytes resident\n",
+        edge.tables().collect::<Vec<_>>(),
+        edge.footprint()
+    );
 
     let questions = [
         ("how many readings above 25C?", "SELECT COUNT(temperature) FROM Temp WHERE temperature > 25;"),
@@ -40,9 +51,8 @@ fn main() {
         ("per-device hot readings", "SELECT COUNT(temperature) FROM Temp WHERE temperature > 25 GROUP BY device;"),
     ];
     for (label, sql) in questions {
-        let query = parse_query(sql).unwrap();
         let t0 = std::time::Instant::now();
-        let answer = edge.execute(&query).unwrap();
+        let answer = edge.sql(sql).expect("supported query");
         let micros = t0.elapsed().as_secs_f64() * 1e6;
         match answer {
             AqpAnswer::Scalar(Some(e)) => {
@@ -59,13 +69,16 @@ fn main() {
     }
 
     // Sanity: the edge answers agree with exact evaluation on the cloud data.
-    let q = parse_query("SELECT AVG(humidity) FROM Temp WHERE temperature > 20;").unwrap();
-    let est = edge.execute(&q).unwrap().scalar().unwrap();
-    let truth = evaluate(&q, &cloud_data).unwrap().scalar().unwrap();
+    let sql = "SELECT AVG(humidity) FROM Temp WHERE temperature > 20;";
+    let est = edge.sql(sql).unwrap().scalar().unwrap();
+    let query = parse_query(sql).unwrap();
+    let truth = exact.answer(&query).unwrap().scalar().unwrap().value;
     println!(
         "\ncheck vs cloud ground truth: estimate {:.3} vs exact {:.3} ({:.2}% error)",
         est.value,
         truth,
         (est.value - truth).abs() / truth * 100.0
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

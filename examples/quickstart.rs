@@ -1,5 +1,6 @@
-//! Quickstart: build a PairwiseHist synopsis over a table and run bounded
-//! approximate queries, comparing against exact answers.
+//! Quickstart: register a table with a [`Session`], then speak SQL — bounded
+//! approximate answers in microseconds, with prepared-plan caching on repeats —
+//! and compare against exact answers.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -13,10 +14,15 @@ fn main() {
     let data = pairwisehist::datagen::generate("Power", 200_000, 42).expect("dataset");
     println!("dataset: {} ({} rows x {} columns)", data.name(), data.n_rows(), data.n_columns());
 
-    // Build the synopsis from a 100k-row sample (the paper's default setup:
-    // M = 1% of Ns, alpha = 0.001).
+    // The exact engine keeps the raw rows for ground-truth comparison.
+    let exact = ExactEngine::new(data.clone());
+
+    // Register the table: the session builds its synopsis (the paper's default
+    // setup: Ns = 100k sample, M = 1% of Ns, alpha = 0.001) and owns it from here.
     let t0 = std::time::Instant::now();
-    let ph = PairwiseHist::build(&data, &PairwiseHistConfig::default());
+    let mut session = Session::new();
+    session.register(data).expect("register table");
+    let ph = session.engine("Power").expect("registered engine");
     println!(
         "synopsis built in {:.0} ms -> {} bytes ({} 1-d bins, {} 2-d cells)\n",
         t0.elapsed().as_secs_f64() * 1e3,
@@ -35,11 +41,11 @@ fn main() {
     ];
 
     for sql in queries {
-        let query = parse_query(sql).expect("valid query");
         let t0 = std::time::Instant::now();
-        let approx = ph.execute(&query).expect("supported query");
+        let approx = session.sql(sql).expect("supported query");
         let micros = t0.elapsed().as_secs_f64() * 1e6;
-        let truth = evaluate(&query, &data).expect("exact").scalar();
+        let query = parse_query(sql).expect("valid query");
+        let truth = exact.answer(&query).expect("exact").scalar().map(|e| e.value);
         match (approx.scalar(), truth) {
             (Some(est), Some(truth)) => {
                 println!("{sql}");
@@ -57,4 +63,19 @@ fn main() {
             (a, t) => println!("{sql}\n  approx = {a:?}, exact = {t:?}"),
         }
     }
+
+    // Repeated templates skip parsing and planning entirely: run the whole set
+    // again and show the plan cache doing its job.
+    let t0 = std::time::Instant::now();
+    for sql in queries {
+        session.sql(sql).expect("cached query");
+    }
+    let stats = session.cache_stats();
+    println!(
+        "\nsecond pass over {} templates: {:.0} us total, plan cache {} hits / {} misses",
+        queries.len(),
+        t0.elapsed().as_secs_f64() * 1e6,
+        stats.hits,
+        stats.misses,
+    );
 }

@@ -22,6 +22,10 @@
 //!
 //! ## Quick start
 //!
+//! The front door is a [`Session`](ph_core::Session): a catalog of named tables,
+//! each served by a synopsis, with plan caching, incremental ingest and
+//! persistence built in. Register datasets, then speak SQL:
+//!
 //! ```
 //! use pairwisehist::prelude::*;
 //!
@@ -31,16 +35,32 @@
 //!     .column(Column::from_ints("y", (0..20_000).map(|i| Some(((i * i) % 997) * 2)).collect())).unwrap()
 //!     .build();
 //!
-//! // Build the synopsis and ask an approximate question.
-//! let ph = PairwiseHist::build(&data, &PairwiseHistConfig::default());
-//! let query = parse_query("SELECT AVG(y) FROM demo WHERE x > 500;").unwrap();
-//! let estimate = ph.execute(&query).unwrap().scalar().unwrap();
+//! // Keep the exact engine around for comparison before the session takes the rows.
+//! let exact = ExactEngine::new(data.clone());
 //!
-//! // Compare against the exact engine.
-//! let truth = evaluate(&query, &data).unwrap().scalar().unwrap();
+//! // Register the table (builds its synopsis) and ask an approximate question.
+//! let mut session = Session::new();
+//! session.register(data).unwrap();
+//! let sql = "SELECT AVG(y) FROM demo WHERE x > 500;";
+//! let estimate = session.sql(sql).unwrap().scalar().unwrap();
+//!
+//! // Repeats of the template skip parsing and planning (prepared-query cache).
+//! session.sql(sql).unwrap();
+//! assert_eq!(session.cache_stats().hits, 1);
+//!
+//! // Every engine — synopsis, exact scan, baselines — answers the same parsed
+//! // queries through the `AqpEngine` trait with the same bounded-estimate types.
+//! let query = parse_query(sql).unwrap();
+//! let truth = exact.answer(&query).unwrap().scalar().unwrap().value;
 //! assert!((estimate.value - truth).abs() / truth < 0.05);
 //! assert!(estimate.lo <= truth && truth <= estimate.hi);
 //! ```
+//!
+//! A session persists: [`Session::save_dir`](ph_core::Session::save_dir) writes
+//! one self-describing file per table (synopsis + preprocessing transforms), and
+//! [`Session::open_dir`](ph_core::Session::open_dir) reopens the catalog cold —
+//! on another machine, an edge device, or the next process — answering the same
+//! queries identically.
 //!
 //! See `examples/` for the full compression pipeline (Fig 2), an edge-analytics
 //! scenario and a flight-delay analysis, and `crates/bench` for the binaries that
@@ -59,9 +79,12 @@ pub use ph_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use ph_core::{AqpAnswer, AqpError, Estimate, PairwiseHist, PairwiseHistConfig, SplitRule};
-    pub use ph_exact::{evaluate, ExactAnswer};
+    pub use ph_core::{
+        AqpAnswer, AqpEngine, AqpError, CacheStats, Estimate, IngestReport, PairwiseHist,
+        PairwiseHistConfig, Prepared, Session, SplitRule,
+    };
+    pub use ph_exact::{evaluate, ExactAnswer, ExactEngine};
     pub use ph_gd::{GdCompressor, GdStore, Preprocessor};
     pub use ph_sql::{parse_query, AggFunc, Query};
-    pub use ph_types::{Column, ColumnType, Dataset, Value};
+    pub use ph_types::{Column, ColumnType, Dataset, PhError, Value};
 }

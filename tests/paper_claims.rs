@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use pairwisehist::baselines::{AqpBaseline, KdeAqp, KdeConfig, SamplingAqp, SpnAqp, SpnConfig};
+use pairwisehist::baselines::{AqpBaseline, KdeAqp, KdeConfig, SamplingAqp, SamplingConfig, SpnAqp, SpnConfig};
 use pairwisehist::prelude::*;
 use pairwisehist::{datagen, workload};
 
@@ -67,7 +67,7 @@ fn ph_more_accurate_than_learned_baselines() {
     let spn_est: Vec<Option<f64>> = b
         .queries
         .iter()
-        .map(|q| spn.execute(q).ok().map(|a| a.value))
+        .map(|q| AqpBaseline::execute(&spn, q).ok().map(|a| a.value))
         .collect();
 
     let ph_med = median(engine_errors(ph_est, &b.truths));
@@ -106,7 +106,7 @@ fn ph_latency_far_below_exact_scan() {
 #[test]
 fn storage_claims() {
     let b = setup();
-    let sampling = SamplingAqp::build(&b.data, 40_000, 1);
+    let sampling = SamplingAqp::build(&b.data, &SamplingConfig { sample_n: 40_000, seed: 1 });
     let synopsis = b.ph.synopsis_size().total;
     assert!(
         synopsis * 10 < sampling.size_bytes(),
@@ -132,8 +132,10 @@ fn versatility_matches_table1() {
     let spn = SpnAqp::build(&b.data, &SpnConfig { sample_n: 10_000, ..Default::default() });
     let kde = KdeAqp::build(
         &b.data,
-        &[("global_active_power", "voltage")],
-        &KdeConfig { sample_n: 10_000, ..Default::default() },
+        &KdeConfig {
+            sample_n: 10_000,
+            ..KdeConfig::for_templates(&[("global_active_power", "voltage")])
+        },
     );
 
     let or_query = parse_query(
@@ -153,11 +155,11 @@ fn versatility_matches_table1() {
     assert!(b.ph.execute(&median_query).is_ok());
     assert!(b.ph.execute(&multi_query).is_ok());
     // The SPN declines OR and MEDIAN (like DeepDB).
-    assert!(spn.execute(&or_query).is_err());
-    assert!(spn.execute(&median_query).is_err());
+    assert!(AqpBaseline::execute(&spn, &or_query).is_err());
+    assert!(AqpBaseline::execute(&spn, &median_query).is_err());
     // The KDE engine declines >2-column queries and MEDIAN (like DBEst++).
-    assert!(kde.execute(&multi_query).is_err());
-    assert!(kde.execute(&median_query).is_err());
+    assert!(AqpBaseline::execute(&kde, &multi_query).is_err());
+    assert!(AqpBaseline::execute(&kde, &median_query).is_err());
 }
 
 /// Claim (Fig 10(d)): Gaussian-synthesised (IDEBench-style) data flatters
@@ -183,7 +185,7 @@ fn real_vs_idebench_shape() {
             &truths,
         );
         let spn_errs = engine_errors(
-            queries.iter().map(|q| spn.execute(q).ok().map(|a| a.value)).collect(),
+            queries.iter().map(|q| AqpBaseline::execute(&spn, q).ok().map(|a| a.value)).collect(),
             &truths,
         );
         (median(ph_errs), median(spn_errs))

@@ -1,0 +1,117 @@
+//! Persistence guarantees of the synopsis and the `Session` catalog:
+//!
+//! * property: `to_bytes` → `from_bytes` → `to_bytes` is **bit-identical** over
+//!   randomized datasets (and likewise for the named session blob);
+//! * a catalog saved with `save_dir` and reopened with `open_dir` answers a
+//!   50-query generated workload identically to the original session.
+
+use proptest::prelude::*;
+
+use pairwisehist::prelude::*;
+use pairwisehist::workload::{self, WorkloadConfig};
+
+/// Strategy: a small random dataset with correlated numerics, nulls and a
+/// categorical column — enough shape variety to exercise every storage section
+/// (dense and sparse count matrices, split-bin metadata, null codes).
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (200usize..1_500, any::<u64>(), 20i64..500).prop_map(|(n, seed, range)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Option<i64>> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                Some((u * u * range as f64) as i64)
+            })
+            .collect();
+        let y: Vec<Option<i64>> = x
+            .iter()
+            .map(|v| {
+                if rng.gen_bool(0.08) {
+                    None
+                } else {
+                    Some(v.unwrap() * 2 + rng.gen_range(0..30))
+                }
+            })
+            .collect();
+        let c: Vec<Option<&str>> =
+            (0..n).map(|i| Some(["a", "b", "c", "d"][i % 4])).collect();
+        Dataset::builder("p")
+            .column(Column::from_ints("x", x))
+            .unwrap()
+            .column(Column::from_ints("y", y))
+            .unwrap()
+            .column(Column::from_strings("c", c))
+            .unwrap()
+            .build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Fig 6 encoding is a bijection on its image: deserializing and
+    /// re-serializing reproduces the original bytes exactly.
+    #[test]
+    fn synopsis_bytes_roundtrip_bit_identically(data in dataset_strategy()) {
+        let ph = PairwiseHist::build(
+            &data,
+            &PairwiseHistConfig { ns: data.n_rows(), parallel: false, ..Default::default() },
+        );
+        let bytes = ph.to_bytes();
+        let restored = PairwiseHist::from_bytes(&bytes, ph.preprocessor().clone())
+            .expect("bytes produced by to_bytes must deserialize");
+        prop_assert_eq!(restored.to_bytes(), bytes, "re-serialization must be bit-identical");
+
+        // The named blob (synopsis + preprocessor + table name) round-trips the
+        // same way.
+        let named = ph.to_bytes_named("p");
+        let (name, reloaded) =
+            PairwiseHist::from_bytes_named(&named).expect("named blob decodes");
+        prop_assert_eq!(name, "p");
+        prop_assert_eq!(reloaded.to_bytes_named("p"), named);
+    }
+}
+
+/// A reloaded session answers a 50-query generated workload identically —
+/// estimates, bounds and group maps, bit for bit.
+#[test]
+fn reloaded_session_answers_workload_identically() {
+    let data = pairwisehist::datagen::generate("Power", 60_000, 17).expect("dataset");
+    let queries = workload::generate(
+        &data,
+        &WorkloadConfig {
+            n_queries: 50,
+            aggs: AggFunc::ALL.to_vec(),
+            max_predicates: 3,
+            or_probability: 0.2,
+            seed: 0xFEED,
+            ..Default::default()
+        },
+    );
+    assert_eq!(queries.len(), 50, "workload generator must fill the quota");
+
+    let mut session = Session::with_config(PairwiseHistConfig {
+        ns: 30_000,
+        ..Default::default()
+    });
+    session.register(data).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("ph_sess_wl_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    session.save_dir(&dir).unwrap();
+    let reloaded = Session::open_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    for q in &queries {
+        let sql = q.to_string();
+        let a = session.sql(&sql).expect("original session answers");
+        let b = reloaded.sql(&sql).expect("reloaded session answers");
+        assert_eq!(a, b, "answers must be identical after reload: {sql}");
+    }
+    // Both sessions served every query through their plan caches' miss path once;
+    // a second pass is all hits.
+    for q in queries.iter().take(5) {
+        reloaded.sql(&q.to_string()).unwrap();
+    }
+    assert!(reloaded.cache_stats().hits >= 5);
+}

@@ -1,11 +1,13 @@
 //! The Table 1 versatility matrix as executable assertions: which engine answers
 //! which query shape, per the paper's §2 catalogue of baseline limitations.
 
-use pairwisehist::baselines::{AqpBaseline, KdeAqp, KdeConfig, SamplingAqp, SpnAqp, SpnConfig, Unsupported};
+use pairwisehist::baselines::{AqpBaseline, KdeAqp, KdeConfig, SamplingAqp, SamplingConfig, SpnAqp, SpnConfig, Unsupported};
 use pairwisehist::prelude::*;
 use pairwisehist::datagen;
+use pairwisehist::exact::ExactEngine;
 
 struct Engines {
+    data: Dataset,
     ph: PairwiseHist,
     spn: SpnAqp,
     kde: KdeAqp,
@@ -22,10 +24,13 @@ fn engines() -> Engines {
         spn: SpnAqp::build(&data, &SpnConfig { sample_n: 15_000, ..Default::default() }),
         kde: KdeAqp::build(
             &data,
-            &[("fare", "trip_miles"), ("tips", "fare")],
-            &KdeConfig { sample_n: 15_000, ..Default::default() },
+            &KdeConfig {
+                sample_n: 15_000,
+                ..KdeConfig::for_templates(&[("fare", "trip_miles"), ("tips", "fare")])
+            },
         ),
-        sampling: SamplingAqp::build(&data, 15_000, 1),
+        sampling: SamplingAqp::build(&data, &SamplingConfig { sample_n: 15_000, seed: 1 }),
+        data,
     }
 }
 
@@ -55,9 +60,9 @@ fn pairwisehist_is_fully_versatile() {
 #[test]
 fn spn_gaps_match_deepdb() {
     let e = engines();
-    assert!(e.spn.execute(&q("SELECT COUNT(fare) FROM Taxis WHERE trip_miles > 3;")).is_ok());
+    assert!(AqpBaseline::execute(&e.spn, &q("SELECT COUNT(fare) FROM Taxis WHERE trip_miles > 3;")).is_ok());
     assert_eq!(
-        e.spn.execute(&q("SELECT COUNT(fare) FROM Taxis WHERE trip_miles > 3 OR fare > 50;")),
+        AqpBaseline::execute(&e.spn, &q("SELECT COUNT(fare) FROM Taxis WHERE trip_miles > 3 OR fare > 50;")),
         Err(Unsupported::OrPredicate)
     );
     for sql in [
@@ -67,7 +72,7 @@ fn spn_gaps_match_deepdb() {
         "SELECT MEDIAN(fare) FROM Taxis WHERE trip_miles > 1;",
     ] {
         assert!(
-            matches!(e.spn.execute(&q(sql)), Err(Unsupported::Aggregate(_))),
+            matches!(AqpBaseline::execute(&e.spn, &q(sql)), Err(Unsupported::Aggregate(_))),
             "SPN must decline: {sql}"
         );
     }
@@ -79,34 +84,59 @@ fn spn_gaps_match_deepdb() {
 fn kde_gaps_match_dbest() {
     let e = engines();
     // Trained template works.
-    assert!(e.kde.execute(&q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 2;")).is_ok());
+    assert!(AqpBaseline::execute(&e.kde, &q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 2;")).is_ok());
     // Untrained template: declined.
-    assert!(e.kde.execute(&q("SELECT AVG(extras) FROM Taxis WHERE tolls > 1;")).is_err());
+    assert!(AqpBaseline::execute(&e.kde, &q("SELECT AVG(extras) FROM Taxis WHERE tolls > 1;")).is_err());
     // More than one predicate column.
-    assert!(e
-        .kde
-        .execute(&q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 2 AND trip_seconds > 60;"))
+    assert!(AqpBaseline::execute(&e.kde, &q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 2 AND trip_seconds > 60;"))
         .is_err());
     // OR.
     assert_eq!(
-        e.kde.execute(&q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 9 OR trip_miles < 1;")),
+        AqpBaseline::execute(&e.kde, &q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 9 OR trip_miles < 1;")),
         Err(Unsupported::OrPredicate)
     );
     // Categorical-only query.
-    assert!(e
-        .kde
-        .execute(&q("SELECT COUNT(payment_type) FROM Taxis WHERE company = 'co01';"))
+    assert!(AqpBaseline::execute(&e.kde, &q("SELECT COUNT(payment_type) FROM Taxis WHERE company = 'co01';"))
         .is_err());
     // Inequality on a timestamp column.
-    assert!(e
-        .kde
-        .execute(&q("SELECT AVG(fare) FROM Taxis WHERE trip_start > 1577836800;"))
+    assert!(AqpBaseline::execute(&e.kde, &q("SELECT AVG(fare) FROM Taxis WHERE trip_start > 1577836800;"))
         .is_err());
     // Order statistics.
     assert!(matches!(
-        e.kde.execute(&q("SELECT MEDIAN(fare) FROM Taxis WHERE trip_miles > 2;")),
+        AqpBaseline::execute(&e.kde, &q("SELECT MEDIAN(fare) FROM Taxis WHERE trip_miles > 2;")),
         Err(Unsupported::Aggregate(_))
     ));
+}
+
+/// Acceptance: all five engines (PairwiseHist, exact scan, sampling, SPN, KDE)
+/// answer the same parsed query through the shared `AqpEngine` trait and return
+/// the same `AqpAnswer`/`Estimate` types.
+#[test]
+fn all_five_engines_speak_the_aqp_engine_trait() {
+    let e = engines();
+    let exact = ExactEngine::new(e.data.clone());
+    let query = q("SELECT AVG(fare) FROM Taxis WHERE trip_miles > 2;");
+    let truth = evaluate(&query, &e.data).unwrap().scalar().unwrap();
+
+    let engines: [&dyn AqpEngine; 5] = [&e.ph, &exact, &e.sampling, &e.spn, &e.kde];
+    let mut names = Vec::new();
+    for engine in engines {
+        assert!(engine.supports(&query), "{} must support the probe query", engine.name());
+        let prepared = engine.prepare(&query).expect("prepare");
+        assert_eq!(prepared.query(), &query);
+        let answer = engine.execute(&prepared).expect("execute");
+        let est = answer.scalar().expect("scalar answer");
+        let rel = (est.value - truth).abs() / truth.abs();
+        assert!(rel < 0.25, "{}: {} vs exact {truth}", engine.name(), est.value);
+        assert!(est.lo <= est.value && est.value <= est.hi);
+        assert!(engine.footprint() > 0, "{} reports a footprint", engine.name());
+        names.push(engine.name());
+    }
+    assert_eq!(names, ["pairwisehist", "exact", "sampling", "spn", "kde"]);
+
+    // Prepared plans are engine-bound: executing one on another engine errors.
+    let p = exact.prepare(&query).unwrap();
+    assert!(AqpEngine::execute(&e.ph, &p).is_err(), "foreign plans must be rejected");
 }
 
 /// Sampling answers everything but provides no usable bounds for extremes.
@@ -114,10 +144,8 @@ fn kde_gaps_match_dbest() {
 fn sampling_versatile_but_weak_extreme_bounds() {
     let e = engines();
     let min_q = q("SELECT MIN(fare) FROM Taxis WHERE trip_miles > 1;");
-    let a = e.sampling.execute(&min_q).unwrap();
+    let a = AqpBaseline::execute(&e.sampling, &min_q).unwrap();
     assert_eq!(a.lo, a.hi, "sample MIN carries no spread");
-    assert!(e
-        .sampling
-        .execute(&q("SELECT MEDIAN(fare) FROM Taxis WHERE trip_miles > 2 OR tips > 3;"))
+    assert!(AqpBaseline::execute(&e.sampling, &q("SELECT MEDIAN(fare) FROM Taxis WHERE trip_miles > 2 OR tips > 3;"))
         .is_ok());
 }
