@@ -122,3 +122,20 @@ macro_rules! baseline_engine {
     };
 }
 pub(crate) use baseline_engine;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `ph_core::AqpEngine` carries `Send + Sync` as a supertrait: every baseline
+    /// must stay shareable across reader threads (no interior mutability). This
+    /// pins that at compile time for all three engines.
+    #[test]
+    fn baselines_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SamplingAqp>();
+        assert_send_sync::<SpnAqp>();
+        assert_send_sync::<KdeAqp>();
+        assert_send_sync::<Box<dyn ph_core::AqpEngine>>();
+    }
+}

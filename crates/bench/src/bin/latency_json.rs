@@ -104,7 +104,7 @@ fn main() {
     // histogram arithmetic) against the pre-Session posture of `parse_query` +
     // `execute` per call. Measured on the heaviest template (multi-predicate
     // AND/OR) and a single-predicate one.
-    let mut session = Session::with_config(PairwiseHistConfig { ns: rows, ..Default::default() });
+    let session = Session::with_config(PairwiseHistConfig { ns: rows, ..Default::default() });
     session.register(data.clone()).expect("register Power");
     let mut prepared_cases: Vec<(String, f64, f64)> = Vec::new();
     for (name, sql) in [

@@ -1,0 +1,149 @@
+//! Concurrent-session throughput: queries/sec at 1/2/4/8 reader threads with a
+//! background writer ingesting batches the whole time — the serving posture the
+//! thread-safe `Session` exists for. Results are **appended** to
+//! `BENCH_query_latency.json` (the perf-trajectory artifact) under
+//! `"concurrent_throughput"`.
+//!
+//! Readers share one `&Session` and rotate through the standard Power scalar
+//! query set via `Session::sql` (plan-cache hits — the hot path). The writer
+//! loops `Session::ingest` over pre-built batches; every batch is an
+//! out-of-place epoch swap, so readers never block on it.
+//!
+//! Reader scaling is bounded by the machine: on a single hardware thread the
+//! 1→4 ratio is ~1.0 by physics (the point of recording
+//! `available_parallelism` next to the numbers); on a multi-core runner the
+//! shared read path scales because the only shared state readers touch is a
+//! handful of read-locked `Arc` clones.
+//!
+//! Usage: `cargo run --release -p ph-bench --bin throughput [out_path]`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ph_bench::power_with_day;
+use ph_core::{PairwiseHistConfig, Session};
+
+const ROWS: usize = 100_000;
+const BATCH_ROWS: usize = 1_000;
+const MEASURE: Duration = Duration::from_millis(600);
+
+const QUERIES: [&str; 8] = [
+    "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT SUM(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT AVG(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MIN(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MAX(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MEDIAN(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT VAR(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT AVG(global_active_power) FROM Power WHERE voltage > 236 AND \
+     global_intensity < 30 AND sub_metering_3 >= 1 OR weekday = 6;",
+];
+
+/// One measurement: `readers` threads querying flat out for [`MEASURE`], with
+/// (optionally) a writer ingesting batches concurrently. Returns queries/sec.
+fn run_point(session: &Session, readers: usize, batches: &[ph_types::Dataset], with_writer: bool) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        if with_writer {
+            let stop = &stop;
+            scope.spawn(move || {
+                for batch in batches.iter().cycle() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    session.ingest("Power", batch).expect("bench ingest");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+        for r in 0..readers {
+            let stop = &stop;
+            let total = &total;
+            scope.spawn(move || {
+                let mut n = 0u64;
+                let mut qi = r; // staggered start so threads don't lockstep
+                while !stop.load(Ordering::Acquire) {
+                    session.sql(QUERIES[qi % QUERIES.len()]).expect("bench query");
+                    qi += 1;
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(MEASURE);
+        stop.store(true, Ordering::Release);
+    });
+    total.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query_latency.json".into());
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let data = power_with_day(ROWS);
+    // Ingest batches drawn from the same distribution (and schema) as the base.
+    let batches: Vec<ph_types::Dataset> =
+        (0..16).map(|k| data.sample(BATCH_ROWS, 0xFEED + k)).collect();
+
+    let session = Session::with_config(PairwiseHistConfig { ns: ROWS, ..Default::default() });
+    // Measure steady-state serving under edge-free epoch swaps. With the
+    // default threshold (0.5) the writer ingests enough rows mid-run to
+    // trigger a full 100k-row rebuild inside a measurement window, and the
+    // numbers become "how long does one rebuild take" instead of reader
+    // throughput; rebuild-under-reads correctness is covered by the tests.
+    session.set_max_staleness(f64::INFINITY);
+    session.register(data).expect("register Power");
+    // Warm the plan cache so the measurement is the serving hot path.
+    for sql in QUERIES {
+        session.sql(sql).expect("warmup");
+    }
+
+    let baseline = run_point(&session, 1, &batches, false);
+    eprintln!("readers=1 (no writer)   {baseline:10.0} q/s");
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for readers in [1usize, 2, 4, 8] {
+        let qps = run_point(&session, readers, &batches, true);
+        eprintln!("readers={readers} (with writer) {qps:10.0} q/s");
+        points.push((readers, qps));
+    }
+    let scaling = points[2].1 / points[0].1;
+    eprintln!("scaling 1->4 readers: {scaling:.2}x on {cores} hardware thread(s)");
+
+    // Append (or replace) the concurrent_throughput section of the artifact.
+    // The section is always last, so replacing = truncating at the key (and any
+    // comma before it — absent when this bin created the file itself).
+    let mut base = std::fs::read_to_string(&out_path).unwrap_or_else(|_| String::from("{"));
+    if let Some(pos) = base.find("  \"concurrent_throughput\"") {
+        let head = base[..pos].trim_end();
+        let head_len = head.strip_suffix(',').map_or(head.len(), str::len);
+        base.truncate(head_len);
+    } else {
+        while base.ends_with(['\n', ' ']) {
+            base.pop();
+        }
+        if base.ends_with('}') && base.len() > 1 {
+            base.pop();
+        }
+        while base.ends_with(['\n', ' ']) {
+            base.pop();
+        }
+    }
+    let lead = if base.trim_end().ends_with('{') { "\n" } else { ",\n" };
+    let mut json = String::new();
+    json.push_str(&format!("{lead}  \"concurrent_throughput\": {{\n"));
+    json.push_str(&format!("    \"rows\": {ROWS},\n"));
+    json.push_str(&format!("    \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("    \"single_reader_no_writer_qps\": {baseline:.0},\n"));
+    json.push_str("    \"with_background_writer\": [\n");
+    for (i, (readers, qps)) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        json.push_str(&format!("      {{ \"readers\": {readers}, \"qps\": {qps:.0} }}{comma}\n"));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!("    \"scaling_1_to_4\": {scaling:.2}\n"));
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, base + &json).expect("write summary");
+    eprintln!("appended concurrent_throughput to {out_path}");
+}

@@ -343,6 +343,15 @@ impl PairwiseHist {
         &self.params
     }
 
+    /// The process-unique construction epoch prepared plans are bound to. Clones
+    /// share it (their plans are interchangeable — an out-of-place ingest keeps
+    /// serving them); every rebuild or reload gets a fresh one, so plans held
+    /// across a rebuild fail with [`ph_types::PhError::StalePlan`] instead of
+    /// answering over a refitted encoded domain.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch
+    }
+
     /// The fitted pre-processing transforms the synopsis queries through.
     pub fn preprocessor(&self) -> &Arc<Preprocessor> {
         &self.pre
@@ -441,6 +450,28 @@ mod tests {
             .column(Column::from_strings("c", c))
             .unwrap()
             .build()
+    }
+
+    /// Compile-time guarantee behind the shared read path: the synopsis is safe
+    /// to hand to any number of reader threads by reference. A field that broke
+    /// this (an `Rc`, a `RefCell`, a raw pointer) fails this test at compile
+    /// time, not in a data race.
+    #[test]
+    fn synopsis_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PairwiseHist>();
+        assert_send_sync::<BuildParams>();
+        assert_send_sync::<std::sync::Arc<PairwiseHist>>();
+    }
+
+    #[test]
+    fn clones_share_the_plan_epoch_and_rebuilds_do_not() {
+        let data = dataset(2_000, 9);
+        let cfg = PairwiseHistConfig { ns: 2_000, parallel: false, ..Default::default() };
+        let a = PairwiseHist::build(&data, &cfg);
+        assert_eq!(a.plan_epoch(), a.clone().plan_epoch(), "clones serve each other's plans");
+        let b = PairwiseHist::build(&data, &cfg);
+        assert_ne!(a.plan_epoch(), b.plan_epoch(), "rebuilds never share an epoch");
     }
 
     #[test]

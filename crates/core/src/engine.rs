@@ -119,13 +119,7 @@ impl PairwiseHist {
     /// prepared before a rebuild — or by a different synopsis — is rejected.
     pub fn execute_prepared(&self, p: &Prepared) -> Result<AqpAnswer, PhError> {
         p.check_engine(ENGINE_NAME)?;
-        if p.token() != self.plan_token() {
-            return Err(PhError::InvalidQuery(
-                "stale prepared plan: the synopsis (or its preprocessor) changed since \
-                 prepare; re-prepare the query"
-                    .into(),
-            ));
-        }
+        p.check_token(self.plan_token())?;
         let plan = p.payload::<PhPlan>().ok_or_else(|| {
             PhError::InvalidQuery("prepared payload is not a PairwiseHist plan".into())
         })?;

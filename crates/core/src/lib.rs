@@ -59,5 +59,5 @@ pub use build2d::PairHist;
 pub use coverage::RangeSet;
 pub use engine::{AqpAnswer, AqpError};
 pub use prepared::{AqpEngine, Prepared};
-pub use session::{CacheStats, IngestReport, Session};
+pub use session::{CacheStats, IngestReport, Session, TableSnapshot};
 pub use storage::SynopsisSize;

@@ -35,6 +35,8 @@ pub struct Prepared {
     engine: &'static str,
     /// Engine-instance binding (see [`Prepared::with_token`]); 0 = unbound.
     token: u64,
+    /// Session-identity binding (see [`Prepared::with_session`]); 0 = unbound.
+    session: u64,
     payload: Box<dyn Any + Send + Sync>,
 }
 
@@ -47,7 +49,7 @@ impl Prepared {
         payload: Box<dyn Any + Send + Sync>,
     ) -> Self {
         let fingerprint = query.fingerprint();
-        Self { query, fingerprint, engine, token: 0, payload }
+        Self { query, fingerprint, engine, token: 0, session: 0, payload }
     }
 
     /// Binds this plan to a specific engine *instance* (or schema epoch). An
@@ -63,6 +65,40 @@ impl Prepared {
     /// The instance token set by [`Prepared::with_token`] (0 when unbound).
     pub fn token(&self) -> u64 {
         self.token
+    }
+
+    /// Checks the engine-instance token against the executing instance's current
+    /// one, the standard epoch-validation guard: a plan prepared before a rebuild
+    /// (or against a different instance entirely) fails with
+    /// [`PhError::StalePlan`] instead of silently answering over a synopsis whose
+    /// encoded domain it was never compiled for. An unbound plan (`token == 0`)
+    /// is the engine's own declaration that its plans carry no instance state and
+    /// passes unconditionally.
+    pub fn check_token(&self, current: u64) -> Result<(), PhError> {
+        if self.token == 0 || self.token == current {
+            Ok(())
+        } else {
+            Err(PhError::StalePlan(format!(
+                "plan for '{}' was prepared against engine instance epoch {}, the \
+                 serving instance is at epoch {current}; re-prepare the query",
+                self.query, self.token
+            )))
+        }
+    }
+
+    /// Binds this plan to the `Session` that created it (see
+    /// `Session::execute`'s identity check). Engine instances already refuse
+    /// foreign plans through the epoch token; the session binding exists so the
+    /// refusal names the real mistake — a plan carried across catalogs that
+    /// happen to share a table name — rather than a generic staleness.
+    pub fn with_session(mut self, session: u64) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// The session id set by [`Prepared::with_session`] (0 when unbound).
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// The parsed query this plan answers.
@@ -117,7 +153,13 @@ impl std::fmt::Debug for Prepared {
 /// three baselines (`SamplingAqp`, `SpnAqp`, `KdeAqp`), so harnesses, the
 /// `Session` catalog, and applications can treat engines uniformly and every
 /// engine returns the same [`AqpAnswer`]/[`Estimate`](crate::Estimate) types.
-pub trait AqpEngine {
+///
+/// `Send + Sync` is a supertrait: engines are immutable once built (updates go
+/// through out-of-place replacement, never in-place mutation of a serving
+/// instance), so any engine can serve concurrent readers behind an `Arc` — the
+/// contract the thread-safe `Session` catalog is built on. An engine that needs
+/// interior mutability must make it thread-safe to implement the trait at all.
+pub trait AqpEngine: Send + Sync {
     /// Engine name for routing, experiment tables and error messages.
     fn name(&self) -> &'static str;
 

@@ -1,6 +1,6 @@
 //! The `Session` catalog facade: named tables, prepared-plan caching, incremental
 //! ingest with a staleness-triggered rebuild policy, and whole-synopsis
-//! persistence.
+//! persistence — all safely shareable across threads.
 //!
 //! A `Session` is the single front door the serving story needs: applications
 //! register datasets once, then speak SQL. Behind the door it
@@ -18,6 +18,39 @@
 //!   cold — the "compressed synopsis doubles as the serving structure" posture:
 //!   what ships to an edge node or a replica is exactly the store it serves from.
 //!
+//! # Threading model
+//!
+//! Every public method takes `&self`, and `Session` is `Send + Sync`: wrap one in
+//! an `Arc` (or hand out `&Session` under `std::thread::scope`) and let any number
+//! of reader threads call [`Session::sql`] / [`Session::prepare`] /
+//! [`Session::execute`] while writer threads [`Session::ingest`] and
+//! [`Session::register`] concurrently. Three mechanisms make that safe without
+//! serializing the read path:
+//!
+//! 1. **Epoch-swapped table state.** Each table's engine (plus its build config
+//!    and retained rows) lives in an immutable [`TableState`] behind
+//!    `RwLock<Arc<TableState>>`. Readers take the read lock just long enough to
+//!    clone the `Arc` — nanoseconds — then run the whole query against their
+//!    private snapshot with no lock held. `ingest` builds the replacement state
+//!    *off to the side* (holding only a per-table writer mutex that excludes
+//!    other writers, never readers) and swaps the `Arc` in one write-lock store.
+//!    A reader mid-query keeps its snapshot alive through the `Arc`; it simply
+//!    answers from the pre-swap version — every answer is consistent with *some*
+//!    point in the ingest timeline, never a half-applied batch.
+//! 2. **A sharded plan cache.** The fingerprint → plan and text → plan maps are
+//!    split across [`PLAN_CACHE_SHARDS`] `RwLock`ed shards, so concurrent cache
+//!    hits on different templates don't contend on one global lock, and a hit is
+//!    a single read-lock probe.
+//! 3. **Plan epochs for staleness.** A rebuild refits the preprocessor, which can
+//!    change the encoded domain plans were compiled against, so every rebuild
+//!    mints a fresh [`PairwiseHist::plan_epoch`]. A `Prepared` handle held across
+//!    a rebuild fails with [`PhError::StalePlan`] instead of answering wrongly;
+//!    [`Session::sql`] transparently re-prepares on that error (bounded
+//!    retries — see `STALE_RETRIES`), while
+//!    [`Session::execute`] surfaces it so callers holding long-lived handles can
+//!    re-prepare themselves. Edge-free ingest swaps in a *clone* of the engine,
+//!    which shares the epoch — plans stay valid across those swaps.
+//!
 //! # Quick start
 //!
 //! ```
@@ -29,17 +62,26 @@
 //!     .column(Column::from_ints("y", (0..10_000).map(|i| Some((i % 100) * 2)).collect())).unwrap()
 //!     .build();
 //!
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! session.register(data).unwrap();
 //! let est = session.sql("SELECT COUNT(y) FROM demo WHERE x >= 50;").unwrap()
 //!     .scalar().unwrap();
 //! assert!((est.value - 5000.0).abs() < 100.0);
 //! assert!(est.lo <= 5000.0 && 5000.0 <= est.hi);
+//!
+//! // The same session, shared by reference across threads:
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         scope.spawn(|| session.sql("SELECT AVG(y) FROM demo WHERE x > 10").unwrap());
+//!     }
+//! });
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Deref;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ph_sql::parse_query;
 use ph_types::{Dataset, PhError};
@@ -48,42 +90,167 @@ use crate::build::{PairwiseHist, PairwiseHistConfig};
 use crate::engine::AqpAnswer;
 use crate::prepared::{AqpEngine, Prepared};
 
-/// Plan-cache capacity. Caching is keyed by full query fingerprint (structure and
-/// literals), so adversarially unique literals could grow the map without bound;
-/// past this many distinct templates the cache is simply cleared — correct, and
-/// cheap relative to the cost of tracking recency.
+/// Plan-cache capacity across all shards. Caching is keyed by full query
+/// fingerprint (structure and literals), so adversarially unique literals could
+/// grow the map without bound; past this many distinct templates a shard is
+/// simply cleared — correct, and cheap relative to the cost of tracking recency.
 const PLAN_CACHE_CAP: usize = 4096;
 
-/// One registered table: its engine, the build configuration used (re-used on
-/// rebuild), and — when the table was registered from raw rows rather than opened
-/// from disk — the accumulated dataset that makes rebuilds possible.
-struct TableEntry {
-    engine: PairwiseHist,
-    cfg: PairwiseHistConfig,
-    /// Raw rows, kept only for tables registered in-memory. `None` after
-    /// [`Session::open_dir`]: a reopened catalog serves from the synopsis alone.
-    data: Option<Dataset>,
+/// Number of plan-cache shards. Hits on different templates land on different
+/// locks with high probability; 16 is plenty for the core counts this serves.
+const PLAN_CACHE_SHARDS: usize = 16;
+
+/// How many times [`Session::sql`] re-prepares after a [`PhError::StalePlan`]
+/// before giving up. Each retry replans against the *latest* table state, so a
+/// retry only fails if a rebuild lands in the microseconds between planning and
+/// execution — `N` consecutive failures require `N` back-to-back rebuilds
+/// interleaved exactly so, which no realistic writer produces.
+const STALE_RETRIES: usize = 4;
+
+/// Process-unique session ids for the plan identity check (never 0: 0 means
+/// "unbound" on a [`Prepared`]).
+fn next_session_id() -> u64 {
+    static IDS: AtomicU64 = AtomicU64::new(1);
+    IDS.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Cache of prepared plans shared by all tables (fingerprints embed the table
-/// name), plus a text-level index that lets byte-identical SQL skip parsing too.
+/// One immutable version of a registered table: its engine and the build
+/// configuration (re-used on rebuild). Never mutated once published; ingest
+/// replaces the whole state.
+struct TableState {
+    engine: PairwiseHist,
+    cfg: PairwiseHistConfig,
+}
+
+/// The epoch cell of one table: the current state, swapped atomically under
+/// `state`'s write lock, plus the retained raw rows. The rows mutex doubles as
+/// the writer lock — it serializes ingests (two writers must never build
+/// replacements from the same base; the second would silently drop the first's
+/// rows), and it guards the only writer-side mutable data, so rows are appended
+/// in place (O(batch) per ingest) instead of cloned per batch. Readers never
+/// touch it: snapshots expose only the engine.
+struct TableCell {
+    state: RwLock<Arc<TableState>>,
+    /// Retained raw rows for rebuilds; `None` after [`Session::open_dir`] —
+    /// a reopened catalog serves from the synopsis alone.
+    rows: Mutex<Option<Dataset>>,
+}
+
+impl TableCell {
+    fn new(state: TableState, rows: Option<Dataset>) -> Self {
+        Self { state: RwLock::new(Arc::new(state)), rows: Mutex::new(rows) }
+    }
+
+    /// The current state; the read lock is held only for the `Arc` clone.
+    fn snapshot(&self) -> Arc<TableState> {
+        self.state.read().expect("table state lock").clone()
+    }
+
+    /// Publishes a replacement state.
+    fn swap(&self, next: TableState) {
+        *self.state.write().expect("table state lock") = Arc::new(next);
+    }
+}
+
+/// A point-in-time view of one table's serving engine, as returned by
+/// [`Session::engine`]. Holding a snapshot keeps that version alive even while
+/// writers swap in newer ones — queries through it answer from the version it
+/// captured. Dereferences to [`PairwiseHist`].
+pub struct TableSnapshot(Arc<TableState>);
+
+impl TableSnapshot {
+    /// The synopsis engine of this version.
+    pub fn engine(&self) -> &PairwiseHist {
+        &self.0.engine
+    }
+}
+
+impl Deref for TableSnapshot {
+    type Target = PairwiseHist;
+
+    fn deref(&self) -> &PairwiseHist {
+        &self.0.engine
+    }
+}
+
+/// One plan-cache shard: template plans by fingerprint, plus a text index that
+/// lets byte-identical SQL resolve in a single probe without parsing. Both maps
+/// hold the plan `Arc` directly, so the two indexes need no cross-shard
+/// consistency.
 #[derive(Default)]
-struct PlanCache {
+struct CacheShard {
     by_fingerprint: HashMap<u64, Arc<Prepared>>,
-    by_text: HashMap<String, u64>,
-    hits: u64,
-    misses: u64,
+    by_text: HashMap<String, Arc<Prepared>>,
+}
+
+/// The sharded plan cache. Shard choice is by fingerprint for the canonical
+/// index and by text hash for the spelling index; hit/miss counters are plain
+/// atomics so the hot path never takes a lock for bookkeeping.
+struct PlanCache {
+    shards: Vec<RwLock<CacheShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl PlanCache {
-    /// Records a spelling → fingerprint mapping, keeping the text index bounded:
-    /// distinct re-spellings of cached templates (whitespace/case variants) must
-    /// not grow memory without limit in a long-lived serving process.
-    fn insert_text(&mut self, sql: &str, fp: u64) {
-        if self.by_text.len() >= PLAN_CACHE_CAP * 4 {
-            self.by_text.clear();
+    fn new() -> Self {
+        Self {
+            shards: (0..PLAN_CACHE_SHARDS).map(|_| RwLock::new(CacheShard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
-        self.by_text.insert(sql.to_string(), fp);
+    }
+
+    fn shard_for_fp(&self, fp: u64) -> &RwLock<CacheShard> {
+        &self.shards[(fp as usize) % PLAN_CACHE_SHARDS]
+    }
+
+    fn shard_for_text(&self, sql: &str) -> &RwLock<CacheShard> {
+        &self.shards[(ph_types::fnv1a(sql.as_bytes()) as usize) % PLAN_CACHE_SHARDS]
+    }
+
+    fn get_by_text(&self, sql: &str) -> Option<Arc<Prepared>> {
+        self.shard_for_text(sql).read().expect("plan cache lock").by_text.get(sql).cloned()
+    }
+
+    fn get_by_fp(&self, fp: u64) -> Option<Arc<Prepared>> {
+        self.shard_for_fp(fp).read().expect("plan cache lock").by_fingerprint.get(&fp).cloned()
+    }
+
+    /// Records a plan under its fingerprint and the spelling that produced it.
+    /// Each shard is capped (see [`PLAN_CACHE_CAP`]); distinct re-spellings of
+    /// cached templates (whitespace/case variants) must not grow memory without
+    /// limit in a long-lived serving process, so the text index has its own cap.
+    fn insert(&self, sql: &str, plan: &Arc<Prepared>) {
+        let per_shard = (PLAN_CACHE_CAP / PLAN_CACHE_SHARDS).max(1);
+        {
+            let mut shard = self.shard_for_fp(plan.fingerprint()).write().expect("plan cache lock");
+            if shard.by_fingerprint.len() >= per_shard {
+                shard.by_fingerprint.clear();
+            }
+            shard.by_fingerprint.insert(plan.fingerprint(), plan.clone());
+        }
+        let mut shard = self.shard_for_text(sql).write().expect("plan cache lock");
+        if shard.by_text.len() >= per_shard * 4 {
+            shard.by_text.clear();
+        }
+        shard.by_text.insert(sql.to_string(), plan.clone());
+    }
+
+    /// Drops every cached plan for `table` (its synopsis changed).
+    fn invalidate_table(&self, table: &str) {
+        for shard in &self.shards {
+            let mut s = shard.write().expect("plan cache lock");
+            s.by_fingerprint.retain(|_, p| p.query().table != table);
+            s.by_text.retain(|_, p| p.query().table != table);
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("plan cache lock").by_fingerprint.len())
+            .sum()
     }
 }
 
@@ -110,14 +277,18 @@ pub struct IngestReport {
 }
 
 /// A catalog of named tables with prepared queries, incremental ingest, and
-/// synopsis persistence. See the [module docs](self) for the architecture.
+/// synopsis persistence, safely shareable across threads — see the
+/// [module docs](self) for the architecture and threading model.
 pub struct Session {
-    tables: BTreeMap<String, TableEntry>,
-    cache: Mutex<PlanCache>,
+    /// Process-unique identity for the cross-session plan check.
+    id: u64,
+    tables: RwLock<BTreeMap<String, Arc<TableCell>>>,
+    cache: PlanCache,
     default_cfg: PairwiseHistConfig,
     /// Rebuild a table once its staleness exceeds this (see
-    /// [`PairwiseHist::staleness`]); tables without retained raw rows only report.
-    max_staleness: f64,
+    /// [`PairwiseHist::staleness`]); tables without retained raw rows only
+    /// report. Stored as `f64` bits so configuration is `&self` like the rest.
+    max_staleness: AtomicU64,
 }
 
 impl Default for Session {
@@ -135,153 +306,210 @@ impl Session {
     /// An empty catalog whose [`Session::register`] uses `cfg` for every build.
     pub fn with_config(cfg: PairwiseHistConfig) -> Self {
         Self {
-            tables: BTreeMap::new(),
-            cache: Mutex::new(PlanCache::default()),
+            id: next_session_id(),
+            tables: RwLock::new(BTreeMap::new()),
+            cache: PlanCache::new(),
             default_cfg: cfg,
-            max_staleness: 0.5,
+            max_staleness: AtomicU64::new(0.5f64.to_bits()),
         }
     }
 
     /// Sets the staleness threshold above which [`Session::ingest`] rebuilds the
     /// table's synopsis from retained raw rows (default 0.5 — rebuild once at most
     /// half the sample post-dates the last refinement).
-    pub fn set_max_staleness(&mut self, threshold: f64) {
-        self.max_staleness = threshold.max(0.0);
+    pub fn set_max_staleness(&self, threshold: f64) {
+        self.max_staleness.store(threshold.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    fn max_staleness(&self) -> f64 {
+        f64::from_bits(self.max_staleness.load(Ordering::Relaxed))
     }
 
     /// Registers a dataset under its own name, building a synopsis with the
     /// session's default configuration. The raw rows are retained so the staleness
     /// policy can rebuild later.
-    pub fn register(&mut self, data: Dataset) -> Result<(), PhError> {
+    pub fn register(&self, data: Dataset) -> Result<(), PhError> {
         let cfg = self.default_cfg.clone();
         self.register_with(data, &cfg)
     }
 
     /// Registers a dataset with an explicit build configuration.
-    pub fn register_with(
-        &mut self,
-        data: Dataset,
-        cfg: &PairwiseHistConfig,
-    ) -> Result<(), PhError> {
+    pub fn register_with(&self, data: Dataset, cfg: &PairwiseHistConfig) -> Result<(), PhError> {
         let name = data.name().to_string();
-        if self.tables.contains_key(&name) {
-            return Err(PhError::Schema(format!("table '{name}' is already registered")));
+        let taken = |name: &str| {
+            Err(PhError::Schema(format!("table '{name}' is already registered")))
+        };
+        if self.tables.read().expect("table map lock").contains_key(&name) {
+            return taken(&name);
         }
         // The entry keeps the *requested* configuration; `ns` is clamped to the
         // rows actually present at each (re)build, so a table that grows past the
-        // requested sample size samples up to it again on rebuild.
+        // requested sample size samples up to it again on rebuild. The build runs
+        // before the map lock is taken — registration must not stall the catalog.
         let mut build_cfg = cfg.clone();
         build_cfg.ns = build_cfg.ns.min(data.n_rows().max(1));
         let engine = PairwiseHist::build(&data, &build_cfg);
-        self.tables.insert(name, TableEntry { engine, cfg: cfg.clone(), data: Some(data) });
+        let state = TableState { engine, cfg: cfg.clone() };
+        let mut map = self.tables.write().expect("table map lock");
+        if map.contains_key(&name) {
+            return taken(&name); // lost a registration race for the same name
+        }
+        map.insert(name, Arc::new(TableCell::new(state, Some(data))));
         Ok(())
     }
 
     /// Registered table names, in sorted order.
-    pub fn tables(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(|s| s.as_str())
+    pub fn tables(&self) -> Vec<String> {
+        self.tables.read().expect("table map lock").keys().cloned().collect()
     }
 
-    /// The synopsis engine serving `table`, if registered.
-    pub fn engine(&self, table: &str) -> Option<&PairwiseHist> {
-        self.tables.get(table).map(|t| &t.engine)
+    /// A snapshot of the engine currently serving `table`, if registered. The
+    /// snapshot stays valid (and answers from its version) even if writers swap
+    /// in newer state afterwards.
+    pub fn engine(&self, table: &str) -> Option<TableSnapshot> {
+        let cell = self.tables.read().expect("table map lock").get(table).cloned()?;
+        Some(TableSnapshot(cell.snapshot()))
     }
 
     /// Total serialized footprint of every registered synopsis, in bytes.
     pub fn footprint(&self) -> usize {
-        self.tables.values().map(|t| t.engine.footprint()).sum()
+        let cells: Vec<Arc<TableCell>> =
+            self.tables.read().expect("table map lock").values().cloned().collect();
+        cells.iter().map(|c| c.snapshot().engine.footprint()).sum()
+    }
+
+    fn cell(&self, table: &str) -> Result<Arc<TableCell>, PhError> {
+        self.tables
+            .read()
+            .expect("table map lock")
+            .get(table)
+            .cloned()
+            .ok_or_else(|| PhError::UnknownTable(table.to_string()))
     }
 
     /// Parses, routes and executes one query, going through the plan cache.
     ///
     /// Byte-identical SQL skips parsing entirely; a re-formatted spelling of a
-    /// cached template still skips planning (fingerprints are canonical).
+    /// cached template still skips planning (fingerprints are canonical). A
+    /// cached plan invalidated by a concurrent rebuild ([`PhError::StalePlan`])
+    /// is re-prepared transparently, with bounded retries: the error can only
+    /// surface if a fresh rebuild lands between *every* replan and its
+    /// execution, `STALE_RETRIES` + 1 times back to back.
     pub fn sql(&self, sql: &str) -> Result<AqpAnswer, PhError> {
-        // Text-level fast path.
-        if let Some(p) = self.cached_by_text(sql) {
-            return self.execute(&p);
+        // Text-level fast path. No pre-validation here: `execute` runs the
+        // epoch check anyway, and the `StalePlan` arm below purges the cache —
+        // pre-validating would only double the table lookups on the hot path.
+        if let Some(p) = self.cache.get_by_text(sql) {
+            match self.execute(&p) {
+                Err(PhError::StalePlan(_)) => self.cache.invalidate_table(&p.query().table),
+                other => {
+                    self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    return other;
+                }
+            }
         }
-        let prepared = self.prepare_internal(sql)?;
-        self.execute(&prepared)
+        let mut last = self.prepare_internal(sql)?;
+        for _ in 0..STALE_RETRIES {
+            match self.execute(&last) {
+                Err(PhError::StalePlan(_)) => {
+                    // The plan lost a race with a rebuild: purge the table's
+                    // cached plans (they are all from the dead epoch) and replan
+                    // against the state that replaced it.
+                    self.cache.invalidate_table(&last.query().table);
+                    last = self.prepare_internal(sql)?;
+                }
+                other => return other,
+            }
+        }
+        self.execute(&last)
     }
 
     /// Parses and plans one query, returning the cached plan handle. Repeated calls
     /// with the same template return the same `Arc` without re-planning; pair with
-    /// [`Session::execute`] for parse-once/execute-many loops.
+    /// [`Session::execute`] for parse-once/execute-many loops. A handle held
+    /// across a rebuild of its table fails [`Session::execute`] with
+    /// [`PhError::StalePlan`]; re-`prepare` to get a live one.
     pub fn prepare(&self, sql: &str) -> Result<Arc<Prepared>, PhError> {
         if let Some(p) = self.cached_by_text(sql) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
         self.prepare_internal(sql)
     }
 
+    /// Text-index lookup, epoch-validated against the serving state: a stale
+    /// survivor (a plan a racing `prepare` re-inserted after a rebuild's
+    /// invalidation sweep) is purged here and treated as a miss — otherwise the
+    /// cache would keep handing out a plan whose every execution fails with
+    /// [`PhError::StalePlan`], and a caller following the documented
+    /// re-`prepare` recipe would loop on the same dead handle.
+    fn cached_by_text(&self, sql: &str) -> Option<Arc<Prepared>> {
+        let p = self.cache.get_by_text(sql)?;
+        let cell = self.tables.read().expect("table map lock").get(&p.query().table).cloned()?;
+        if p.token() == cell.snapshot().engine.plan_epoch() {
+            Some(p)
+        } else {
+            self.cache.invalidate_table(&p.query().table);
+            None
+        }
+    }
+
     /// Executes a plan from [`Session::prepare`], routing by its `FROM` table.
+    ///
+    /// Two guards protect against handle misuse: a plan prepared by a *different
+    /// session* is rejected by identity (sharing a table name does not make two
+    /// catalogs interchangeable), and a plan prepared before its table was
+    /// rebuilt fails with [`PhError::StalePlan`] via the engine's epoch check.
     pub fn execute(&self, prepared: &Prepared) -> Result<AqpAnswer, PhError> {
-        let table = &prepared.query().table;
-        let entry = self
-            .tables
-            .get(table)
-            .ok_or_else(|| PhError::UnknownTable(table.clone()))?;
-        entry.engine.execute_prepared(prepared)
+        if prepared.session() != 0 && prepared.session() != self.id {
+            return Err(PhError::InvalidQuery(format!(
+                "plan for '{}' was prepared by a different session; a table of the \
+                 same name in another catalog is not the same table — re-prepare \
+                 on this session",
+                prepared.query()
+            )));
+        }
+        let state = self.cell(&prepared.query().table)?.snapshot();
+        state.engine.execute_prepared(prepared)
     }
 
     /// Plan-cache totals since the session was created.
     pub fn cache_stats(&self) -> CacheStats {
-        let c = self.cache.lock().expect("plan cache lock");
-        CacheStats { hits: c.hits, misses: c.misses, entries: c.by_fingerprint.len() }
-    }
-
-    fn cached_by_text(&self, sql: &str) -> Option<Arc<Prepared>> {
-        let mut cache = self.cache.lock().expect("plan cache lock");
-        let fp = cache.by_text.get(sql).copied()?;
-        let p = cache.by_fingerprint.get(&fp).cloned();
-        if p.is_some() {
-            cache.hits += 1;
+        CacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            entries: self.cache.entries(),
         }
-        p
     }
 
     /// Slow path: parse, then fingerprint-level lookup, then plan + insert.
     fn prepare_internal(&self, sql: &str) -> Result<Arc<Prepared>, PhError> {
         let query = parse_query(sql)?;
-        let entry = self
-            .tables
-            .get(&query.table)
-            .ok_or_else(|| PhError::UnknownTable(query.table.clone()))?;
+        let state = self.cell(&query.table)?.snapshot();
         let fp = query.fingerprint();
-        {
-            let mut cache = self.cache.lock().expect("plan cache lock");
-            if let Some(p) = cache.by_fingerprint.get(&fp).cloned() {
-                // New spelling of a known template: remember the text, skip planning.
-                cache.hits += 1;
-                cache.insert_text(sql, fp);
+        if let Some(p) = self.cache.get_by_fp(fp) {
+            // New spelling of a known template — but only trust it if it still
+            // matches the serving epoch; a stale survivor is replaced below.
+            if p.token() == state.engine.plan_epoch() {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.cache.insert(sql, &p);
                 return Ok(p);
             }
         }
-        let prepared = Arc::new(entry.engine.prepare(&query)?);
-        let mut cache = self.cache.lock().expect("plan cache lock");
-        cache.misses += 1;
-        if cache.by_fingerprint.len() >= PLAN_CACHE_CAP {
-            cache.by_fingerprint.clear();
-            cache.by_text.clear();
-        }
-        cache.by_fingerprint.insert(fp, prepared.clone());
-        cache.insert_text(sql, fp);
+        let prepared = Arc::new(state.engine.prepare(&query)?.with_session(self.id));
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(sql, &prepared);
         Ok(prepared)
-    }
-
-    /// Drops every cached plan for `table` (schema or synopsis changed).
-    fn invalidate_table(&self, table: &str) {
-        let mut cache = self.cache.lock().expect("plan cache lock");
-        cache.by_fingerprint.retain(|_, p| p.query().table != table);
-        let live: std::collections::HashSet<u64> =
-            cache.by_fingerprint.keys().copied().collect();
-        cache.by_text.retain(|_, fp| live.contains(fp));
     }
 
     /// Folds a batch of new rows into `table`'s synopsis without rebuilding
     /// (`update.rs`'s edge-free ingest). The batch must match the table's schema:
     /// same column names **and** logical types, in order.
+    ///
+    /// The replacement state is built **out of place** — readers keep answering
+    /// from the current version the whole time — and swapped in atomically at the
+    /// end. Concurrent `ingest` calls on the same table serialize on a per-table
+    /// writer lock (never blocking readers); different tables ingest in parallel.
     ///
     /// Batches containing categorical values unseen at build time cannot take the
     /// edge-free path (the fitted dictionary has no code for them): when the
@@ -292,13 +520,16 @@ impl Session {
     /// from disk) and the post-ingest staleness exceeds the session threshold, the
     /// synopsis is rebuilt from scratch over all accumulated rows. Any rebuild
     /// refits the preprocessor — which can change the encoded domain cached plans
-    /// were compiled against — so the table's cached plans are invalidated.
-    pub fn ingest(&mut self, table: &str, batch: &Dataset) -> Result<IngestReport, PhError> {
-        let entry = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| PhError::UnknownTable(table.to_string()))?;
-        let pre = entry.engine.preprocessor().clone();
+    /// were compiled against — so the rebuilt engine carries a fresh plan epoch
+    /// and the table's cached plans are invalidated; held handles fail with
+    /// [`PhError::StalePlan`] rather than answering wrongly.
+    pub fn ingest(&self, table: &str, batch: &Dataset) -> Result<IngestReport, PhError> {
+        let cell = self.cell(table)?;
+        // The rows lock is the writer lock: one writer per table at a time;
+        // readers are never blocked by it.
+        let mut rows = cell.rows.lock().expect("table writer lock");
+        let cur = cell.snapshot();
+        let pre = cur.engine.preprocessor().clone();
         // Full schema validation up front: nothing below may fail half-applied.
         if batch.n_columns() != pre.n_columns() {
             return Err(PhError::Schema(format!(
@@ -307,9 +538,9 @@ impl Session {
                 pre.n_columns()
             )));
         }
-        for (c, (name, col)) in batch.columns().iter().zip(
-            pre.names().iter().zip(0..pre.n_columns()),
-        ) {
+        for (c, (name, col)) in
+            batch.columns().iter().zip(pre.names().iter().zip(0..pre.n_columns()))
+        {
             if c.name() != name || c.ty() != pre.column_type(col) {
                 return Err(PhError::Schema(format!(
                     "batch column '{}' ({:?}) does not match table '{table}' column \
@@ -338,9 +569,13 @@ impl Session {
             c.valid_count() < c.len() && pre.transform(col).null_code().is_none()
         });
 
+        // Build the replacement engine off to the side. The retained rows are
+        // appended in place (we hold their lock — the writer lock); `cur` keeps
+        // serving until the single swap at the end. Note `rows` was locked
+        // before validation, so nothing here races another writer.
         let mut rebuilt = false;
-        if has_novel_category || has_novel_null {
-            let Some(data) = &mut entry.data else {
+        let engine = if has_novel_category || has_novel_null {
+            let Some(data) = rows.as_mut() else {
                 return Err(PhError::Schema(format!(
                     "batch introduces {} unrepresentable under table '{table}'s fitted \
                      transforms, and the table has no retained rows to rebuild from",
@@ -348,28 +583,32 @@ impl Session {
                 )));
             };
             data.append(batch)?;
-            let mut cfg = entry.cfg.clone();
+            let mut cfg = cur.cfg.clone();
             cfg.ns = cfg.ns.min(data.n_rows().max(1));
-            entry.engine = PairwiseHist::build(data, &cfg);
             rebuilt = true;
+            PairwiseHist::build(data, &cfg)
         } else {
             let encoded = pre.encode(batch);
-            entry.engine.ingest(&encoded);
-            if let Some(data) = &mut entry.data {
+            let mut engine = cur.engine.with_ingested(&encoded);
+            if let Some(data) = rows.as_mut() {
                 data.append(batch)?;
             }
-            if entry.engine.staleness() > self.max_staleness {
-                if let Some(data) = &entry.data {
-                    let mut cfg = entry.cfg.clone();
+            if engine.staleness() > self.max_staleness() {
+                if let Some(data) = rows.as_ref() {
+                    let mut cfg = cur.cfg.clone();
                     cfg.ns = cfg.ns.min(data.n_rows().max(1));
-                    entry.engine = PairwiseHist::build(data, &cfg);
+                    engine = PairwiseHist::build(data, &cfg);
                     rebuilt = true;
                 }
             }
-        }
-        let staleness = entry.engine.staleness();
+            engine
+        };
+        let staleness = engine.staleness();
+        cell.swap(TableState { engine, cfg: cur.cfg.clone() });
         if rebuilt {
-            self.invalidate_table(table);
+            // After the swap, so a re-prepare triggered by the invalidation can
+            // only ever see the new epoch.
+            self.cache.invalidate_table(table);
         }
         Ok(IngestReport { rows: batch.n_rows(), staleness, rebuilt })
     }
@@ -377,14 +616,25 @@ impl Session {
     /// Persists every table to `dir` (created if missing), one self-describing
     /// `.pwhs` file per table: header + preprocessor + synopsis
     /// ([`PairwiseHist::to_bytes_named`]). Returns the number of files written.
+    ///
+    /// Concurrent writers may swap tables while the directory is written; each
+    /// table's file is internally consistent (serialized from one snapshot), and
+    /// the set of tables is the registration set at the start of the call.
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<usize, PhError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        for (name, entry) in &self.tables {
-            let blob = entry.engine.to_bytes_named(name);
+        let cells: Vec<(String, Arc<TableCell>)> = self
+            .tables
+            .read()
+            .expect("table map lock")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.clone()))
+            .collect();
+        for (name, cell) in &cells {
+            let blob = cell.snapshot().engine.to_bytes_named(name);
             std::fs::write(dir.join(file_name_for(name)), blob)?;
         }
-        Ok(self.tables.len())
+        Ok(cells.len())
     }
 
     /// Reopens a catalog persisted with [`Session::save_dir`]: every `.pwhs` file
@@ -393,28 +643,32 @@ impl Session {
     /// policy degrades to reporting (no rebuild source).
     pub fn open_dir(dir: impl AsRef<Path>) -> Result<Session, PhError> {
         let dir = dir.as_ref();
-        let mut session = Session::new();
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("pwhs") {
-                continue;
+        let session = Session::new();
+        {
+            let mut map = session.tables.write().expect("table map lock");
+            for entry in std::fs::read_dir(dir)? {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("pwhs") {
+                    continue;
+                }
+                let bytes = std::fs::read(&path)?;
+                let (name, engine) =
+                    PairwiseHist::from_bytes_named(&bytes).ok_or_else(|| {
+                        PhError::Corrupt(format!("{} does not decode", path.display()))
+                    })?;
+                if map.contains_key(&name) {
+                    return Err(PhError::Corrupt(format!(
+                        "table '{name}' appears in more than one file"
+                    )));
+                }
+                let cfg = PairwiseHistConfig {
+                    ns: engine.params().ns,
+                    alpha: engine.params().alpha,
+                    m_absolute: Some(engine.params().m_min),
+                    ..PairwiseHistConfig::default()
+                };
+                map.insert(name, Arc::new(TableCell::new(TableState { engine, cfg }, None)));
             }
-            let bytes = std::fs::read(&path)?;
-            let (name, engine) = PairwiseHist::from_bytes_named(&bytes).ok_or_else(|| {
-                PhError::Corrupt(format!("{} does not decode", path.display()))
-            })?;
-            if session.tables.contains_key(&name) {
-                return Err(PhError::Corrupt(format!(
-                    "table '{name}' appears in more than one file"
-                )));
-            }
-            let cfg = PairwiseHistConfig {
-                ns: engine.params().ns,
-                alpha: engine.params().alpha,
-                m_absolute: Some(engine.params().m_min),
-                ..PairwiseHistConfig::default()
-            };
-            session.tables.insert(name, TableEntry { engine, cfg, data: None });
         }
         Ok(session)
     }
@@ -463,7 +717,7 @@ mod tests {
     }
 
     fn session_with(name: &str, n: usize, seed: u64) -> Session {
-        let mut s = Session::with_config(PairwiseHistConfig {
+        let s = Session::with_config(PairwiseHistConfig {
             parallel: false,
             ..Default::default()
         });
@@ -471,11 +725,22 @@ mod tests {
         s
     }
 
+    /// The compile-time contract the whole threading model rests on: a field
+    /// that is not thread-safe (`Rc`, `RefCell`, …) fails right here.
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<Arc<Prepared>>();
+        assert_send_sync::<TableSnapshot>();
+        assert_send_sync::<Box<dyn AqpEngine>>();
+    }
+
     #[test]
     fn routes_by_from_table() {
-        let mut s = session_with("t1", 8_000, 1);
+        let s = session_with("t1", 8_000, 1);
         s.register(dataset("t2", 8_000, 2)).unwrap();
-        assert_eq!(s.tables().collect::<Vec<_>>(), vec!["t1", "t2"]);
+        assert_eq!(s.tables(), vec!["t1", "t2"]);
         assert!(s.sql("SELECT COUNT(x) FROM t1").is_ok());
         assert!(s.sql("SELECT COUNT(x) FROM t2").is_ok());
         assert!(matches!(
@@ -486,7 +751,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_rejected() {
-        let mut s = session_with("t", 2_000, 3);
+        let s = session_with("t", 2_000, 3);
         assert!(matches!(s.register(dataset("t", 100, 4)), Err(PhError::Schema(_))));
     }
 
@@ -547,7 +812,7 @@ mod tests {
 
     #[test]
     fn ingest_updates_counts_and_reports_staleness() {
-        let mut s = session_with("t", 10_000, 8);
+        let s = session_with("t", 10_000, 8);
         s.set_max_staleness(0.9); // keep the edge-free path for this test
         let r = s.ingest("t", &dataset("t", 5_000, 9)).unwrap();
         assert_eq!(r.rows, 5_000);
@@ -559,7 +824,7 @@ mod tests {
 
     #[test]
     fn staleness_policy_triggers_rebuild_and_invalidates_plans() {
-        let mut s = session_with("t", 6_000, 10);
+        let s = session_with("t", 6_000, 10);
         s.set_max_staleness(0.3);
         let sql = "SELECT COUNT(x) FROM t WHERE x > 250";
         s.sql(sql).unwrap();
@@ -576,7 +841,7 @@ mod tests {
 
     #[test]
     fn ingest_schema_mismatch_rejected() {
-        let mut s = session_with("t", 1_000, 12);
+        let s = session_with("t", 1_000, 12);
         let bad = Dataset::builder("t")
             .column(Column::from_ints("x", vec![Some(1)]))
             .unwrap()
@@ -602,7 +867,7 @@ mod tests {
 
     #[test]
     fn novel_categories_force_rebuild_or_clean_error() {
-        let mut s = session_with("t", 4_000, 30);
+        let s = session_with("t", 4_000, 30);
         s.set_max_staleness(10.0); // only the novel category may trigger a rebuild
         let batch = {
             let mut rng = rand::rngs::StdRng::seed_from_u64(31);
@@ -629,7 +894,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ph_sess_novel_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         s.save_dir(&dir).unwrap();
-        let mut cold = Session::open_dir(&dir).unwrap();
+        let cold = Session::open_dir(&dir).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
         let batch2 = {
             let x = vec![Some(1i64)];
@@ -661,7 +926,7 @@ mod tests {
             .column(Column::from_ints("y", y))
             .unwrap()
             .build();
-        let mut s = Session::with_config(PairwiseHistConfig {
+        let s = Session::with_config(PairwiseHistConfig {
             parallel: false,
             ..Default::default()
         });
@@ -684,7 +949,7 @@ mod tests {
 
     #[test]
     fn stale_prepared_plans_rejected_after_rebuild() {
-        let mut s = session_with("t", 5_000, 32);
+        let s = session_with("t", 5_000, 32);
         s.set_max_staleness(0.3);
         let sql = "SELECT COUNT(x) FROM t WHERE x > 400";
         let plan = s.prepare(sql).unwrap();
@@ -693,24 +958,102 @@ mod tests {
         let r = s.ingest("t", &dataset("t", 5_000, 33)).unwrap();
         assert!(r.rebuilt);
         assert!(
-            matches!(s.execute(&plan), Err(PhError::InvalidQuery(m)) if m.contains("stale")),
+            matches!(s.execute(&plan), Err(PhError::StalePlan(_))),
             "stale plan must be rejected, not silently mis-answered"
         );
+        // `sql` with the same text re-prepares transparently.
+        assert!(s.sql(sql).is_ok());
         // Re-preparing the same text works and answers over the grown table.
         let fresh = s.prepare(sql).unwrap();
         assert!(s.execute(&fresh).is_ok());
     }
 
+    /// Regression (satellite fix): a `Prepared` from a *different session* whose
+    /// table shares the name must be rejected by session identity — with an error
+    /// that names the real mistake — not merely by the engine's epoch token.
+    #[test]
+    fn prepared_from_other_session_rejected_by_identity() {
+        let s1 = session_with("t", 3_000, 40);
+        let s2 = session_with("t", 3_000, 40); // same name, same rows, other catalog
+        let p1 = s1.prepare("SELECT COUNT(x) FROM t WHERE x > 100").unwrap();
+        assert!(s1.execute(&p1).is_ok());
+        let err = s2.execute(&p1).unwrap_err();
+        assert!(
+            matches!(&err, PhError::InvalidQuery(m) if m.contains("different session")),
+            "cross-session plans must fail the identity check, got: {err:?}"
+        );
+        // A plan prepared straight on an engine (never session-bound) still
+        // passes routing — only the epoch token applies to it.
+        let q = ph_sql::parse_query("SELECT COUNT(x) FROM t").unwrap();
+        let raw = s2.engine("t").unwrap().prepare(&q).unwrap();
+        assert!(s2.execute(&raw).is_ok());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_smoke() {
+        // The full stress test lives in tests/concurrent_session.rs; this is the
+        // in-crate smoke: shared &Session, two readers racing one ingesting
+        // writer, nothing panics and answers stay plausible.
+        let s = session_with("t", 6_000, 50);
+        s.set_max_staleness(0.25); // force rebuilds mid-run
+        std::thread::scope(|scope| {
+            let session = &s;
+            scope.spawn(move || {
+                for k in 0..4 {
+                    session.ingest("t", &dataset("t", 2_000, 60 + k)).unwrap();
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let est = session
+                            .sql("SELECT COUNT(x) FROM t")
+                            .expect("sql must retry through rebuilds")
+                            .scalar()
+                            .unwrap();
+                        assert!(
+                            est.value >= 5_000.0 && est.value <= 15_000.0,
+                            "count estimate out of the ingest timeline: {}",
+                            est.value
+                        );
+                    }
+                });
+            }
+        });
+        let final_est = s.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+        assert!((final_est.value - 14_000.0).abs() / 14_000.0 < 0.05, "{}", final_est.value);
+    }
+
+    #[test]
+    fn snapshots_outlive_swaps() {
+        let s = session_with("t", 5_000, 70);
+        s.set_max_staleness(0.1);
+        let snap = s.engine("t").unwrap();
+        let epoch_before = snap.plan_epoch();
+        let r = s.ingest("t", &dataset("t", 5_000, 71)).unwrap();
+        assert!(r.rebuilt);
+        // The held snapshot still answers from its version…
+        let q = ph_sql::parse_query("SELECT COUNT(x) FROM t").unwrap();
+        let old = snap.execute(&q).unwrap().scalar().unwrap();
+        assert!((old.value - 5_000.0).abs() / 5_000.0 < 0.02, "{}", old.value);
+        assert_eq!(snap.plan_epoch(), epoch_before);
+        // …while the session serves the new one.
+        let newer = s.engine("t").unwrap();
+        assert_ne!(newer.plan_epoch(), epoch_before);
+        let fresh = s.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+        assert!((fresh.value - 10_000.0).abs() / 10_000.0 < 0.02, "{}", fresh.value);
+    }
+
     #[test]
     fn save_and_open_dir_round_trip_answers() {
-        let mut s = session_with("alpha", 12_000, 14);
+        let s = session_with("alpha", 12_000, 14);
         s.register(dataset("beta", 9_000, 15)).unwrap();
         let dir = std::env::temp_dir().join(format!("ph_session_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         assert_eq!(s.save_dir(&dir).unwrap(), 2);
 
         let reopened = Session::open_dir(&dir).unwrap();
-        assert_eq!(reopened.tables().collect::<Vec<_>>(), vec!["alpha", "beta"]);
+        assert_eq!(reopened.tables(), vec!["alpha", "beta"]);
         for sql in [
             "SELECT COUNT(y) FROM alpha WHERE x > 500",
             "SELECT AVG(x) FROM alpha WHERE y < 800",

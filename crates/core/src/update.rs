@@ -104,6 +104,25 @@ impl PairwiseHist {
         self.params.ns += sampled.len();
     }
 
+    /// Out-of-place ingest: returns a new synopsis equal to `self` with `rows`
+    /// folded in, leaving `self` untouched — the building block of epoch-swapped
+    /// serving, where readers keep querying the current instance while the
+    /// replacement is prepared off to the side and then atomically swapped in.
+    ///
+    /// The replacement is a clone, so it **shares `self`'s plan epoch**: prepared
+    /// plans stay valid across the swap (edge-free ingest never refits the
+    /// preprocessor, so resolved column indices and encoded literals still mean
+    /// the same thing). A full rebuild, by contrast, always mints a fresh epoch.
+    ///
+    /// # Panics
+    /// Panics if the batch's column count differs from the synopsis schema.
+    #[must_use = "the updated synopsis is returned, self is left as-is"]
+    pub fn with_ingested(&self, rows: &EncodedMatrix) -> Self {
+        let mut next = self.clone();
+        next.ingest(rows);
+        next
+    }
+
     /// Fraction of the current sample ingested after the last full build: `0.0`
     /// right after construction, approaching `1.0` as updates dominate. A rebuild
     /// re-runs the refinement that updates skip.
@@ -242,6 +261,27 @@ mod tests {
         let est = ph.execute(&q).unwrap().scalar().unwrap();
         let rel = (est.value - 60_000.0).abs() / 60_000.0;
         assert!(rel < 0.05, "{}", est.value);
+    }
+
+    #[test]
+    fn out_of_place_ingest_matches_in_place_and_preserves_original() {
+        let base = dataset(10_000, 0, 10);
+        let cfg = PairwiseHistConfig { ns: 10_000, parallel: false, ..Default::default() };
+        let original = PairwiseHist::build(&base, &cfg);
+        let more = dataset(5_000, 0, 11);
+        let encoded = original.preprocessor().clone().encode(&more);
+
+        let swapped = original.with_ingested(&encoded);
+        let mut in_place = original.clone();
+        in_place.ingest(&encoded);
+
+        // Same result either way, epoch shared, and the original is untouched.
+        assert_eq!(swapped.params(), in_place.params());
+        assert_eq!(swapped.plan_epoch(), original.plan_epoch());
+        assert_eq!(original.params().n_total, 10_000);
+        assert_eq!(original.staleness(), 0.0);
+        let q = parse_query("SELECT COUNT(x) FROM t").unwrap();
+        assert_eq!(swapped.execute(&q).unwrap(), in_place.execute(&q).unwrap());
     }
 
     #[test]

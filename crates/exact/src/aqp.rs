@@ -131,6 +131,14 @@ mod tests {
             .build()
     }
 
+    /// `AqpEngine` now carries `Send + Sync` as a supertrait; this pins the
+    /// exact engine's side of that contract at compile time.
+    #[test]
+    fn exact_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExactEngine>();
+    }
+
     #[test]
     fn answers_match_evaluate_with_zero_width_bounds() {
         let e = ExactEngine::new(data());

@@ -183,21 +183,26 @@ pub fn lex_spanned(input: &str) -> Result<Vec<(Token, usize)>, LexError> {
                 let start = i;
                 i += 1;
                 let mut s = String::new();
+                // Copy whole segments between quote characters, so multi-byte
+                // UTF-8 content survives intact (byte-at-a-time `as char` would
+                // turn it into mojibake; segment boundaries are always the ASCII
+                // quote byte, hence valid char boundaries).
+                let mut seg = i;
                 loop {
                     match bytes.get(i) {
                         None => return Err(LexError::UnterminatedString { at: start }),
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push_str(&input[seg..i]);
                             s.push('\'');
                             i += 2;
+                            seg = i;
                         }
                         Some(b'\'') => {
+                            s.push_str(&input[seg..i]);
                             i += 1;
                             break;
                         }
-                        Some(&b) => {
-                            s.push(b as char);
-                            i += 1;
-                        }
+                        Some(_) => i += 1,
                     }
                 }
                 tokens.push((Token::Str(s), start));
@@ -232,7 +237,13 @@ pub fn lex_spanned(input: &str) -> Result<Vec<(Token, usize)>, LexError> {
                 }
                 tokens.push((Token::Ident(input[start..i].to_string()), start));
             }
-            other => return Err(LexError::UnexpectedChar { ch: other, at: i }),
+            _ => {
+                // Report the actual (possibly multi-byte) character, not the
+                // Latin-1 reading of its first byte. `i` is always a char
+                // boundary here: every other branch consumes only ASCII bytes.
+                let ch = input[i..].chars().next().expect("byte at i starts a char");
+                return Err(LexError::UnexpectedChar { ch, at: i });
+            }
         }
     }
     Ok(tokens)

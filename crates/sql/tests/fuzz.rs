@@ -1,0 +1,176 @@
+//! Fuzz-style property tests for the SQL front end: whatever bytes arrive at
+//! the front door — line noise, truncated queries, hostile mutations of valid
+//! SQL — the lexer and parser must return a structured error or a query, never
+//! panic, and every error must carry an in-bounds byte offset so callers can
+//! point at the offending spot.
+//!
+//! Three input distributions, because each finds different bugs:
+//!
+//! 1. **raw byte soup** (mostly invalid UTF-8 turned lossy): exercises the
+//!    lexer's byte-level scanning, including non-ASCII and replacement chars;
+//! 2. **token soup**: syntactically plausible fragments in random order, which
+//!    gets past the lexer and deep into the parser's expectation handling;
+//! 3. **mutated valid queries**: single-edit corruptions of real templates —
+//!    the classic source of off-by-one offsets in error reporting.
+
+use proptest::prelude::*;
+
+use ph_sql::{lex_spanned, parse_query};
+
+/// Checks the invariants every outcome of `parse_query` must satisfy.
+/// Returns an error string (for `prop_assert!`-style reporting) on violation.
+fn check_front_end(input: &str) -> Result<(), String> {
+    // The lexer: offsets in bounds, strictly non-decreasing, each a char
+    // boundary (so callers can slice the input at the reported position).
+    if let Ok(tokens) = lex_spanned(input) {
+        let mut prev = 0usize;
+        for (_, at) in &tokens {
+            if *at >= input.len().max(1) && !input.is_empty() {
+                return Err(format!("token offset {at} out of bounds in {input:?}"));
+            }
+            if *at < prev {
+                return Err(format!("token offsets went backwards at {at} in {input:?}"));
+            }
+            if !input.is_char_boundary(*at) {
+                return Err(format!("token offset {at} is not a char boundary in {input:?}"));
+            }
+            prev = *at;
+        }
+    }
+    match parse_query(input) {
+        Ok(q) => {
+            // Accepted queries must print as SQL the parser accepts again,
+            // meaning the same query (Display/parse round trip).
+            let printed = q.to_string();
+            match parse_query(&printed) {
+                Ok(q2) if q2 == q => Ok(()),
+                Ok(q2) => Err(format!("round trip changed the query: {q:?} vs {q2:?}")),
+                Err(e) => Err(format!("printed query {printed:?} does not reparse: {e}")),
+            }
+        }
+        Err(e) => {
+            // `at == input.len()` is the documented "at end of input" marker.
+            let at = e.at();
+            if at > input.len() {
+                return Err(format!(
+                    "error offset {at} beyond input length {} for {input:?}: {e}",
+                    input.len()
+                ));
+            }
+            if !input.is_char_boundary(at) {
+                return Err(format!("error offset {at} not a char boundary in {input:?}: {e}"));
+            }
+            // Display must never panic either (it interpolates the offset).
+            let _ = e.to_string();
+            Ok(())
+        }
+    }
+}
+
+/// Valid templates the mutation strategy corrupts.
+const SEEDS: &[&str] = &[
+    "SELECT COUNT(x) FROM t",
+    "SELECT AVG(delay) FROM f WHERE dist > 150 AND dist < 300 OR air_time > 90.5;",
+    "SELECT SUM(x) FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+    "select median(x) from t where a <> 'it''s' group by g;",
+    "SELECT VAR(y) FROM t WHERE a >= -3.5 AND b <= 1e-3",
+    "SELECT MAX(v) FROM t WHERE name = 'x y z' AND v != 0",
+];
+
+/// Bytes that stress the lexer: operators, quotes, digits, whitespace, a few
+/// non-ASCII sequences, and plain identifier characters.
+const SPICE: &[u8] = b"()<>=!;,*'\"._-+eE0189 \t\n\rxyABC%\x80\xC3\xA9\xF0";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (made UTF-8 by lossy conversion): never panics,
+    /// offsets stay in bounds.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(msg) = check_front_end(&input) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+
+    /// Lexer-flavored byte soup: drawn from the characters the grammar actually
+    /// uses, so far more inputs survive lexing and reach the parser.
+    #[test]
+    fn spiced_bytes_never_panic(picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..60)) {
+        let bytes: Vec<u8> = picks.iter().map(|i| SPICE[i.index(SPICE.len())]).collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        if let Err(msg) = check_front_end(&input) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+
+    /// Token soup: plausible SQL fragments in random order — the parser's
+    /// unexpected-token paths all fire here, and every error offset must point
+    /// at a real token start.
+    #[test]
+    fn token_soup_never_panics(picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..25)) {
+        const VOCAB: &[&str] = &[
+            "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "OR", "COUNT", "SUM",
+            "AVG", "MIN", "MAX", "MEDIAN", "VAR", "FOO", "t", "x", "(", ")", "<",
+            "<=", ">", ">=", "=", "<>", "!=", ";", ",", "*", "1", "2.5", "-3",
+            "1e-3", "'a'", "'it''s'",
+        ];
+        let input = picks
+            .iter()
+            .map(|i| VOCAB[i.index(VOCAB.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        if let Err(msg) = check_front_end(&input) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+
+    /// Single-edit mutations of valid queries: insert, delete, replace, or
+    /// truncate at a random position. The mutant parses or errors with an
+    /// in-bounds offset — and if it still parses, it still round-trips.
+    #[test]
+    fn mutated_valid_queries_never_panic(
+        seed in any::<prop::sample::Index>(),
+        pos in any::<prop::sample::Index>(),
+        edit in 0u8..4,
+        replacement in any::<prop::sample::Index>(),
+    ) {
+        let base = SEEDS[seed.index(SEEDS.len())];
+        let bytes = base.as_bytes();
+        let at = pos.index(bytes.len());
+        let spice = SPICE[replacement.index(SPICE.len())];
+        let mutated: Vec<u8> = match edit {
+            0 => { // insert
+                let mut v = bytes.to_vec();
+                v.insert(at, spice);
+                v
+            }
+            1 => { // delete
+                let mut v = bytes.to_vec();
+                v.remove(at);
+                v
+            }
+            2 => { // replace
+                let mut v = bytes.to_vec();
+                v[at] = spice;
+                v
+            }
+            _ => bytes[..at].to_vec(), // truncate
+        };
+        let input = String::from_utf8_lossy(&mutated).into_owned();
+        if let Err(msg) = check_front_end(&input) {
+            prop_assert!(false, "{msg}");
+        }
+    }
+}
+
+/// The unmutated seeds themselves parse and round-trip — anchors the mutation
+/// test (a broken SEEDS entry would silently weaken it).
+#[test]
+fn seed_queries_parse_and_round_trip() {
+    for sql in SEEDS {
+        let q = parse_query(sql).unwrap_or_else(|e| panic!("seed {sql:?} must parse: {e}"));
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q, "{sql}");
+    }
+}

@@ -25,6 +25,12 @@ impl Dataset {
         &self.name
     }
 
+    /// Renames the dataset — e.g. to register the same rows under a different
+    /// catalog name in a `Session`.
+    pub fn rename(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Number of rows `N`.
     pub fn n_rows(&self) -> usize {
         self.n_rows

@@ -76,6 +76,13 @@ pub enum PhError {
     /// Well-formed query that is invalid for this schema (ill-typed predicate,
     /// numeric aggregate on a categorical column, GROUP BY on a numeric, …).
     InvalidQuery(String),
+    /// A prepared plan whose engine instance no longer exists: the synopsis was
+    /// rebuilt (or replaced) since `prepare`, so the plan's resolved column
+    /// indices and encoded-domain literals may no longer be meaningful. The fix
+    /// is always to re-prepare; callers that hold plans across ingest must be
+    /// ready for this. Distinct from [`PhError::InvalidQuery`] so concurrent
+    /// retry loops can match it without string inspection.
+    StalePlan(String),
     /// The engine cannot answer this query shape (a baseline's documented gap).
     Unsupported(String),
     /// Dataset- or schema-level failure (duplicate table, length mismatch, …).
@@ -93,6 +100,7 @@ impl fmt::Display for PhError {
             PhError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
             PhError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
             PhError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            PhError::StalePlan(m) => write!(f, "stale prepared plan: {m}"),
             PhError::Unsupported(m) => write!(f, "unsupported query: {m}"),
             PhError::Schema(m) => write!(f, "schema error: {m}"),
             PhError::Io(m) => write!(f, "i/o error: {m}"),

@@ -41,7 +41,10 @@ impl fmt::Display for Value {
         match self {
             Value::Int(v) => write!(f, "{v}"),
             Value::Float(v) => write!(f, "{v}"),
-            Value::Str(s) => write!(f, "'{s}'"),
+            // SQL-escape embedded quotes so Display output reparses (found by
+            // the sql fuzz suite: `'it''s'` printed as `'it's'` and broke the
+            // Display/parse round trip the plan-cache fingerprint relies on).
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Value::Null => write!(f, "NULL"),
         }
     }

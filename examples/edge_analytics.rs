@@ -20,7 +20,7 @@ fn main() {
     let n_rows = cloud_data.n_rows();
     let exact = ExactEngine::new(cloud_data.clone());
 
-    let mut cloud = Session::with_config(PairwiseHistConfig::default());
+    let cloud = Session::with_config(PairwiseHistConfig::default());
     cloud.register(cloud_data).expect("register table");
 
     let dir = std::env::temp_dir().join("pairwisehist_edge_catalog");
@@ -39,7 +39,7 @@ fn main() {
     let edge = Session::open_dir(&dir).expect("catalog reopens cold");
     println!(
         "edge: catalog loaded, tables: {:?}, {} bytes resident\n",
-        edge.tables().collect::<Vec<_>>(),
+        edge.tables(),
         edge.footprint()
     );
 

@@ -62,6 +62,40 @@
 //! on another machine, an edge device, or the next process — answering the same
 //! queries identically.
 //!
+//! ## Sharing a session across threads
+//!
+//! `Session` is `Send + Sync` and every method takes `&self`: put one behind an
+//! `Arc` (or share `&Session` with scoped threads) and serve readers and writers
+//! concurrently. Queries run against immutable snapshots that ingest replaces
+//! atomically, so readers never block on writers and every answer reflects one
+//! consistent point of the ingest timeline. A [`Prepared`](ph_core::Prepared)
+//! handle held across a synopsis rebuild fails with
+//! [`PhError::StalePlan`](ph_types::PhError::StalePlan) (re-prepare it);
+//! [`Session::sql`](ph_core::Session::sql) re-prepares transparently.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pairwisehist::prelude::*;
+//!
+//! let data = Dataset::builder("demo")
+//!     .column(Column::from_ints("x", (0..20_000).map(|i| Some(i % 1000)).collect())).unwrap()
+//!     .column(Column::from_ints("y", (0..20_000).map(|i| Some((i % 1000) * 3)).collect())).unwrap()
+//!     .build();
+//! let session = Arc::new(Session::new());
+//! session.register(data).unwrap();
+//!
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let session = session.clone();
+//!         std::thread::spawn(move || {
+//!             session.sql("SELECT AVG(y) FROM demo WHERE x > 500").unwrap()
+//!         })
+//!     })
+//!     .collect();
+//! let answers: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+//! assert!(answers.windows(2).all(|w| w[0] == w[1]), "same snapshot, same answer");
+//! ```
+//!
 //! See `examples/` for the full compression pipeline (Fig 2), an edge-analytics
 //! scenario and a flight-delay analysis, and `crates/bench` for the binaries that
 //! regenerate every table and figure of the paper's evaluation.
@@ -81,7 +115,7 @@ pub use ph_workload as workload;
 pub mod prelude {
     pub use ph_core::{
         AqpAnswer, AqpEngine, AqpError, CacheStats, Estimate, IngestReport, PairwiseHist,
-        PairwiseHistConfig, Prepared, Session, SplitRule,
+        PairwiseHistConfig, Prepared, Session, SplitRule, TableSnapshot,
     };
     pub use ph_exact::{evaluate, ExactAnswer, ExactEngine};
     pub use ph_gd::{GdCompressor, GdStore, Preprocessor};

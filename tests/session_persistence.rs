@@ -90,7 +90,7 @@ fn reloaded_session_answers_workload_identically() {
     );
     assert_eq!(queries.len(), 50, "workload generator must fill the quota");
 
-    let mut session = Session::with_config(PairwiseHistConfig {
+    let session = Session::with_config(PairwiseHistConfig {
         ns: 30_000,
         ..Default::default()
     });
