@@ -5,12 +5,12 @@
 //!
 //! * [`SamplingAqp`] — classical uniform-sampling AQP with CLT confidence bounds,
 //!   the reference point behind BlinkDB/VerdictDB-style systems (Table 1 context);
-//! * [`SpnAqp`] — a sum-product network in the style of DeepDB's RSPNs [20]:
+//! * [`SpnAqp`] — a sum-product network in the style of DeepDB's RSPNs \[20\]:
 //!   k-means row clustering at sum nodes, correlation-partitioned column groups at
 //!   product nodes, per-column histogram leaves. Like DeepDB it supports
 //!   COUNT/SUM/AVG and **rejects OR predicates** (§2 of the paper documents that
 //!   DeepDB does not support OR despite claiming to);
-//! * [`KdeAqp`] — DBEst-style per-query-template models [21, 40]: kernel density
+//! * [`KdeAqp`] — DBEst-style per-query-template models \[21, 40\]: kernel density
 //!   estimator for the predicate column plus piecewise regression of the aggregate
 //!   column, with DBEst's structural limits (one model per template, ≤ 2 columns,
 //!   no OR, no MIN/MAX/MEDIAN).

@@ -133,7 +133,7 @@ impl AqpBaseline for SamplingAqp {
                 let est = contrib.mean().unwrap_or(0.0) * ns as f64 / rho;
                 let sd = contrib.variance_sample().unwrap_or(0.0).sqrt();
                 let se = sd * (ns as f64).sqrt() / rho * fpc.sqrt();
-                Estimate { value: est, lo: est - self.z * se, hi: est + self.z * se }
+                Estimate::with_bounds(est, est - self.z * se, est + self.z * se)
             }
             AggFunc::Avg => {
                 if matched.is_empty() {
@@ -145,7 +145,7 @@ impl AqpBaseline for SamplingAqp {
                 }
                 let est = w.mean().unwrap();
                 let se = (w.variance_sample().unwrap_or(0.0) / m).sqrt() * fpc.sqrt();
-                Estimate { value: est, lo: est - self.z * se, hi: est + self.z * se }
+                Estimate::with_bounds(est, est - self.z * se, est + self.z * se)
             }
             AggFunc::Var => {
                 if matched.is_empty() {
@@ -158,7 +158,7 @@ impl AqpBaseline for SamplingAqp {
                 let est = w.variance_population().unwrap();
                 // Asymptotic se of the variance under normality: var·√(2/m).
                 let se = est * (2.0 / m).sqrt();
-                Estimate { value: est, lo: (est - self.z * se).max(0.0), hi: est + self.z * se }
+                Estimate::with_bounds(est, (est - self.z * se).max(0.0), est + self.z * se)
             }
             AggFunc::Min | AggFunc::Max => {
                 if matched.is_empty() {
@@ -191,7 +191,7 @@ impl AqpBaseline for SamplingAqp {
                 let spread = (self.z * m.sqrt() / 2.0).ceil() as usize;
                 let lo_idx = mid.saturating_sub(spread);
                 let hi_idx = (mid + spread).min(matched.len() - 1);
-                Estimate { value: est, lo: matched[lo_idx], hi: matched[hi_idx] }
+                Estimate::with_bounds(est, matched[lo_idx], matched[hi_idx])
             }
         };
         Ok(approx)

@@ -298,15 +298,11 @@ impl AqpBaseline for SpnAqp {
         Ok(match query.agg {
             AggFunc::Count => {
                 let se = (p.clamp(0.0, 1.0) * (1.0 - p.clamp(0.0, 1.0)) / ns).sqrt();
-                Estimate {
-                    value: n * p,
-                    lo: (n * (p - z * se)).max(0.0),
-                    hi: n * (p + z * se),
-                }
+                Estimate::with_bounds(n * p, (n * (p - z * se)).max(0.0), n * (p + z * se))
             }
             AggFunc::Sum => {
                 let se = ((m2 - m1 * m1).max(0.0) / ns).sqrt();
-                Estimate { value: n * m1, lo: n * (m1 - z * se), hi: n * (m1 + z * se) }
+                Estimate::with_bounds(n * m1, n * (m1 - z * se), n * (m1 + z * se))
             }
             AggFunc::Avg => {
                 if p <= 1e-12 {
@@ -315,7 +311,7 @@ impl AqpBaseline for SpnAqp {
                 let avg = m1 / p;
                 let var = (m2 / p - avg * avg).max(0.0);
                 let se = (var / (ns * p)).sqrt();
-                Estimate { value: avg, lo: avg - z * se, hi: avg + z * se }
+                Estimate::with_bounds(avg, avg - z * se, avg + z * se)
             }
             _ => unreachable!(),
         })

@@ -3,16 +3,24 @@
 //! Measures the standard Power/100k query set (the Fig 11(c) metric), the
 //! factored GROUP BY path against a per-group rescan that emulates unfactored
 //! execution (one full scalar query per group — the seed's O(groups × plan)
-//! shape), and latency scaling in the group count. Future PRs diff this file's
+//! shape), latency scaling in the group count, and the `ingest_latency`
+//! section: per-batch ingest cost (p50/p99) on a growing segmented table plus
+//! bytes-resident before/after segmentation. Future PRs diff this file's
 //! numbers to track the perf trajectory.
 //!
 //! Usage: `cargo run --release -p ph-bench --bin latency_json [out_path]`
+//!
+//! With `PH_BENCH_SMOKE=1` only the (shrunk) ingest section runs — the CI
+//! build job uses this to keep the section exercised on every push without
+//! paying for the full latency sweep; the perf job regenerates the complete
+//! artifact.
 
 use std::time::Instant;
 
 use ph_bench::{power_with_day, power_with_groups};
 use ph_core::{PairwiseHist, PairwiseHistConfig, Session};
 use ph_sql::{parse_query, Query};
+use ph_types::Dataset;
 
 /// Median wall-clock microseconds per call over several measured batches.
 fn measure_us(mut f: impl FnMut()) -> f64 {
@@ -41,8 +49,126 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Results of the segmented-ingest benchmark.
+struct IngestBench {
+    base_rows: usize,
+    batch_rows: usize,
+    batches: usize,
+    seal_threshold: usize,
+    p50_us: f64,
+    p99_us: f64,
+    first_half_p50_us: f64,
+    second_half_p50_us: f64,
+    sealed_segments: usize,
+    segments_final: usize,
+    raw_retained_rows_bytes: usize,
+    synopsis_bytes: usize,
+    row_store_bytes: usize,
+    delta_bytes: usize,
+    resident_bytes: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() as f64 - 1.0) * p).round() as usize]
+}
+
+/// Per-batch ingest cost on a growing segmented table, plus bytes-resident
+/// before/after segmentation. The table grows several seal-thresholds past its
+/// base, so a per-batch cost that scaled with total table size (the old
+/// rebuild-on-staleness posture, O(total rows)) would show up as the second
+/// half's p50 drifting above the first half's; segmented ingest keeps them
+/// level because sealing is O(threshold) and the edge-free path O(batch).
+fn bench_ingest(smoke: bool) -> IngestBench {
+    let (base_rows, batch_rows, batches, seal_threshold) =
+        if smoke { (8_000, 500, 16, 4_000) } else { (50_000, 2_000, 60, 20_000) };
+    let base = ph_datagen::generate("Power", base_rows, 7).expect("dataset");
+    let session =
+        Session::with_config(PairwiseHistConfig { ns: base_rows, ..Default::default() });
+    session.set_max_staleness(f64::INFINITY); // size-based sealing only
+    session.set_seal_threshold(seal_threshold);
+    let mut raw_retained_rows_bytes = base.heap_size();
+    session.register(base.clone()).expect("register Power");
+    // Batches drawn from the base distribution (same schema and dictionaries).
+    let batch_sets: Vec<Dataset> =
+        (0..batches).map(|k| base.sample(batch_rows, 0xBEEF + k as u64)).collect();
+    let mut per_batch_us = Vec::with_capacity(batches);
+    let mut sealed_segments = 0usize;
+    for batch in &batch_sets {
+        raw_retained_rows_bytes += batch.heap_size();
+        let t = Instant::now();
+        let r = session.ingest("Power", batch).expect("ingest batch");
+        per_batch_us.push(t.elapsed().as_secs_f64() * 1e6);
+        sealed_segments += r.sealed_segments;
+    }
+    let mut sorted = per_batch_us.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mut first: Vec<f64> = per_batch_us[..batches / 2].to_vec();
+    let mut second: Vec<f64> = per_batch_us[batches / 2..].to_vec();
+    first.sort_by(|a, b| a.total_cmp(b));
+    second.sort_by(|a, b| a.total_cmp(b));
+    let report = session.footprint_report("Power").expect("footprint report");
+    IngestBench {
+        base_rows,
+        batch_rows,
+        batches,
+        seal_threshold,
+        p50_us: percentile(&sorted, 0.5),
+        p99_us: percentile(&sorted, 0.99),
+        first_half_p50_us: percentile(&first, 0.5),
+        second_half_p50_us: percentile(&second, 0.5),
+        sealed_segments,
+        segments_final: report.segments,
+        raw_retained_rows_bytes,
+        synopsis_bytes: report.synopsis_bytes,
+        row_store_bytes: report.row_store_bytes,
+        delta_bytes: report.delta_bytes,
+        resident_bytes: report.total,
+    }
+}
+
+/// The `"ingest_latency"` JSON object (no trailing newline or comma).
+fn ingest_json(b: &IngestBench) -> String {
+    let growth = b.second_half_p50_us / b.first_half_p50_us.max(1e-9);
+    let ratio = b.resident_bytes as f64 / b.raw_retained_rows_bytes.max(1) as f64;
+    format!(
+        "  \"ingest_latency\": {{\n    \"base_rows\": {}, \"batch_rows\": {}, \"batches\": {}, \"seal_threshold_rows\": {},\n    \"p50_us\": {:.2}, \"p99_us\": {:.2},\n    \"first_half_p50_us\": {:.2}, \"second_half_p50_us\": {:.2}, \"late_vs_early_p50_ratio\": {growth:.3},\n    \"sealed_segments\": {}, \"segments_final\": {},\n    \"raw_retained_rows_bytes\": {}, \"resident_bytes\": {{ \"synopsis\": {}, \"row_store\": {}, \"delta\": {}, \"total\": {} }},\n    \"resident_vs_raw_ratio\": {ratio:.4}\n  }}",
+        b.base_rows,
+        b.batch_rows,
+        b.batches,
+        b.seal_threshold,
+        b.p50_us,
+        b.p99_us,
+        b.first_half_p50_us,
+        b.second_half_p50_us,
+        b.sealed_segments,
+        b.segments_final,
+        b.raw_retained_rows_bytes,
+        b.synopsis_bytes,
+        b.row_store_bytes,
+        b.delta_bytes,
+        b.resident_bytes,
+    )
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query_latency.json".into());
+    let smoke = std::env::var("PH_BENCH_SMOKE").is_ok();
+    if smoke {
+        // CI's build job: exercise the ingest bench end to end at small scale
+        // and write a self-contained (partial) summary; the perf job produces
+        // the full artifact.
+        let ib = bench_ingest(true);
+        eprintln!(
+            "ingest(smoke)      p50 {:.1} µs  p99 {:.1} µs  resident/raw {:.3}",
+            ib.p50_us,
+            ib.p99_us,
+            ib.resident_bytes as f64 / ib.raw_retained_rows_bytes.max(1) as f64
+        );
+        let json = format!("{{\n  \"smoke\": true,\n{}\n}}\n", ingest_json(&ib));
+        std::fs::write(&out_path, &json).expect("write summary");
+        eprintln!("wrote {out_path} (smoke mode: ingest_latency only)");
+        return;
+    }
     let rows = 100_000usize;
     let data = power_with_day(rows);
     let ph =
@@ -193,7 +319,21 @@ fn main() {
             "    {{ \"groups\": {n}, \"factored_us\": {us:.2}, \"per_group_rescan_us\": {rescan:.2} }}{comma}\n"
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Segmented ingest: per-batch cost and bytes-resident (see bench_ingest).
+    let ib = bench_ingest(false);
+    eprintln!(
+        "ingest_latency     p50 {:.1} µs  p99 {:.1} µs  late/early p50 {:.2}  \
+         resident/raw {:.3} ({} seals)",
+        ib.p50_us,
+        ib.p99_us,
+        ib.second_half_p50_us / ib.first_half_p50_us.max(1e-9),
+        ib.resident_bytes as f64 / ib.raw_retained_rows_bytes.max(1) as f64,
+        ib.sealed_segments,
+    );
+    json.push_str(&ingest_json(&ib));
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write summary");
     eprintln!("wrote {out_path}");
 }

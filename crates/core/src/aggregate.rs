@@ -11,7 +11,16 @@ use ph_stats::terrell_scott;
 use crate::bins::DimBins;
 use crate::weights::{Weights, W_EPS};
 
-/// An approximate result with deterministic-style bounds `[lo, hi]`.
+/// An approximate result with deterministic-style bounds `[lo, hi]`, plus the
+/// selection moments that make estimates **mergeable** across table segments.
+///
+/// Segmented tables (see `ph_core::merge`) answer a query by fanning it out over
+/// per-segment synopses and combining the partial estimates. Additive aggregates
+/// (COUNT, SUM) combine from `value` alone, but AVG needs each part's satisfying
+/// row count and VARIANCE needs the count *and* the mean — so every estimate
+/// carries [`support`](Estimate::support) (the estimated number of satisfying
+/// rows behind it) and [`mean`](Estimate::mean) (the estimated mean of the
+/// aggregation column over those rows, in the original value domain).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Point estimate.
@@ -20,19 +29,36 @@ pub struct Estimate {
     pub lo: f64,
     /// Upper bound.
     pub hi: f64,
+    /// Estimated number of rows satisfying the selection this estimate is over
+    /// (the merge weight). `0.0` when the producing engine does not track it.
+    pub support: f64,
+    /// Estimated mean of the aggregation column over the satisfying rows, in
+    /// the original value domain. Needed to combine VARIANCE estimates via the
+    /// law of total variance, so it is populated on AVG estimates (where it
+    /// equals `value`) and VAR estimates; `0.0` elsewhere (untracked — no
+    /// merge rule reads it).
+    pub mean: f64,
 }
 
 impl Estimate {
     /// Builds an estimate, re-ordering so that `lo ≤ value ≤ hi` always holds.
+    /// Merge moments default to "untracked" (`support = 0`, `mean = value`);
+    /// producers that know them attach them afterwards.
     pub(crate) fn ordered(value: f64, lo: f64, hi: f64) -> Self {
-        Self { value, lo: lo.min(value), hi: hi.max(value) }
+        Self { value, lo: lo.min(value), hi: hi.max(value), support: 0.0, mean: value }
     }
 
     /// A point estimate with no spread (`lo == value == hi`) — engines that provide
     /// no bounds (sample extremes, DBEst-style models, the exact engine) return
     /// these.
     pub fn unbounded(value: f64) -> Self {
-        Self { value, lo: value, hi: value }
+        Self { value, lo: value, hi: value, support: 0.0, mean: value }
+    }
+
+    /// A bounded estimate with untracked merge moments, for engines outside this
+    /// crate (the baselines). Bounds are re-ordered so `lo ≤ value ≤ hi` holds.
+    pub fn with_bounds(value: f64, lo: f64, hi: f64) -> Self {
+        Self::ordered(value, lo, hi)
     }
 
     /// Bound width relative to the estimate (the Table 6 "width" metric).

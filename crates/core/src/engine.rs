@@ -302,6 +302,14 @@ impl PairwiseHist {
     }
 
     /// Runs the Table 3 estimator and maps the result back to the original domain.
+    ///
+    /// Every estimate leaves here with its merge moments attached — what lets a
+    /// segmented table combine per-segment answers (see `crate::merge`) without
+    /// re-executing auxiliary aggregates. [`Estimate::support`] is O(1) beyond
+    /// the aggregate itself (the COUNT totals are cached on the weighting);
+    /// [`Estimate::mean`] costs real dot products, so it is only computed where
+    /// a merge rule reads it — VAR parts (law of total variance) — and reused
+    /// from the value for AVG.
     fn finish(
         &self,
         agg: AggFunc,
@@ -344,13 +352,15 @@ impl PairwiseHist {
             }
         }
         let affine = self.pre.transform(agg_col).affine();
-        Some(match (agg, affine) {
+        // The satisfying-row count behind this estimate; its totals are cached on
+        // the weighting, so this is O(1) beyond what the aggregate already paid.
+        let n = estimate(AggFunc::Count, w, bins, rho, single_col, m_min)
+            .expect("COUNT is always defined");
+        let mut out = match (agg, affine) {
             // Counts are domain-free; categorical columns (no affine) only COUNT.
             (AggFunc::Count, _) | (_, None) => enc,
             (AggFunc::Sum, Some((a, b))) => {
                 // Σ(a·x + b) = a·Σx + b·n: needs the COUNT estimate for the offset.
-                let n = estimate(AggFunc::Count, w, bins, rho, single_col, m_min)
-                    .expect("COUNT is always defined");
                 let (n_for_lo, n_for_hi) =
                     if b >= 0.0 { (n.lo, n.hi) } else { (n.hi, n.lo) };
                 Estimate::ordered(
@@ -367,7 +377,21 @@ impl PairwiseHist {
             (_, Some((a, b))) => {
                 Estimate::ordered(a * enc.value + b, a * enc.lo + b, a * enc.hi + b)
             }
-        })
+        };
+        out.support = n.value;
+        out.mean = match (agg, affine) {
+            // AVG's own value *is* the selection mean; reuse it bit-for-bit.
+            (AggFunc::Avg, _) => out.value,
+            // VAR is the one aggregate whose merge rule reads the part means
+            // (law of total variance), so only it pays the extra dot products.
+            (AggFunc::Var, Some((a, b))) => {
+                estimate(AggFunc::Avg, w, bins, rho, single_col, m_min)
+                    .map_or(0.0, |m| a * m.value + b)
+            }
+            // Everything else: untracked (no merge rule consumes it).
+            _ => 0.0,
+        };
+        Some(out)
     }
 }
 

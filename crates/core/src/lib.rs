@@ -44,8 +44,10 @@ mod build1d;
 mod build2d;
 mod coverage;
 mod engine;
+pub mod merge;
 mod plan;
 mod prepared;
+mod segment;
 mod session;
 mod storage;
 mod uniform;
@@ -59,5 +61,6 @@ pub use build2d::PairHist;
 pub use coverage::RangeSet;
 pub use engine::{AqpAnswer, AqpError};
 pub use prepared::{AqpEngine, Prepared};
+pub use segment::{CompactReport, FootprintReport};
 pub use session::{CacheStats, IngestReport, Session, TableSnapshot};
 pub use storage::SynopsisSize;

@@ -105,7 +105,15 @@ fn compile_condition(c: &Condition, pre: &Preprocessor) -> Result<PlanNode, AqpE
     let lit = pre
         .encode_literal(col, &c.value)
         .map_err(|e| AqpError::InvalidPredicate(e.to_string()))?;
-    Ok(PlanNode::Leaf { col, ranges: RangeSet::from_condition(c.op, lit, tr.max_enc()) })
+    // The range bound for numeric columns is the encoded domain's
+    // representability cap (2^52, see ph_gd's `MAX_ENC`), *not* the fitted
+    // `max_enc`: ingested batches legitimately extend a column past its
+    // registration-time range (segmented tables build whole segments out
+    // there), and clamping literals to the stale fit would silently turn
+    // predicates over the extension into empty selections. Categorical ranks
+    // stay bounded by the dictionary, whose growth always forces a refit.
+    let bound = if tr.is_numeric() { 1u64 << 52 } else { tr.max_enc() };
+    Ok(PlanNode::Leaf { col, ranges: RangeSet::from_condition(c.op, lit, bound) })
 }
 
 /// Canonicalizes a plan tree (the paper's delayed-transformation consolidation,

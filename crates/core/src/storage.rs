@@ -434,6 +434,140 @@ impl PairwiseHist {
     }
 }
 
+// --- Segmented catalog persistence (version 2) ---------------------------------
+//
+// A `Session` table persists as one **manifest** plus one blob **per segment**
+// (the delta, if any, is serialized as a final sealed segment). The manifest
+// carries what every segment shares — the table name and the fitted
+// preprocessor — so segment blobs stay self-contained pairs of synopsis +
+// compressed rows:
+//
+// ```text
+// manifest (<name>-<hash>.pwhs):   "PWT2" | u8 version | u16 name_len | name
+//                                  | u32 pre_len | preprocessor | u32 n_segments
+// segment  (<name>-<hash>.seg<i>.phseg):
+//                                  "PSG2" | u8 version | u64 syn_len | synopsis
+//                                  | u8 has_store | u64 store_len | GdStore bytes
+// ```
+//
+// Because each segment ships its compressed rows, a reopened catalog is fully
+// ingestable — rebuilds (novel categorical values, NULL-introducing batches,
+// compaction) decode the stores instead of hitting the legacy "no retained
+// rows" dead-end. The legacy single-blob `PWHS` format is still read by
+// `Session::open_dir` (as a one-segment table without rows).
+
+/// Magic of the version-2 table manifest.
+pub(crate) const TABLE_MAGIC: &[u8; 4] = b"PWT2";
+/// Magic of a version-2 segment blob.
+pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"PSG2";
+const V2_VERSION: u8 = 2;
+
+/// Serializes a table manifest (shared metadata of all its segment blobs).
+pub(crate) fn table_manifest_to_bytes(
+    table: &str,
+    pre: &Preprocessor,
+    n_segments: usize,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(TABLE_MAGIC);
+    out.push(V2_VERSION);
+    let name = table.as_bytes();
+    debug_assert!(name.len() <= u16::MAX as usize, "table name too long");
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    let pre_bytes = pre.to_bytes();
+    out.extend_from_slice(&(pre_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&pre_bytes);
+    out.extend_from_slice(&(n_segments as u32).to_le_bytes());
+    out
+}
+
+/// Restores `(table name, preprocessor, segment count)` from a manifest.
+/// Returns `None` on malformed input.
+pub(crate) fn table_manifest_from_bytes(data: &[u8]) -> Option<(String, Preprocessor, usize)> {
+    let mut pos = 0usize;
+    if data.get(..4)? != TABLE_MAGIC {
+        return None;
+    }
+    pos += 4;
+    if *data.get(pos)? != V2_VERSION {
+        return None;
+    }
+    pos += 1;
+    let name_len = u16::from_le_bytes(data.get(pos..pos + 2)?.try_into().ok()?) as usize;
+    pos += 2;
+    let name =
+        std::str::from_utf8(data.get(pos..pos.checked_add(name_len)?)?).ok()?.to_string();
+    pos += name_len;
+    let pre_len = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    pos += 4;
+    let pre = Preprocessor::from_bytes(data.get(pos..pos.checked_add(pre_len)?)?)?;
+    pos += pre_len;
+    let n_segments = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    pos += 4;
+    if pos != data.len() || n_segments > 1 << 20 {
+        return None;
+    }
+    Some((name, pre, n_segments))
+}
+
+/// Serializes one segment: its synopsis and (when present) its compressed rows.
+pub(crate) fn segment_to_bytes(
+    engine: &PairwiseHist,
+    store: Option<&ph_gd::GdStore>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SEGMENT_MAGIC);
+    out.push(V2_VERSION);
+    let syn = engine.to_bytes();
+    out.extend_from_slice(&(syn.len() as u64).to_le_bytes());
+    out.extend_from_slice(&syn);
+    out.push(store.is_some() as u8);
+    let store_bytes = store.map(|s| s.to_bytes()).unwrap_or_default();
+    out.extend_from_slice(&(store_bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&store_bytes);
+    out
+}
+
+/// Restores a segment blob against the table's shared preprocessor.
+/// Returns `None` on malformed input.
+pub(crate) fn segment_from_bytes(
+    data: &[u8],
+    pre: Arc<Preprocessor>,
+) -> Option<(PairwiseHist, Option<ph_gd::GdStore>)> {
+    let mut pos = 0usize;
+    if data.get(..4)? != SEGMENT_MAGIC {
+        return None;
+    }
+    pos += 4;
+    if *data.get(pos)? != V2_VERSION {
+        return None;
+    }
+    pos += 1;
+    let syn_len = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
+    pos += 8;
+    let end = pos.checked_add(syn_len)?;
+    let engine = PairwiseHist::from_bytes(data.get(pos..end)?, pre)?;
+    pos = end;
+    let has_store = *data.get(pos)? != 0;
+    pos += 1;
+    let store_len = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
+    pos += 8;
+    let end = pos.checked_add(store_len)?;
+    let store_slice = data.get(pos..end)?;
+    if end != data.len() {
+        return None; // trailing bytes: not a clean blob
+    }
+    let store = if has_store {
+        Some(ph_gd::GdStore::from_bytes(store_slice)?)
+    } else if store_len != 0 {
+        return None;
+    } else {
+        None
+    };
+    Some((engine, store))
+}
+
 /// Rebuilds a pair dimension from stored extras: metadata for split-parent bins comes
 /// from the wire, everything else copies the 1-d histogram.
 fn rebuild_dim(

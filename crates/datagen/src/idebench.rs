@@ -1,6 +1,6 @@
 #![allow(clippy::needless_range_loop)] // parallel-array indexing is the clearer idiom here
 
-//! IDEBench-style dataset scale-up [22].
+//! IDEBench-style dataset scale-up \[22\].
 //!
 //! The paper scales Power and Flights to one billion rows with IDEBench and notes
 //! (§6.3) that "IDEBench generates synthetic data by applying normalisation and

@@ -4,7 +4,7 @@
 //! **base** (the most significant bits of each attribute) and a **deviation** (the
 //! remaining bits). Bases are deduplicated; deviations are stored verbatim with an ID
 //! linking each row to its base (paper Fig 3). Compression results whenever many rows
-//! share a base. GreedyGD [8] is the variant that greedily chooses, per column, how
+//! share a base. GreedyGD \[8\] is the variant that greedily chooses, per column, how
 //! many low-order bits go to the deviation so that total compressed size is minimised.
 //!
 //! Two properties matter for the AQP framework of the paper (§3):

@@ -195,6 +195,32 @@ impl GdStore {
         vals
     }
 
+    /// Serialized size of [`GdStore::to_bytes`] output, computed arithmetically
+    /// in O(d) without packing a single bit. Segmented tables report their
+    /// resident row-store bytes through this on every footprint query, so it
+    /// must stay exactly in sync with the wire layout (pinned by a test).
+    pub fn packed_bytes(&self) -> usize {
+        let uvarint_len = |v: u64| -> usize {
+            let mut v = v;
+            let mut n = 1;
+            while v >= 0x80 {
+                v >>= 7;
+                n += 1;
+            }
+            n
+        };
+        let d = self.widths.len();
+        let header = uvarint_len(self.n_rows as u64)
+            + uvarint_len(d as u64)
+            + uvarint_len(self.n_bases() as u64)
+            + 2 * d;
+        let base_bits: u64 = self.n_bases() as u64
+            * self.widths.iter().zip(&self.dev_bits).map(|(w, b)| (w - b) as u64).sum::<u64>();
+        let id_bits = self.n_rows as u64 * bits_for(self.n_bases().saturating_sub(1) as u64) as u64;
+        let dev_bits = self.n_rows as u64 * self.dev_stride;
+        header + (base_bits + id_bits + dev_bits).div_ceil(8) as usize
+    }
+
     /// Compression accounting under the bit-packed on-disk layout.
     pub fn stats(&self) -> CompressionStats {
         let raw_bits: u64 =
@@ -409,6 +435,19 @@ mod tests {
             prop_assert_eq!(store.decompress(), m.clone());
             let back = GdStore::from_bytes(&store.to_bytes()).unwrap();
             prop_assert_eq!(back.decompress(), m);
+        }
+
+        /// The O(1) size accounting must equal the real serialized length for
+        /// any store shape, including after incremental appends.
+        #[test]
+        fn prop_packed_bytes_matches_serialization(seed in 0u64..500, n in 1usize..150, d in 1usize..4) {
+            let m = random_matrix(seed, n, d);
+            let mut store = GdCompressor::new().compress(&m);
+            prop_assert_eq!(store.packed_bytes(), store.to_bytes().len());
+            // Re-appending the same rows keeps every value within the fitted
+            // column widths while still growing ids/deviations.
+            store.append(&m);
+            prop_assert_eq!(store.packed_bytes(), store.to_bytes().len());
         }
     }
 }

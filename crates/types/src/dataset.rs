@@ -97,6 +97,22 @@ impl Dataset {
         }
     }
 
+    /// Returns the contiguous row range `[start, start + len)` as a new dataset.
+    ///
+    /// This is the seal-boundary primitive of segmented storage: an ingest delta
+    /// that crosses the seal threshold is cut into segment-sized slices, each
+    /// compressed and frozen independently. `len` is clamped to the available
+    /// rows.
+    ///
+    /// # Panics
+    /// Panics if `start > n_rows`.
+    pub fn slice(&self, start: usize, len: usize) -> Dataset {
+        assert!(start <= self.n_rows, "slice start {start} past {} rows", self.n_rows);
+        let end = start.saturating_add(len).min(self.n_rows);
+        let rows: Vec<usize> = (start..end).collect();
+        self.take(&rows)
+    }
+
     /// Appends all rows of `other`, which must have an identical schema (same column
     /// names and types in the same order). Categorical dictionaries are unioned.
     ///
@@ -230,6 +246,18 @@ mod tests {
     fn sample_larger_than_data_returns_all() {
         let d = toy();
         assert_eq!(d.sample(1000, 1).n_rows(), 100);
+    }
+
+    #[test]
+    fn slice_takes_contiguous_ranges() {
+        let d = toy();
+        let s = d.slice(10, 20);
+        assert_eq!(s.n_rows(), 20);
+        assert_eq!(s.row(0), d.row(10));
+        assert_eq!(s.row(19), d.row(29));
+        // Length clamps at the end; an empty tail slice is valid.
+        assert_eq!(d.slice(90, 50).n_rows(), 10);
+        assert_eq!(d.slice(100, 5).n_rows(), 0);
     }
 
     #[test]

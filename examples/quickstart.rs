@@ -1,6 +1,9 @@
 //! Quickstart: register a table with a [`Session`], then speak SQL — bounded
 //! approximate answers in microseconds, with prepared-plan caching on repeats —
-//! and compare against exact answers.
+//! and compare against exact answers. The tail of the example walks the
+//! segment lifecycle: batches land in the delta in O(batch), seal into
+//! immutable GD-compressed segments at the threshold, and compact back into
+//! one — no full-table rebuild anywhere on the ingest path.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -77,6 +80,34 @@ fn main() {
         t0.elapsed().as_secs_f64() * 1e6,
         stats.hits,
         stats.misses,
+    );
+
+    // Segmented ingest: batches fold into the table's *delta* in O(batch).
+    // Crossing the seal threshold freezes the delta into an immutable segment —
+    // its rows GD-compressed, a fresh synopsis refined over them — in
+    // O(threshold), no matter how large the table already is. Queries fan out
+    // across segments and merge the per-segment estimates.
+    session.set_seal_threshold(10_000);
+    for k in 0..4 {
+        let batch = pairwisehist::datagen::generate("Power", 5_000, 100 + k).expect("batch");
+        let r = session.ingest("Power", &batch).expect("ingest");
+        if r.sealed_segments > 0 {
+            println!("batch {k}: sealed {} segment(s), staleness {:.2}", r.sealed_segments, r.staleness);
+        }
+    }
+    let fp = session.footprint_report("Power").expect("footprint");
+    println!(
+        "resident: {} B synopsis + {} B compressed rows + {} B delta across {} segments",
+        fp.synopsis_bytes, fp.row_store_bytes, fp.delta_bytes, fp.segments,
+    );
+    // Accumulated small segments merge back into one on demand; held plans
+    // stay valid (the shared transforms don't change). "Small" is judged
+    // against the current threshold, so raising it widens what compacts.
+    session.set_seal_threshold(50_000);
+    let compacted = session.compact("Power").expect("compact");
+    println!(
+        "compact: {} -> {} segments ({} rows rebuilt)",
+        compacted.segments_before, compacted.segments_after, compacted.rows_compacted,
     );
 
     // The session is Send + Sync with &self methods throughout: share it across

@@ -56,11 +56,30 @@
 //! assert!(estimate.lo <= truth && truth <= estimate.hi);
 //! ```
 //!
+//! ## Segmented storage: delta → seal → compact
+//!
+//! Behind the catalog, every table lives in **segmented storage**: a list of
+//! immutable sealed segments — each holding its own synopsis *plus* its rows
+//! GD-compressed in a [`GdStore`](ph_gd::GdStore) — and one active delta that
+//! absorbs [`Session::ingest`](ph_core::Session::ingest) batches in O(batch).
+//! When the delta crosses the seal threshold (or the staleness policy), it is
+//! *sealed* into a new segment — O(threshold), independent of how large the
+//! table has grown; there is no full-table rebuild on the ingest path. Queries
+//! fan out across segment synopses and merge the partial estimates
+//! ([`ph_core::merge`]: COUNT/SUM additive, AVG/VARIANCE by weighted moments,
+//! CI widths combined from per-segment variances).
+//! [`Session::compact`](ph_core::Session::compact) folds accumulated small
+//! segments back into one, and
+//! [`Session::footprint_report`](ph_core::Session::footprint_report) breaks a
+//! table's resident bytes down into synopsis vs compressed row store vs raw
+//! delta.
+//!
 //! A session persists: [`Session::save_dir`](ph_core::Session::save_dir) writes
-//! one self-describing file per table (synopsis + preprocessing transforms), and
-//! [`Session::open_dir`](ph_core::Session::open_dir) reopens the catalog cold —
-//! on another machine, an edge device, or the next process — answering the same
-//! queries identically.
+//! one manifest per table plus one blob per segment (compressed rows included),
+//! and [`Session::open_dir`](ph_core::Session::open_dir) reopens the catalog
+//! cold — on another machine, an edge device, or the next process — answering
+//! the same queries identically *and* remaining fully ingestable: rebuilds
+//! decode the persisted compressed rows instead of dead-ending.
 //!
 //! ## Sharing a session across threads
 //!
@@ -69,7 +88,7 @@
 //! concurrently. Queries run against immutable snapshots that ingest replaces
 //! atomically, so readers never block on writers and every answer reflects one
 //! consistent point of the ingest timeline. A [`Prepared`](ph_core::Prepared)
-//! handle held across a synopsis rebuild fails with
+//! handle held across a seal or rebuild fails with
 //! [`PhError::StalePlan`](ph_types::PhError::StalePlan) (re-prepare it);
 //! [`Session::sql`](ph_core::Session::sql) re-prepares transparently.
 //!
@@ -114,8 +133,9 @@ pub use ph_workload as workload;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ph_core::{
-        AqpAnswer, AqpEngine, AqpError, CacheStats, Estimate, IngestReport, PairwiseHist,
-        PairwiseHistConfig, Prepared, Session, SplitRule, TableSnapshot,
+        AqpAnswer, AqpEngine, AqpError, CacheStats, CompactReport, Estimate, FootprintReport,
+        IngestReport, PairwiseHist, PairwiseHistConfig, Prepared, Session, SplitRule,
+        TableSnapshot,
     };
     pub use ph_exact::{evaluate, ExactAnswer, ExactEngine};
     pub use ph_gd::{GdCompressor, GdStore, Preprocessor};

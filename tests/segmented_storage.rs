@@ -1,0 +1,305 @@
+//! Segmented-storage invariants, end to end:
+//!
+//! * **COUNT additivity** (the acceptance property): a segmented table's COUNT
+//!   answer equals the sum of the per-segment COUNT answers, for arbitrary
+//!   batch splits and predicates;
+//! * multi-segment answers track the exact engine about as well as a
+//!   monolithic build over the same rows;
+//! * the multi-file persistence format round-trips multi-segment tables with
+//!   bit-identical answers, and a reopened catalog stays ingestable — including
+//!   batches that force a refit rebuild (the old `rows: None` dead-end);
+//! * `drop_table` under a racing reader: the held snapshot keeps answering
+//!   while the catalog refuses new queries.
+
+use proptest::prelude::*;
+
+use pairwisehist::prelude::*;
+
+fn dataset(name: &str, n: usize, seed: u64) -> Dataset {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..1000))).collect();
+    let mut y: Vec<Option<i64>> = x
+        .iter()
+        .map(|v| {
+            if rng.gen_bool(0.04) {
+                None
+            } else {
+                Some(v.unwrap() * 2 + rng.gen_range(0..90))
+            }
+        })
+        .collect();
+    // Shared domain minima across batches: a batch below a fitted minimum
+    // forces a refit rebuild (by design — saturated codes must not be frozen
+    // into a store); these tests exercise the seal path, so batches stay
+    // representable under the registration fit.
+    x[0] = Some(0);
+    y[0] = Some(0);
+    let c: Vec<Option<&str>> = (0..n).map(|i| Some(["a", "b", "c"][i % 3])).collect();
+    Dataset::builder(name)
+        .column(Column::from_ints("x", x))
+        .unwrap()
+        .column(Column::from_ints("y", y))
+        .unwrap()
+        .column(Column::from_strings("c", c))
+        .unwrap()
+        .build()
+}
+
+fn config() -> PairwiseHistConfig {
+    PairwiseHistConfig { parallel: false, ..Default::default() }
+}
+
+/// Builds a session whose table is split into multiple segments by ingesting
+/// `batches` batches of `batch_rows` rows on top of a `base_rows` registration.
+fn segmented_session(base_rows: usize, batches: usize, batch_rows: usize, seed: u64) -> Session {
+    let session = Session::with_config(config());
+    session.set_max_staleness(f64::INFINITY); // size-based sealing only
+    session.set_seal_threshold(batch_rows.max(1)); // every batch seals
+    session.register(dataset("t", base_rows, seed)).unwrap();
+    for k in 0..batches {
+        session.ingest("t", &dataset("t", batch_rows, seed + 100 + k as u64)).unwrap();
+    }
+    session
+}
+
+const COUNT_QUERIES: [&str; 5] = [
+    "SELECT COUNT(x) FROM t",
+    "SELECT COUNT(x) FROM t WHERE x > 250",
+    "SELECT COUNT(y) FROM t WHERE x > 100 AND x < 700",
+    "SELECT COUNT(x) FROM t WHERE y > 1200 OR c = 'a'",
+    "SELECT COUNT(y) FROM t WHERE c <> 'b' AND y < 1500",
+];
+
+/// The acceptance property: the merged COUNT equals the sum of per-segment
+/// COUNTs (merging is additive, so this must hold to float-sum precision), and
+/// both agree with the true combined row counts within estimator tolerance.
+#[test]
+fn segmented_count_equals_sum_of_per_segment_counts() {
+    let session = segmented_session(6_000, 4, 2_000, 7);
+    let snap = session.engine("t").unwrap();
+    assert!(snap.n_segments() >= 4, "got {} segments", snap.n_segments());
+    for sql in COUNT_QUERIES {
+        let q = parse_query(sql).unwrap();
+        let merged = session.sql(sql).unwrap().scalar().unwrap();
+        let mut engines = snap.segments();
+        engines.extend(snap.delta());
+        let per_segment: f64 = engines
+            .iter()
+            .map(|e| e.execute(&q).unwrap().scalar().unwrap().value)
+            .sum();
+        assert!(
+            (merged.value - per_segment).abs() < 1e-6 * per_segment.abs().max(1.0),
+            "{sql}: merged {} != per-segment sum {per_segment}",
+            merged.value
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// COUNT additivity holds for arbitrary batch splits, thresholds and seeds,
+    /// and the total COUNT tracks the true total row count.
+    #[test]
+    fn prop_count_additive_over_random_splits(
+        seed in 0u64..500,
+        base in 1_000usize..4_000,
+        batches in 1usize..5,
+        batch_rows in 500usize..2_000,
+        threshold in 500usize..3_000,
+    ) {
+        let session = Session::with_config(config());
+        session.set_max_staleness(f64::INFINITY);
+        session.set_seal_threshold(threshold);
+        session.register(dataset("t", base, seed)).unwrap();
+        let mut total = base;
+        for k in 0..batches {
+            session.ingest("t", &dataset("t", batch_rows, seed + 1 + k as u64)).unwrap();
+            total += batch_rows;
+        }
+        let snap = session.engine("t").unwrap();
+        let q = parse_query("SELECT COUNT(x) FROM t").unwrap();
+        let merged = session.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+        let mut engines = snap.segments();
+        engines.extend(snap.delta());
+        let sum: f64 = engines.iter().map(|e| e.execute(&q).unwrap().scalar().unwrap().value).sum();
+        prop_assert!((merged.value - sum).abs() < 1e-6 * sum.max(1.0));
+        // x has no nulls, every engine serves its full slice: the sum is the
+        // true total up to estimator error.
+        let rel = (merged.value - total as f64).abs() / total as f64;
+        prop_assert!(rel < 0.05, "COUNT {} vs true total {total}", merged.value);
+    }
+}
+
+/// Multi-segment estimates stay close to the exact engine across all aggregate
+/// shapes — fanning out and merging must not wreck accuracy relative to a
+/// monolithic build over the same rows.
+#[test]
+fn segmented_accuracy_tracks_monolithic() {
+    let base = 8_000;
+    let batches = 4;
+    let batch_rows = 2_000;
+    let seed = 42;
+    let session = segmented_session(base, batches, batch_rows, seed);
+
+    // The same rows, one monolithic build.
+    let mut all = dataset("t", base, seed);
+    for k in 0..batches {
+        all.append(&dataset("t", batch_rows, seed + 100 + k as u64)).unwrap();
+    }
+    let exact = ExactEngine::new(all.clone());
+    let mono = Session::with_config(config());
+    mono.register(all).unwrap();
+
+    for (sql, tol_ratio) in [
+        ("SELECT COUNT(x) FROM t WHERE x > 300", 2.0),
+        ("SELECT SUM(y) FROM t WHERE x < 600", 2.0),
+        ("SELECT AVG(y) FROM t WHERE x > 200 AND x < 800", 2.0),
+        ("SELECT MIN(x) FROM t WHERE x > 50", 3.0),
+        ("SELECT MAX(y) FROM t WHERE x < 900", 3.0),
+        ("SELECT MEDIAN(x) FROM t WHERE c = 'a'", 3.0),
+        ("SELECT VAR(x) FROM t", 3.0),
+        ("SELECT COUNT(x) FROM t WHERE y > 500 GROUP BY c", 2.0),
+    ] {
+        let q = parse_query(sql).unwrap();
+        let seg = session.sql(sql).unwrap();
+        let mono_a = mono.sql(sql).unwrap();
+        match (seg.scalar(), mono_a.scalar()) {
+            (Some(sv), Some(mv)) => {
+                let truth = exact.answer(&q).unwrap().scalar().unwrap().value;
+                let denom = truth.abs().max(1.0);
+                let seg_err = (sv.value - truth).abs() / denom;
+                let mono_err = (mv.value - truth).abs() / denom;
+                // The segmented error may exceed the monolithic one, but only
+                // within a small factor plus an absolute floor.
+                assert!(
+                    seg_err <= mono_err * tol_ratio + 0.05,
+                    "{sql}: segmented err {seg_err:.4} vs monolithic {mono_err:.4}"
+                );
+            }
+            (None, None) => {}
+            _ => {
+                // Grouped answers: compare group by group against exact.
+                let truth = exact.answer(&q).unwrap();
+                let (Some(sg), Some(tg)) = (seg.groups(), truth.groups()) else {
+                    panic!("{sql}: shape mismatch");
+                };
+                for (label, est) in sg {
+                    let t = tg[label].value;
+                    let rel = (est.value - t).abs() / t.max(1.0);
+                    assert!(rel < 0.15, "{sql} group {label}: {} vs {t}", est.value);
+                }
+            }
+        }
+    }
+}
+
+/// Multi-segment tables survive save/open with bit-identical answers, and the
+/// reopened catalog still ingests — both the edge-free path and the refit
+/// rebuild that needs the compressed rows.
+#[test]
+fn multi_segment_persistence_round_trips_and_stays_ingestable() {
+    let session = segmented_session(5_000, 3, 1_500, 11);
+    let dir = std::env::temp_dir().join(format!("ph_segstore_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    session.save_dir(&dir).unwrap();
+
+    let reopened = Session::open_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_eq!(
+        reopened.engine("t").unwrap().n_segments(),
+        session.engine("t").unwrap().n_segments(),
+        "the full segment list must survive the round trip"
+    );
+    for sql in [
+        "SELECT COUNT(x) FROM t WHERE x > 400",
+        "SELECT AVG(y) FROM t WHERE x < 500",
+        "SELECT VAR(x) FROM t WHERE c = 'b'",
+        "SELECT COUNT(y) FROM t GROUP BY c",
+    ] {
+        assert_eq!(session.sql(sql).unwrap(), reopened.sql(sql).unwrap(), "{sql}");
+    }
+
+    // Edge-free ingest on the reopened catalog.
+    let r = reopened.ingest("t", &dataset("t", 800, 12)).unwrap();
+    assert!(!r.rebuilt);
+    // A batch with an unseen category forces the refit rebuild, which decodes
+    // the persisted compressed rows — the fixed dead-end.
+    let novel = Dataset::builder("t")
+        .column(Column::from_ints("x", vec![Some(10)]))
+        .unwrap()
+        .column(Column::from_ints("y", vec![Some(20)]))
+        .unwrap()
+        .column(Column::from_strings("c", vec![Some("fresh")]))
+        .unwrap()
+        .build();
+    let r = reopened.ingest("t", &novel).unwrap();
+    assert!(r.rebuilt, "novel category rebuilds from persisted rows");
+    let grouped = reopened.sql("SELECT COUNT(x) FROM t GROUP BY c").unwrap();
+    assert!(grouped.groups().unwrap().contains_key("fresh"));
+    let count = reopened.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
+    let expected = 5_000.0 + 3.0 * 1_500.0 + 800.0 + 1.0;
+    assert!(
+        (count.value - expected).abs() / expected < 0.05,
+        "all rows survive the rebuild: {} vs {expected}",
+        count.value
+    );
+}
+
+/// `drop_table` with a genuinely racing reader thread: the reader's held
+/// snapshot answers throughout, new queries fail cleanly after the drop.
+#[test]
+fn drop_table_races_cleanly_with_readers() {
+    let session = Session::with_config(config());
+    session.register(dataset("t", 4_000, 21)).unwrap();
+    let snapshot = session.engine("t").unwrap();
+    let q = parse_query("SELECT COUNT(x) FROM t").unwrap();
+
+    std::thread::scope(|scope| {
+        let session = &session;
+        let snapshot = &snapshot;
+        let q = &q;
+        let reader = scope.spawn(move || {
+            // The snapshot answers before, during and after the drop.
+            for _ in 0..200 {
+                let est = snapshot.execute(q).unwrap().scalar().unwrap();
+                assert!((est.value - 4_000.0).abs() / 4_000.0 < 0.02, "{}", est.value);
+            }
+        });
+        scope.spawn(move || {
+            session.drop_table("t").unwrap();
+        });
+        reader.join().unwrap();
+    });
+
+    assert!(session.tables().is_empty());
+    assert!(matches!(
+        session.sql("SELECT COUNT(x) FROM t"),
+        Err(PhError::UnknownTable(_))
+    ));
+    // The snapshot is *still* alive after the table is gone from the catalog.
+    let est = snapshot.execute(&q).unwrap().scalar().unwrap();
+    assert!((est.value - 4_000.0).abs() / 4_000.0 < 0.02);
+}
+
+/// Compaction on a fragmented table: fewer segments, same rows served, held
+/// plans stay valid, and the footprint report keeps summing.
+#[test]
+fn compact_defragments_without_losing_rows() {
+    let session = segmented_session(2_000, 5, 1_000, 31);
+    session.set_seal_threshold(50_000); // everything below this is now "small"
+    let before = session.engine("t").unwrap().n_segments();
+    assert!(before >= 5);
+    let plan = session.prepare("SELECT COUNT(x) FROM t").unwrap();
+    let report = session.compact("t").unwrap();
+    assert_eq!(report.segments_before, before);
+    assert_eq!(report.segments_after, 1, "all small segments merge into one");
+    assert_eq!(report.rows_compacted, 7_000);
+    let est = session.execute(&plan).expect("compaction keeps plans valid");
+    let count = est.scalar().unwrap();
+    assert!((count.value - 7_000.0).abs() / 7_000.0 < 0.03, "{}", count.value);
+    let fp = session.footprint_report("t").unwrap();
+    assert_eq!(fp.segments, 1);
+    assert_eq!(fp.synopsis_bytes + fp.row_store_bytes + fp.delta_bytes, fp.total);
+}
