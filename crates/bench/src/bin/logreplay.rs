@@ -1,0 +1,97 @@
+//! Replays a `PHQL1` query log (written by `ph_server` / `ph-serve --qlog`)
+//! against a catalog, reporting replay throughput and how the answers compare
+//! to the logged serving run.
+//!
+//! ```text
+//! cargo run --release -p ph-bench --bin logreplay -- LOG [--data-dir DIR] [--demo ROWS]
+//! ```
+//!
+//! The catalog is reopened from `--data-dir` (a `Session::save_dir`
+//! directory); without one, the `ph-serve` demo table (`Power`, `--demo ROWS`
+//! rows, default 50 000) is rebuilt, so a log captured against the demo server
+//! replays out of the box. Only records served 200 are replayed; each must
+//! parse and execute again (the log is a regression corpus, not just a trace),
+//! and per-status counts plus replay qps are printed.
+
+use std::process::exit;
+use std::time::Instant;
+
+use ph_core::Session;
+use ph_server::read_query_log;
+
+fn usage() -> ! {
+    eprintln!("usage: logreplay LOG [--data-dir DIR] [--demo ROWS]");
+    exit(2);
+}
+
+fn main() {
+    let mut log_path: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut demo_rows = 50_000usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data-dir" => data_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--demo" => {
+                demo_rows = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if log_path.is_none() && !other.starts_with("--") => {
+                log_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(log_path) = log_path else { usage() };
+
+    let records = match read_query_log(&log_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read {log_path}: {e}");
+            exit(1);
+        }
+    };
+    let session = match &data_dir {
+        Some(dir) => match Session::open_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                exit(1);
+            }
+        },
+        None => {
+            let s = Session::new();
+            let data = ph_datagen::generate("Power", demo_rows, 7).expect("demo dataset");
+            s.register(data).expect("demo table registers");
+            s
+        }
+    };
+
+    let total = records.len();
+    let served_ok: Vec<_> = records.iter().filter(|r| r.status == 200).collect();
+    let logged_err = total - served_ok.len();
+    let mut replay_ok = 0usize;
+    let mut replay_err = 0usize;
+    let t0 = Instant::now();
+    for rec in &served_ok {
+        match session.sql(&rec.sql) {
+            Ok(_) => replay_ok += 1,
+            Err(e) => {
+                replay_err += 1;
+                eprintln!("logged-200 query no longer serves: {} ({e})", rec.sql);
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let logged_latency_us: u64 = served_ok.iter().map(|r| r.latency_micros).sum();
+    println!(
+        "log: {total} records ({} served 200, {logged_err} logged errors); replayed {replay_ok} ok, \
+         {replay_err} failing, {:.0} q/s (serving run averaged {:.0} µs/query)",
+        served_ok.len(),
+        replay_ok as f64 / secs.max(1e-9),
+        logged_latency_us as f64 / served_ok.len().max(1) as f64,
+    );
+    if replay_err > 0 {
+        exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Served-query throughput: the full network path (HTTP parse → plan cache →
+//! segmented execution → JSON) measured with the closed-loop load generator at
+//! 1/4/8 concurrent connections. Results are **appended** to
+//! `BENCH_query_latency.json` under `"server_throughput"`, next to the
+//! in-process `concurrent_throughput` section — the gap between the two *is*
+//! the serving overhead (socket + HTTP + JSON per query).
+//!
+//! The server runs in-process on an ephemeral loopback port with workers ≥ the
+//! largest connection count, so the measurement saturates the query path, not
+//! the worker pool. As with the in-process bench, scaling across connection
+//! counts is bounded by the machine (`available_parallelism` is recorded next
+//! to the numbers).
+//!
+//! Usage: `cargo run --release -p ph-bench --bin server_throughput [out_path]`
+//!
+//! With `PH_BENCH_SMOKE=1` the table shrinks and the measurement windows drop
+//! to ~200 ms per point, so CI can exercise the whole path on every push.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ph_bench::power_with_day;
+use ph_core::{PairwiseHistConfig, Session};
+use ph_server::{run_closed_loop, LoadReport, Server, ServerConfig};
+
+const QUERIES: [&str; 8] = [
+    "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT SUM(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT AVG(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MIN(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MAX(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MEDIAN(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT VAR(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT AVG(global_active_power) FROM Power WHERE voltage > 236 AND \
+     global_intensity < 30 AND sub_metering_3 >= 1 OR weekday = 6;",
+];
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query_latency.json".into());
+    let smoke = std::env::var("PH_BENCH_SMOKE").is_ok();
+    let (rows, measure) =
+        if smoke { (20_000, Duration::from_millis(200)) } else { (100_000, Duration::from_millis(800)) };
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let session = Arc::new(Session::with_config(PairwiseHistConfig {
+        ns: rows,
+        ..Default::default()
+    }));
+    session.register(power_with_day(rows)).expect("register Power");
+    let server = Server::bind(
+        session.clone(),
+        "127.0.0.1:0",
+        ServerConfig { workers: 8, queue_depth: 64, ..Default::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let queries: Vec<String> = QUERIES.iter().map(|q| q.to_string()).collect();
+
+    // Warm the plan cache (and the connection path) before measuring.
+    let warm = run_closed_loop(&addr, 1, Duration::from_millis(100), &queries);
+    assert_eq!(warm.errors, 0, "warmup must serve cleanly");
+
+    let mut points: Vec<LoadReport> = Vec::new();
+    for connections in [1usize, 4, 8] {
+        let report = run_closed_loop(&addr, connections, measure, &queries);
+        eprintln!(
+            "connections={connections}  {:.0} q/s  p50 {:.0} µs  p99 {:.0} µs  ({} errors)",
+            report.qps, report.p50_us, report.p99_us, report.errors
+        );
+        assert_eq!(report.errors, 0, "bench queries must all serve");
+        points.push(report);
+    }
+    let rejected = server.rejected();
+    server.shutdown();
+
+    // Append (or replace) the server_throughput section, same splice protocol
+    // as the `throughput` bin: the section is truncated if present, then
+    // re-appended at the tail.
+    let mut base = std::fs::read_to_string(&out_path).unwrap_or_else(|_| String::from("{"));
+    if let Some(pos) = base.find("  \"server_throughput\"") {
+        let head = base[..pos].trim_end();
+        let head_len = head.strip_suffix(',').map_or(head.len(), str::len);
+        base.truncate(head_len);
+    } else {
+        while base.ends_with(['\n', ' ']) {
+            base.pop();
+        }
+        if base.ends_with('}') && base.len() > 1 {
+            base.pop();
+        }
+        while base.ends_with(['\n', ' ']) {
+            base.pop();
+        }
+    }
+    let lead = if base.trim_end().ends_with('{') { "\n" } else { ",\n" };
+    let mut json = String::new();
+    json.push_str(&format!("{lead}  \"server_throughput\": {{\n"));
+    json.push_str(&format!("    \"rows\": {rows},\n"));
+    json.push_str(&format!("    \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("    \"smoke\": {smoke},\n"));
+    json.push_str(&format!("    \"rejected_503\": {rejected},\n"));
+    json.push_str("    \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        json.push_str(&format!(
+            "      {{ \"connections\": {}, \"qps\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{comma}\n",
+            p.connections, p.qps, p.p50_us, p.p99_us
+        ));
+    }
+    json.push_str("    ]\n");
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, base + &json).expect("write summary");
+    eprintln!("appended server_throughput to {out_path}");
+}

@@ -62,5 +62,7 @@ pub use coverage::RangeSet;
 pub use engine::{AqpAnswer, AqpError};
 pub use prepared::{AqpEngine, Prepared};
 pub use segment::{CompactReport, FootprintReport};
-pub use session::{CacheStats, IngestReport, Session, TableSnapshot};
+pub use session::{
+    CacheStats, IngestReport, Session, SessionStats, TableSnapshot, TableStats,
+};
 pub use storage::SynopsisSize;

@@ -323,6 +323,37 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Point-in-time serving statistics of one table, as reported by
+/// [`Session::stats`] / [`Session::table_stats`]. All values come from the
+/// published state snapshot — reading them never blocks writers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name.
+    pub name: String,
+    /// The table's current plan epoch. Changes exactly when held
+    /// [`Prepared`] handles go stale (a seal or refit rebuild).
+    pub epoch: u64,
+    /// Sealed segments currently serving.
+    pub segments: usize,
+    /// Rows represented by the sealed segments' synopses.
+    pub sealed_rows: u64,
+    /// Rows in the active (un-sealed) delta.
+    pub delta_rows: u64,
+    /// Fraction of the serving sample held by the un-sealed delta.
+    pub staleness: f64,
+}
+
+/// Point-in-time statistics of a whole session: plan-cache totals plus one
+/// [`TableStats`] per registered table, sorted by name. The single payload a
+/// metrics endpoint needs — see `ph_server`'s `GET /stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Plan-cache totals since the session was created.
+    pub cache: CacheStats,
+    /// Per-table serving state, sorted by table name.
+    pub tables: Vec<TableStats>,
+}
+
 /// Outcome of one [`Session::ingest`] call.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IngestReport {
@@ -622,6 +653,37 @@ impl Session {
             hits: self.cache.hits.load(Ordering::Relaxed),
             misses: self.cache.misses.load(Ordering::Relaxed),
             entries: self.cache.entries(),
+        }
+    }
+
+    /// Serving statistics for one table: plan epoch, segment count, sealed vs
+    /// delta rows, staleness. Non-blocking (reads the published snapshot).
+    pub fn table_stats(&self, table: &str) -> Result<TableStats, PhError> {
+        let state = self.cell(table)?.snapshot();
+        let sealed_rows: u64 = state.segments.iter().map(|s| s.engine.params().n_total).sum();
+        let delta_rows = state.delta.as_ref().map_or(0, |d| d.params().n_total);
+        Ok(TableStats {
+            name: table.to_string(),
+            epoch: state.epoch,
+            segments: state.segments.len(),
+            sealed_rows,
+            delta_rows,
+            staleness: state.staleness(),
+        })
+    }
+
+    /// Session-wide serving statistics: plan-cache totals plus one
+    /// [`TableStats`] per registered table (sorted by name). A table dropped
+    /// concurrently between the name listing and its stats read is simply
+    /// omitted.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            cache: self.cache_stats(),
+            tables: self
+                .tables()
+                .iter()
+                .filter_map(|t| self.table_stats(t).ok())
+                .collect(),
         }
     }
 
@@ -1709,5 +1771,47 @@ mod tests {
             "footprint must include more than synopsis bytes"
         );
         assert!(matches!(s.footprint_report("nope"), Err(PhError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn stats_report_cache_and_table_state() {
+        let s = session_with("t", 6_000, 31);
+        s.register(dataset("u", 3_000, 32)).unwrap();
+        s.sql("SELECT COUNT(x) FROM t WHERE x > 100").unwrap();
+        s.sql("SELECT COUNT(x) FROM t WHERE x > 100").unwrap();
+
+        let stats = s.stats();
+        assert_eq!(stats.cache, s.cache_stats());
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(
+            stats.tables.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
+            vec!["t", "u"],
+            "one entry per table, sorted by name"
+        );
+        let t = &stats.tables[0];
+        assert_eq!(t.segments, 1);
+        assert_eq!(t.sealed_rows, 6_000);
+        assert_eq!(t.delta_rows, 0);
+        assert_eq!(t.staleness, 0.0);
+        assert_eq!(t.epoch, s.engine("t").unwrap().plan_epoch());
+
+        // Ingest on the edge-free path: delta rows appear, epoch is kept.
+        s.ingest("t", &dataset("t", 500, 31)).unwrap();
+        let after = s.table_stats("t").unwrap();
+        assert_eq!(after.epoch, t.epoch, "edge-free ingest keeps the plan epoch");
+        assert_eq!(after.delta_rows, 500);
+        assert!(after.staleness > 0.0);
+
+        // Sealing mints a new epoch and moves the rows into segments.
+        s.set_seal_threshold(400);
+        s.ingest("t", &dataset("t", 500, 31)).unwrap();
+        let sealed = s.table_stats("t").unwrap();
+        assert_ne!(sealed.epoch, t.epoch, "seal mints a fresh plan epoch");
+        assert_eq!(sealed.delta_rows, 0);
+        assert_eq!(sealed.sealed_rows, 7_000);
+        assert!(sealed.segments > 1);
+
+        assert!(matches!(s.table_stats("nope"), Err(PhError::UnknownTable(_))));
     }
 }

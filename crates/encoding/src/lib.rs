@@ -12,10 +12,14 @@
 
 mod bitio;
 mod golomb;
+mod qlog;
 mod varint;
 
 pub use bitio::{BitReader, BitWriter};
 pub use golomb::{golomb_decode, golomb_encode, golomb_len_bits, optimal_golomb_m};
+pub use qlog::{
+    read_qlog_body, read_qlog_record, write_qlog_record, QlogRecord, QLOG_MAGIC,
+};
 pub use varint::{read_uvarint, write_uvarint};
 
 /// Number of bits needed to represent `v` (0 needs 1 bit).

@@ -1,0 +1,78 @@
+//! `ph-bench-client`: closed-loop load generator against a running `ph-serve`.
+//!
+//! ```text
+//! ph-bench-client --addr HOST:PORT [--connections N] [--seconds S] [--sql Q]...
+//! ```
+//!
+//! Each connection is one closed loop (fire the next query as soon as the
+//! previous answer lands); the report is sustained qps plus p50/p99 latency.
+//! Without `--sql`, the standard Power scalar query mix is used (matching the
+//! demo table `ph-serve` registers).
+
+use std::process::exit;
+use std::time::Duration;
+
+use ph_server::run_closed_loop;
+
+const DEFAULT_QUERIES: [&str; 4] = [
+    "SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT AVG(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT SUM(global_active_power) FROM Power WHERE voltage > 238;",
+    "SELECT MAX(global_active_power) FROM Power WHERE voltage > 238;",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ph-bench-client --addr HOST:PORT [--connections N] [--seconds S] [--sql Q]..."
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut connections = 4usize;
+    let mut seconds = 5.0f64;
+    let mut queries: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage();
+        });
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--connections" => {
+                connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--seconds" => seconds = value("--seconds").parse().unwrap_or_else(|_| usage()),
+            "--sql" => queries.push(value("--sql")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    if queries.is_empty() {
+        queries = DEFAULT_QUERIES.iter().map(|q| q.to_string()).collect();
+    }
+    // Fail fast (and loudly) if the mix can't be served at all.
+    let mut probe = ph_server::Client::new(addr.clone());
+    if let Err(e) = probe.query(&queries[0]) {
+        eprintln!("probe query failed against {addr}: {e}");
+        exit(1);
+    }
+    let report =
+        run_closed_loop(&addr, connections, Duration::from_secs_f64(seconds), &queries);
+    println!(
+        "connections={} seconds={:.1} ok={} errors={} qps={:.0} p50={:.1}us p99={:.1}us",
+        report.connections,
+        report.seconds,
+        report.ok,
+        report.errors,
+        report.qps,
+        report.p50_us,
+        report.p99_us,
+    );
+}

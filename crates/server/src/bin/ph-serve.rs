@@ -1,0 +1,123 @@
+//! `ph-serve`: the serving process.
+//!
+//! ```text
+//! ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--qlog PATH]
+//!          [--data-dir DIR | --demo ROWS]
+//! ```
+//!
+//! With `--data-dir` the catalog is reopened from a `Session::save_dir`
+//! directory; otherwise a synthetic `Power` table of `--demo ROWS` rows
+//! (default 50 000) is registered so the server is immediately queryable:
+//!
+//! ```text
+//! curl -s localhost:7871/healthz
+//! curl -s -XPOST localhost:7871/query \
+//!      -d 'SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;'
+//! ```
+//!
+//! Runs until killed. The query log (if any) is flushed on every append, so a
+//! `SIGKILL` loses at most the in-flight record.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use ph_core::Session;
+use ph_server::{Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    cfg: ServerConfig,
+    data_dir: Option<String>,
+    demo_rows: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--qlog PATH] \
+         [--data-dir DIR | --demo ROWS]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7871".into(),
+        cfg: ServerConfig::default(),
+        data_dir: None,
+        demo_rows: 50_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage();
+        });
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--workers" => {
+                args.cfg.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue" => {
+                args.cfg.queue_depth = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--qlog" => args.cfg.query_log = Some(value("--qlog").into()),
+            "--data-dir" => args.data_dir = Some(value("--data-dir")),
+            "--demo" => {
+                args.demo_rows = value("--demo").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let session = match &args.data_dir {
+        Some(dir) => match Session::open_dir(dir) {
+            Ok(s) => {
+                eprintln!("opened catalog {dir} ({} tables)", s.tables().len());
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                exit(1);
+            }
+        },
+        None => {
+            let s = Session::new();
+            let data = ph_datagen::generate("Power", args.demo_rows, 7)
+                .expect("demo dataset generates");
+            eprintln!(
+                "no --data-dir: registered demo table 'Power' ({} rows, columns: {})",
+                data.n_rows(),
+                data.columns().iter().map(|c| c.name()).collect::<Vec<_>>().join(", ")
+            );
+            s.register(data).expect("demo table registers");
+            s
+        }
+    };
+    let server = match Server::bind(Arc::new(session), &args.addr, args.cfg.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    // Stdout so scripts can scrape the resolved (possibly ephemeral) port.
+    println!("ph-serve listening on {}", server.local_addr());
+    eprintln!(
+        "workers={} queue={} qlog={}",
+        args.cfg.workers,
+        args.cfg.queue_depth,
+        args.cfg.query_log.as_deref().map(|p| p.display().to_string()).unwrap_or_else(|| "off".into()),
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

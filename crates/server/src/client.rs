@@ -1,0 +1,263 @@
+//! Blocking HTTP client for a `ph_server` instance: one keep-alive connection,
+//! typed answers, and structured errors mirroring the server's JSON bodies.
+//!
+//! [`Client::query`] returns the same [`AqpAnswer`] type a local
+//! [`ph_core::Session::sql`] call does — and because the wire format is
+//! float-lossless, the values are **bit-identical** to what the server
+//! computed. Code written against a local session ports to the networked
+//! deployment by swapping the call site.
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ph_core::AqpAnswer;
+
+use crate::http::{HttpConn, HttpError};
+use crate::json::{obj, Json};
+use crate::wire::answer_from_json;
+
+/// Largest response body the client accepts.
+const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Client-side failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The server answered with an error body (4xx/5xx).
+    Server {
+        /// HTTP status.
+        status: u16,
+        /// The error `kind` slug (`parse`, `unknown_table`, `overload`, …).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+        /// Byte offset into the SQL text, when the server knows it.
+        position: Option<usize>,
+    },
+    /// Socket-level failure (connect, read, write, timeout).
+    Transport(String),
+    /// The response does not parse as this protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Server { status, kind, message, position } => {
+                write!(f, "server error {status} ({kind}): {message}")?;
+                if let Some(at) = position {
+                    write!(f, " at byte {at}")?;
+                }
+                Ok(())
+            }
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connection to one server. Reconnects transparently once per request if
+/// the kept-alive socket has gone away (server restart, idle timeout).
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+    conn: Option<HttpConn<TcpStream>>,
+}
+
+impl Client {
+    /// A client for `addr` (`"127.0.0.1:7871"`). Connection is lazy — the
+    /// first request opens it.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), timeout: Duration::from_secs(30), conn: None }
+    }
+
+    /// Sets the per-read socket timeout (default 30 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&mut self) -> Result<&mut HttpConn<TcpStream>, ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| ClientError::Transport(format!("connect {}: {e}", self.addr)))?;
+            let conn = HttpConn::new(stream);
+            conn.configure(self.timeout)
+                .map_err(|e| ClientError::Transport(e.to_string()))?;
+            self.conn = Some(conn);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One request/response exchange. Idempotent requests (queries, reads) are
+    /// retried once on a dead kept-alive socket; non-idempotent ones
+    /// (`/ingest` — the server may have applied the batch before the
+    /// connection died) surface the transport error instead, so a batch can
+    /// never be applied twice behind the caller's back.
+    fn exchange(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+        idempotent: bool,
+    ) -> Result<(u16, Json), ClientError> {
+        let mut first_error = None;
+        let attempts = if idempotent { 2 } else { 1 };
+        for _ in 0..attempts {
+            let conn = self.connect()?;
+            let sent = conn.write_request(method, target, content_type, body);
+            let result = sent.and_then(|_| conn.read_response(MAX_RESPONSE_BYTES));
+            match result {
+                Ok((status, _headers, body)) => {
+                    let text = String::from_utf8(body)
+                        .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+                    let doc = Json::parse(&text).map_err(|e| {
+                        ClientError::Protocol(format!("response is not JSON: {e} in {text:?}"))
+                    })?;
+                    return Ok((status, doc));
+                }
+                Err(HttpError::Io(m) | HttpError::Malformed(m)) => {
+                    // Drop the (possibly half-dead) connection and retry once.
+                    self.conn = None;
+                    first_error.get_or_insert(ClientError::Transport(m));
+                }
+                Err(HttpError::Incomplete) => {
+                    self.conn = None;
+                    first_error
+                        .get_or_insert(ClientError::Transport("connection closed".into()));
+                }
+                Err(HttpError::TooLarge(m)) => {
+                    self.conn = None;
+                    return Err(ClientError::Protocol(m));
+                }
+            }
+        }
+        Err(first_error.unwrap_or_else(|| ClientError::Transport("request failed".into())))
+    }
+
+    /// Raises the server's structured error body as [`ClientError::Server`].
+    fn ok_or_server_error(status: u16, doc: Json) -> Result<Json, ClientError> {
+        if (200..300).contains(&status) {
+            return Ok(doc);
+        }
+        let err = doc.get("error");
+        Err(ClientError::Server {
+            status,
+            kind: err
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            message: err
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("<no message>")
+                .to_string(),
+            position: err
+                .and_then(|e| e.get("position"))
+                .and_then(Json::as_f64)
+                .map(|x| x as usize),
+        })
+    }
+
+    /// Executes one SQL query, returning the server's estimate — the same
+    /// `AqpAnswer` a local `Session::sql` produces, bit-identical.
+    pub fn query(&mut self, sql: &str) -> Result<AqpAnswer, ClientError> {
+        let body = obj(vec![("sql", Json::Str(sql.to_string()))]).to_string();
+        let (status, doc) =
+            self.exchange("POST", "/query", "application/json", body.as_bytes(), true)?;
+        let doc = Self::ok_or_server_error(status, doc)?;
+        answer_from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// Ingests JSON rows (`[{"col": value, …}, …]`) into `table`. Returns the
+    /// server's ingest report as JSON.
+    pub fn ingest_rows(&mut self, table: &str, rows: Vec<Json>) -> Result<Json, ClientError> {
+        let body = obj(vec![
+            ("table", Json::Str(table.to_string())),
+            ("rows", Json::Arr(rows)),
+        ])
+        .to_string();
+        let (status, doc) =
+            self.exchange("POST", "/ingest", "application/json", body.as_bytes(), false)?;
+        Self::ok_or_server_error(status, doc)
+    }
+
+    /// Ingests a CSV body (header line + rows) into `table`.
+    pub fn ingest_csv(&mut self, table: &str, csv: &str) -> Result<Json, ClientError> {
+        let target = format!("/ingest?table={}", percent_encode(table));
+        let (status, doc) = self.exchange("POST", &target, "text/csv", csv.as_bytes(), false)?;
+        Self::ok_or_server_error(status, doc)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&mut self) -> Result<Json, ClientError> {
+        let (status, doc) = self.exchange("GET", "/healthz", "application/json", b"", true)?;
+        Self::ok_or_server_error(status, doc)
+    }
+
+    /// `GET /stats` — the full session + server metrics document.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let (status, doc) = self.exchange("GET", "/stats", "application/json", b"", true)?;
+        Self::ok_or_server_error(status, doc)
+    }
+
+    /// `GET /tables` — registered table names with their serving state.
+    pub fn tables(&mut self) -> Result<Vec<String>, ClientError> {
+        let (status, doc) = self.exchange("GET", "/tables", "application/json", b"", true)?;
+        let doc = Self::ok_or_server_error(status, doc)?;
+        doc.get("tables")
+            .and_then(Json::as_arr)
+            .map(|tables| {
+                tables
+                    .iter()
+                    .filter_map(|t| t.get("name").and_then(Json::as_str).map(str::to_string))
+                    .collect()
+            })
+            .ok_or_else(|| ClientError::Protocol("missing \"tables\" array".into()))
+    }
+
+    /// Grouped convenience: the scalar estimate of one query, erroring on
+    /// grouped answers and SQL NULL.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<ph_core::Estimate, ClientError> {
+        match self.query(sql)? {
+            AqpAnswer::Scalar(Some(e)) => Ok(e),
+            AqpAnswer::Scalar(None) => {
+                Err(ClientError::Protocol("query returned SQL NULL".into()))
+            }
+            AqpAnswer::Groups(_) => {
+                Err(ClientError::Protocol("query returned groups, not a scalar".into()))
+            }
+        }
+    }
+
+    /// Grouped convenience: the per-group estimates of one query.
+    pub fn query_groups(
+        &mut self,
+        sql: &str,
+    ) -> Result<BTreeMap<String, ph_core::Estimate>, ClientError> {
+        match self.query(sql)? {
+            AqpAnswer::Groups(g) => Ok(g),
+            AqpAnswer::Scalar(_) => {
+                Err(ClientError::Protocol("query returned a scalar, not groups".into()))
+            }
+        }
+    }
+}
+
+/// Percent-encodes a query-string value (RFC 3986 unreserved set passes).
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}

@@ -1,0 +1,73 @@
+//! # `ph_server` — the networked AQP serving layer
+//!
+//! Everything below this crate answers queries *in process*; this crate puts
+//! the system on a socket. A [`Server`] is a dependency-free HTTP/1.1 process
+//! component on `std::net` — a fixed worker pool over one shared
+//! [`Session`](ph_core::Session) — serving:
+//!
+//! | endpoint        | what it does |
+//! |-----------------|--------------|
+//! | `POST /query`   | SQL in (raw text or `{"sql": …}`), JSON estimate with bounds out |
+//! | `POST /ingest`  | JSON rows or CSV into a named table (O(batch) segmented ingest) |
+//! | `GET /tables`   | catalog with per-table epoch / segment / row counts |
+//! | `GET /stats`    | plan-cache hit/miss, per-table footprint, per-endpoint latency histograms |
+//! | `GET /healthz`  | liveness |
+//!
+//! Three serving-layer guarantees the in-process library cannot give:
+//!
+//! * **Admission control.** Accepted connections queue in a *bounded* handoff;
+//!   when the queue is full the server answers `503` at the door instead of
+//!   accumulating unbounded connections. Overload stays fast and explicit.
+//! * **Structured failure.** Every [`PhError`](ph_types::PhError) maps to an
+//!   HTTP status ([`status_for`]) and a JSON error body with a machine-readable
+//!   `kind` — parse errors even carry the byte offset of the syntax error.
+//! * **A workload memory.** Every `/query` is appended to a varint-compressed
+//!   query log (the `PHQL1` format in [`ph_encoding`], after Xie et al.'s query
+//!   log compression work), replayable by the `logreplay` bench bin — and by
+//!   the tests, which assert a replayed log reproduces the served estimates.
+//!
+//! The [`Client`] speaks the same wire format back: `Client::query` returns
+//! the same [`AqpAnswer`](ph_core::AqpAnswer) a local `Session::sql` call
+//! does, **bit-identical** (float-lossless JSON on both sides).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ph_core::Session;
+//! use ph_server::{Client, Server, ServerConfig};
+//! use ph_types::{Column, Dataset};
+//!
+//! let data = Dataset::builder("demo")
+//!     .column(Column::from_ints("x", (0..8_000).map(|i| Some(i % 100)).collect())).unwrap()
+//!     .column(Column::from_ints("y", (0..8_000).map(|i| Some((i % 100) * 2)).collect())).unwrap()
+//!     .build();
+//! let session = Arc::new(Session::new());
+//! session.register(data).unwrap();
+//!
+//! // Port 0 = ephemeral; `local_addr` has the resolved port.
+//! let server = Server::bind(session, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::new(server.local_addr().to_string());
+//! let estimate = client.query_scalar("SELECT COUNT(y) FROM demo WHERE x >= 50;").unwrap();
+//! assert!(estimate.lo <= estimate.value && estimate.value <= estimate.hi);
+//! server.shutdown();
+//! ```
+//!
+//! Binaries: `ph-serve` (the server process) and `ph-bench-client` (a
+//! closed-loop load generator over [`load::run_closed_loop`]).
+
+pub mod client;
+pub mod http;
+mod ingest;
+pub mod json;
+pub mod load;
+pub mod querylog;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use load::{run_closed_loop, LoadReport};
+pub use querylog::{read_query_log, QueryLogWriter};
+pub use server::{Server, ServerConfig};
+pub use wire::{answer_from_json, answer_to_json, error_body, status_for};

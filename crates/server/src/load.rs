@@ -1,0 +1,98 @@
+//! Closed-loop load generation: `N` connections, each a thread with its own
+//! [`Client`], firing the next query the moment the previous answer lands.
+//! Shared by the `ph-bench-client` binary and the `server_throughput` bench
+//! section of `BENCH_query_latency.json`.
+//!
+//! Closed-loop (rather than fixed-rate) load matches how the paper frames
+//! interactivity: each connection models one user who reads an answer and
+//! immediately asks the next question, so measured throughput is the
+//! *sustainable* rate at the measured latency, not an open-loop overload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+
+/// Outcome of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent connections driven.
+    pub connections: usize,
+    /// Wall-clock measurement window.
+    pub seconds: f64,
+    /// Queries answered with 200.
+    pub ok: u64,
+    /// Queries answered with an error (4xx/5xx or transport).
+    pub errors: u64,
+    /// Sustained throughput (`ok / seconds`).
+    pub qps: f64,
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Drives `connections` closed loops against `addr` for `duration`, each
+/// rotating through `queries` (staggered so connections don't lock-step).
+pub fn run_closed_loop(
+    addr: &str,
+    connections: usize,
+    duration: Duration,
+    queries: &[String],
+) -> LoadReport {
+    assert!(!queries.is_empty(), "need at least one query to drive");
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let mut per_conn: Vec<(u64, u64, Vec<f64>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections.max(1))
+            .map(|c| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut client = Client::new(addr.to_string());
+                    let mut ok = 0u64;
+                    let mut errors = 0u64;
+                    let mut latencies_us: Vec<f64> = Vec::new();
+                    let mut qi = c; // stagger
+                    while !stop.load(Ordering::Acquire) {
+                        let q = &queries[qi % queries.len()];
+                        qi += 1;
+                        let t = Instant::now();
+                        match client.query(q) {
+                            Ok(_) => {
+                                ok += 1;
+                                latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (ok, errors, latencies_us)
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+        per_conn = handles.into_iter().map(|h| h.join().expect("load thread")).collect();
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    let ok: u64 = per_conn.iter().map(|(ok, _, _)| ok).sum();
+    let errors: u64 = per_conn.iter().map(|(_, e, _)| e).sum();
+    let mut latencies: Vec<f64> = per_conn.into_iter().flat_map(|(_, _, l)| l).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((latencies.len() as f64 - 1.0) * p).round() as usize]
+        }
+    };
+    LoadReport {
+        connections,
+        seconds,
+        ok,
+        errors,
+        qps: ok as f64 / seconds.max(1e-9),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}

@@ -1,0 +1,103 @@
+//! The server's append-only query log: every `/query` request (status, latency
+//! and the SQL text) in the varint-compressed `PHQL1` record format defined by
+//! [`ph_encoding`] (following Xie et al., "Query Log Compression for Workload
+//! Analytics"). The log is the serving layer's workload memory — replayable by
+//! the `logreplay` bench bin and by the end-to-end tests, which assert that a
+//! replayed log reproduces the exact estimates the server returned.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use ph_encoding::{read_qlog_body, write_qlog_record, QlogRecord, QLOG_MAGIC};
+use ph_types::PhError;
+
+struct LogInner {
+    out: BufWriter<File>,
+    prev_ts: u64,
+}
+
+/// Thread-safe appender. One mutex serializes record writes; the encoding work
+/// per record is a handful of varints, so contention is negligible next to the
+/// query execution the log trails.
+pub struct QueryLogWriter {
+    inner: Mutex<LogInner>,
+}
+
+impl QueryLogWriter {
+    /// Creates (truncating) a log file at `path` and writes the magic.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, PhError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(QLOG_MAGIC)?;
+        Ok(Self { inner: Mutex::new(LogInner { out, prev_ts: 0 }) })
+    }
+
+    /// Appends one record, stamped with the current wall clock, and flushes —
+    /// a crash must lose at most the record being written.
+    pub fn append(&self, status: u16, latency_micros: u64, sql: &str) {
+        let ts_micros = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let rec = QlogRecord { ts_micros, status, latency_micros, sql: sql.to_string() };
+        let mut buf = Vec::with_capacity(sql.len() + 16);
+        let mut inner = self.inner.lock().expect("query log lock");
+        inner.prev_ts = write_qlog_record(&mut buf, inner.prev_ts, &rec);
+        // Log failures must not fail queries: serving is the product, the log
+        // is the audit trail. A full disk degrades to a truncated log.
+        let _ = inner.out.write_all(&buf);
+        let _ = inner.out.flush();
+    }
+
+    /// Flushes buffered records to the file.
+    pub fn flush(&self) {
+        let _ = self.inner.lock().expect("query log lock").out.flush();
+    }
+}
+
+/// Reads a whole query log back into records. Fails with
+/// [`PhError::Corrupt`] on a bad magic or an undecodable record.
+pub fn read_query_log(path: impl AsRef<Path>) -> Result<Vec<QlogRecord>, PhError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    let body = bytes
+        .strip_prefix(&QLOG_MAGIC[..])
+        .ok_or_else(|| PhError::Corrupt(format!("{}: not a PHQL1 query log", path.display())))?;
+    read_qlog_body(body)
+        .ok_or_else(|| PhError::Corrupt(format!("{}: truncated or corrupt record", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ph_qlog_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.phqlog");
+        let log = QueryLogWriter::create(&path).unwrap();
+        log.append(200, 412, "SELECT COUNT(x) FROM t;");
+        log.append(400, 9, "SELEC oops");
+        log.flush();
+        let records = read_query_log(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].status, 200);
+        assert_eq!(records[0].sql, "SELECT COUNT(x) FROM t;");
+        assert_eq!(records[1].status, 400);
+        assert!(records[1].ts_micros >= records[0].ts_micros, "monotone timestamps");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt_error() {
+        let dir = std::env::temp_dir().join(format!("ph_qlog_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.phqlog");
+        std::fs::write(&path, b"NOTALOG").unwrap();
+        assert!(matches!(read_query_log(&path), Err(PhError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

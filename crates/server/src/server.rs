@@ -1,0 +1,691 @@
+//! The serving process: a fixed worker pool draining a **bounded** accept
+//! queue, all workers sharing one `Arc<Session>`.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌────────────┐   bounded queue    ┌──────────┐
+//!  accept ──▶│  acceptor  │──▶ (cap = depth) ──▶│ worker 0 │──▶ Session (shared)
+//!            │   thread   │        │            │    …     │
+//!            └────────────┘        │ full?      │ worker N │
+//!                                  ▼            └──────────┘
+//!                            503 + close
+//! ```
+//!
+//! * **Admission control.** The acceptor never blocks on a slow worker: a
+//!   connection that does not fit in the queue is answered `503` immediately
+//!   and closed. Under overload the server sheds load at the door instead of
+//!   accumulating unbounded connections — the failure mode stays *fast and
+//!   explicit* (clients see 503 and back off) rather than slow and silent.
+//! * **Connection-per-worker.** A worker owns a connection for its whole
+//!   keep-alive lifetime (requests on one connection are sequential anyway).
+//!   Size `workers` at or above the expected concurrent connection count; the
+//!   queue absorbs bursts beyond it.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops the acceptor, lets every
+//!   worker finish its in-flight request, flushes the query log, and joins all
+//!   threads. In-flight requests are answered, new ones are not.
+//!
+//! Reads are bounded in space (head/body caps) and time (read timeout), so a
+//! stalled or hostile client cannot pin a worker forever.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ph_core::Session;
+use ph_types::PhError;
+
+use crate::http::{HttpConn, HttpError, Request};
+use crate::ingest::dataset_from_body;
+use crate::json::{obj, Json};
+use crate::querylog::QueryLogWriter;
+use crate::wire::{answer_to_json, error_body, status_for};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; each owns one connection at a time, so size this at or
+    /// above the expected concurrent (keep-alive) connection count.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker before the server
+    /// starts answering `503`.
+    pub queue_depth: usize,
+    /// Largest request body accepted (bigger → `413`).
+    pub max_body_bytes: usize,
+    /// Per-read socket timeout; a connection idle (or stalled mid-request)
+    /// longer than this is closed.
+    pub read_timeout: Duration,
+    /// Where to append the query log (`None` → no log).
+    pub query_log: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).max(4),
+            queue_depth: 64,
+            max_body_bytes: 8 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            query_log: None,
+        }
+    }
+}
+
+/// Endpoints with their own metrics slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    Query,
+    Ingest,
+    Tables,
+    Stats,
+    Healthz,
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Query,
+        Endpoint::Ingest,
+        Endpoint::Tables,
+        Endpoint::Stats,
+        Endpoint::Healthz,
+        Endpoint::Other,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Endpoint::Query => 0,
+            Endpoint::Ingest => 1,
+            Endpoint::Tables => 2,
+            Endpoint::Stats => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Other => 5,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Query => "query",
+            Endpoint::Ingest => "ingest",
+            Endpoint::Tables => "tables",
+            Endpoint::Stats => "stats",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Lock-free log₂ latency histogram: bucket `i` counts requests taking
+/// `[2^i, 2^(i+1))` µs. 40 buckets cover a microsecond to ~12 days.
+struct LatencyHist {
+    buckets: [AtomicU64; 40],
+}
+
+impl LatencyHist {
+    fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    fn record(&self, micros: u64) {
+        let idx = (63 - micros.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile: the geometric midpoint of the bucket holding the
+    /// rank. Within 2x of the true value by construction — the right fidelity
+    /// for a monitoring endpoint that must never lock the hot path.
+    fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+            }
+        }
+        2f64.powi(counts.len() as i32 - 1)
+    }
+}
+
+struct EndpointMetrics {
+    requests: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    latency: LatencyHist,
+}
+
+impl EndpointMetrics {
+    fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            status_4xx: AtomicU64::new(0),
+            status_5xx: AtomicU64::new(0),
+            latency: LatencyHist::new(),
+        }
+    }
+
+    fn record(&self, status: u16, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if (400..500).contains(&status) {
+            self.status_4xx.fetch_add(1, Ordering::Relaxed);
+        } else if status >= 500 {
+            self.status_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(micros);
+    }
+}
+
+pub(crate) struct Metrics {
+    endpoints: [EndpointMetrics; 6],
+    /// Connections shed at the door (queue full).
+    rejected: AtomicU64,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Self {
+            endpoints: std::array::from_fn(|_| EndpointMetrics::new()),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        &self.endpoints[e.idx()]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            Endpoint::ALL
+                .iter()
+                .map(|e| {
+                    let m = self.endpoint(*e);
+                    (
+                        e.name().to_string(),
+                        obj(vec![
+                            ("requests", Json::Num(m.requests.load(Ordering::Relaxed) as f64)),
+                            ("status_4xx", Json::Num(m.status_4xx.load(Ordering::Relaxed) as f64)),
+                            ("status_5xx", Json::Num(m.status_5xx.load(Ordering::Relaxed) as f64)),
+                            ("p50_us", Json::Num(m.latency.quantile_us(0.50))),
+                            ("p99_us", Json::Num(m.latency.quantile_us(0.99))),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The bounded handoff between the acceptor and the workers.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    q: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner { q: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits `conn` if there is room; hands it back (for the 503) otherwise.
+    fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().expect("conn queue lock");
+        if inner.closed || inner.q.len() >= self.cap {
+            return Err(conn);
+        }
+        inner.q.push_back(conn);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("conn queue lock");
+        loop {
+            if let Some(conn) = inner.q.pop_front() {
+                return Some(conn);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("conn queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("conn queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the acceptor, the workers and the handle.
+pub(crate) struct Shared {
+    pub(crate) session: Arc<Session>,
+    cfg: ServerConfig,
+    pub(crate) metrics: Metrics,
+    qlog: Option<QueryLogWriter>,
+    queue: ConnQueue,
+    stop: AtomicBool,
+    started: Instant,
+    /// One slot per worker holding a clone of its in-flight connection.
+    /// Shutdown closes the *read* half of each, so a worker blocked in a
+    /// keep-alive read returns immediately instead of waiting out the read
+    /// timeout — while a response being written still goes out.
+    active: Vec<Mutex<Option<TcpStream>>>,
+}
+
+/// A running server. Dropping the handle **without** calling
+/// [`Server::shutdown`] detaches the threads (the process exit reaps them);
+/// call `shutdown` for a deterministic, log-flushed stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the acceptor
+    /// and worker threads, serving `session`.
+    pub fn bind(
+        session: Arc<Session>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> Result<Server, PhError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let qlog = match &cfg.query_log {
+            Some(path) => Some(QueryLogWriter::create(path)?),
+            None => None,
+        };
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            session,
+            queue: ConnQueue::new(cfg.queue_depth),
+            cfg,
+            metrics: Metrics::new(),
+            qlog,
+            stop: AtomicBool::new(false),
+            started: Instant::now(),
+            active: (0..workers_n).map(|_| Mutex::new(None)).collect(),
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ph-accept".into())
+                .spawn(move || accept_loop(&shared, listener))
+                .map_err(|e| PhError::Io(e.to_string()))?
+        };
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ph-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .map_err(|e| PhError::Io(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections answered `503` at the door so far.
+    pub fn rejected(&self) -> u64 {
+        self.shared.metrics.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, finishes in-flight requests, flushes the query log and
+    /// joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking `accept` with a no-op connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shared.queue.close();
+        // Unblock workers parked in keep-alive reads: closing the read half
+        // makes their blocked `read` return EOF now instead of at the read
+        // timeout; a response mid-write still completes.
+        for slot in &self.shared.active {
+            if let Some(conn) = slot.lock().expect("active slot lock").as_ref() {
+                let _ = conn.shutdown(std::net::Shutdown::Read);
+            }
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(qlog) = &self.shared.qlog {
+            qlog.flush();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                // Transient accept failures (EMFILE under fd exhaustion,
+                // ECONNABORTED) must not busy-spin the acceptor at 100% CPU
+                // exactly when the box is already overloaded.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Err(conn) = shared.queue.try_push(conn) {
+            // Admission control: shed at the door, explicitly.
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut http = HttpConn::new(conn);
+            let body = obj(vec![(
+                "error",
+                obj(vec![
+                    ("kind", Json::Str("overload".into())),
+                    ("status", Json::Num(503.0)),
+                    (
+                        "message",
+                        Json::Str(
+                            "server at capacity (accept queue full); retry with backoff".into(),
+                        ),
+                    ),
+                ]),
+            )]);
+            let _ = http.write_response(503, &body.to_string(), false);
+        }
+    }
+    shared.queue.close();
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    while let Some(conn) = shared.queue.pop() {
+        *shared.active[slot].lock().expect("active slot lock") = conn.try_clone().ok();
+        // Re-check after publishing the clone: a shutdown racing the lines
+        // above might have swept the slots before ours was visible.
+        if shared.stop.load(Ordering::Acquire) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+            *shared.active[slot].lock().expect("active slot lock") = None;
+            continue;
+        }
+        let mut http = HttpConn::new(conn);
+        if http.configure(shared.cfg.read_timeout).is_ok() {
+            handle_connection(shared, &mut http);
+        }
+        *shared.active[slot].lock().expect("active slot lock") = None;
+    }
+}
+
+/// Serves one connection until close, error, timeout or shutdown.
+fn handle_connection(shared: &Shared, http: &mut HttpConn<TcpStream>) {
+    loop {
+        let req = match http.read_request(shared.cfg.max_body_bytes) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(HttpError::Malformed(m)) => {
+                let body = error_body(400, "bad_request", &m, None);
+                let _ = http.write_response(400, &body.to_string(), false);
+                return;
+            }
+            Err(HttpError::TooLarge(m)) => {
+                let body = error_body(413, "too_large", &m, None);
+                let _ = http.write_response(413, &body.to_string(), false);
+                return;
+            }
+            // Timeout, reset, or close mid-request: nothing to answer.
+            Err(HttpError::Incomplete | HttpError::Io(_)) => return,
+        };
+        let keep_alive = req.keep_alive() && !shared.stop.load(Ordering::Acquire);
+        let t0 = Instant::now();
+        let (endpoint, status, body) = handle_request(shared, &req);
+        let micros = t0.elapsed().as_micros() as u64;
+        shared.metrics.endpoint(endpoint).record(status, micros);
+        if endpoint == Endpoint::Query {
+            if let Some(qlog) = &shared.qlog {
+                qlog.append(status, micros, &query_text(&req).unwrap_or_default());
+            }
+        }
+        if http.write_response(status, &body.to_string(), keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// The SQL text of a `/query` request: a JSON body's `"sql"` member, or the
+/// raw body as UTF-8.
+fn query_text(req: &Request) -> Option<String> {
+    let text = std::str::from_utf8(&req.body).ok()?;
+    if text.trim_start().starts_with('{') {
+        let doc = Json::parse(text).ok()?;
+        return doc.get("sql")?.as_str().map(str::to_string);
+    }
+    Some(text.to_string())
+}
+
+/// Routes one request. Returns `(metrics endpoint, status, body)`.
+fn handle_request(shared: &Shared, req: &Request) -> (Endpoint, u16, Json) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => {
+            let (status, body) = handle_query(shared, req);
+            (Endpoint::Query, status, body)
+        }
+        ("POST", "/ingest") => {
+            let (status, body) = handle_ingest(shared, req);
+            (Endpoint::Ingest, status, body)
+        }
+        ("GET", "/tables") => (Endpoint::Tables, 200, tables_json(shared)),
+        ("GET", "/stats") => (Endpoint::Stats, 200, stats_json(shared)),
+        ("GET", "/healthz") => (
+            Endpoint::Healthz,
+            200,
+            obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("tables", Json::Num(shared.session.tables().len() as f64)),
+                ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
+            ]),
+        ),
+        (_, "/query" | "/ingest" | "/tables" | "/stats" | "/healthz") => {
+            let body = error_body(
+                405,
+                "method_not_allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+                None,
+            );
+            (Endpoint::Other, 405, body)
+        }
+        _ => {
+            let body = error_body(
+                404,
+                "no_such_endpoint",
+                &format!(
+                    "{:?} is not an endpoint (have: POST /query, POST /ingest, GET /tables, \
+                     GET /stats, GET /healthz)",
+                    req.path
+                ),
+                None,
+            );
+            (Endpoint::Other, 404, body)
+        }
+    }
+}
+
+fn handle_query(shared: &Shared, req: &Request) -> (u16, Json) {
+    let Some(sql) = query_text(req) else {
+        return (
+            400,
+            error_body(
+                400,
+                "bad_request",
+                "body must be SQL text or a JSON object with an \"sql\" member",
+                None,
+            ),
+        );
+    };
+    let t0 = Instant::now();
+    match shared.session.sql(&sql) {
+        Ok(answer) => {
+            let mut body = answer_to_json(&answer);
+            if let Json::Obj(members) = &mut body {
+                members.push((
+                    "latency_us".into(),
+                    Json::Num(t0.elapsed().as_micros() as f64),
+                ));
+            }
+            (200, body)
+        }
+        Err(e) => {
+            let status = status_for(&e);
+            // Recover the byte offset a parse error loses crossing `PhError`.
+            let position = match &e {
+                PhError::Parse(_) => ph_sql::error_offset(&sql),
+                _ => None,
+            };
+            (status, error_body(status, kind_of(&e), &e.to_string(), position))
+        }
+    }
+}
+
+fn handle_ingest(shared: &Shared, req: &Request) -> (u16, Json) {
+    match dataset_from_body(&shared.session, req) {
+        Ok((table, batch)) => match shared.session.ingest(&table, &batch) {
+            Ok(report) => (
+                200,
+                obj(vec![
+                    ("table", Json::Str(table)),
+                    ("rows", Json::Num(report.rows as f64)),
+                    ("staleness", Json::Num(report.staleness)),
+                    ("rebuilt", Json::Bool(report.rebuilt)),
+                    ("sealed_segments", Json::Num(report.sealed_segments as f64)),
+                ]),
+            ),
+            Err(e) => {
+                let status = status_for(&e);
+                (status, error_body(status, kind_of(&e), &e.to_string(), None))
+            }
+        },
+        Err(e) => {
+            let status = status_for(&e);
+            (status, error_body(status, kind_of(&e), &e.to_string(), None))
+        }
+    }
+}
+
+fn tables_json(shared: &Shared) -> Json {
+    let stats = shared.session.stats();
+    Json::Obj(vec![(
+        "tables".into(),
+        Json::Arr(
+            stats
+                .tables
+                .iter()
+                .map(|t| {
+                    obj(vec![
+                        ("name", Json::Str(t.name.clone())),
+                        ("epoch", Json::Num(t.epoch as f64)),
+                        ("segments", Json::Num(t.segments as f64)),
+                        ("sealed_rows", Json::Num(t.sealed_rows as f64)),
+                        ("delta_rows", Json::Num(t.delta_rows as f64)),
+                        ("staleness", Json::Num(t.staleness)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let stats = shared.session.stats();
+    let tables = stats
+        .tables
+        .iter()
+        .map(|t| {
+            let footprint = shared
+                .session
+                .footprint_report(&t.name)
+                .map(|f| {
+                    obj(vec![
+                        ("synopsis_bytes", Json::Num(f.synopsis_bytes as f64)),
+                        ("row_store_bytes", Json::Num(f.row_store_bytes as f64)),
+                        ("delta_bytes", Json::Num(f.delta_bytes as f64)),
+                        ("total_bytes", Json::Num(f.total as f64)),
+                    ])
+                })
+                .unwrap_or(Json::Null);
+            obj(vec![
+                ("name", Json::Str(t.name.clone())),
+                ("epoch", Json::Num(t.epoch as f64)),
+                ("segments", Json::Num(t.segments as f64)),
+                ("sealed_rows", Json::Num(t.sealed_rows as f64)),
+                ("delta_rows", Json::Num(t.delta_rows as f64)),
+                ("staleness", Json::Num(t.staleness)),
+                ("footprint", footprint),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
+        (
+            "plan_cache",
+            obj(vec![
+                ("hits", Json::Num(stats.cache.hits as f64)),
+                ("misses", Json::Num(stats.cache.misses as f64)),
+                ("entries", Json::Num(stats.cache.entries as f64)),
+            ]),
+        ),
+        ("tables", Json::Arr(tables)),
+        (
+            "server",
+            obj(vec![
+                ("workers", Json::Num(shared.cfg.workers as f64)),
+                ("queue_depth", Json::Num(shared.cfg.queue_depth as f64)),
+                (
+                    "rejected_503",
+                    Json::Num(shared.metrics.rejected.load(Ordering::Relaxed) as f64),
+                ),
+                ("endpoints", shared.metrics.to_json()),
+            ]),
+        ),
+    ])
+}
+
+/// The error `kind` slug of a [`PhError`], mirrored by the client.
+pub(crate) fn kind_of(e: &PhError) -> &'static str {
+    match e {
+        PhError::Parse(_) => "parse",
+        PhError::UnknownTable(_) => "unknown_table",
+        PhError::UnknownColumn(_) => "unknown_column",
+        PhError::InvalidQuery(_) => "invalid_query",
+        PhError::StalePlan(_) => "stale_plan",
+        PhError::Unsupported(_) => "unsupported",
+        PhError::Schema(_) => "schema",
+        PhError::Io(_) => "io",
+        PhError::Corrupt(_) => "corrupt",
+    }
+}

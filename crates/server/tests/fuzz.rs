@@ -1,0 +1,141 @@
+//! Fuzz-style property tests for everything in the serving layer that parses
+//! bytes off a socket or a disk: the HTTP request/response head parser, the
+//! JSON reader, and the query-log record codec. The invariant everywhere is
+//! **totality** — hostile, truncated or mutated input produces a structured
+//! error, never a panic — plus round-trip identity for well-formed input.
+
+use proptest::prelude::*;
+
+use ph_encoding::{read_qlog_body, write_qlog_record, QlogRecord};
+use ph_server::http::{parse_request_head, parse_response_head};
+use ph_server::Json;
+
+/// A printable-ish byte soup: biased toward the bytes HTTP heads are made of,
+/// so mutations reach deeper than the first character check.
+fn http_ish_bytes(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..n).prop_map(|v| {
+        v.into_iter()
+            .map(|b| match b % 8 {
+                0 => b' ',
+                1 => b'\r',
+                2 => b'\n',
+                3 => b':',
+                4 => b'/',
+                5 => b'A' + (b / 8) % 26,
+                6 => b'0' + (b / 8) % 10,
+                _ => b,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw byte soup never panics the request-head parser.
+    #[test]
+    fn request_head_parser_is_total(bytes in http_ish_bytes(300)) {
+        let _ = parse_request_head(&bytes);
+    }
+
+    /// Nor the response-head parser.
+    #[test]
+    fn response_head_parser_is_total(bytes in http_ish_bytes(300)) {
+        let _ = parse_response_head(&bytes);
+    }
+
+    /// Single-byte corruptions of a valid request head: parse or clean error,
+    /// and on success the structured fields stay in-bounds strings.
+    #[test]
+    fn mutated_valid_request_heads(at in 0usize..70, with in any::<u8>()) {
+        let valid = b"POST /query?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\n".to_vec();
+        let mut mutated = valid;
+        let at = at % mutated.len();
+        mutated[at] = with;
+        if let Ok(req) = parse_request_head(&mutated) {
+            prop_assert!(!req.method.is_empty());
+            prop_assert!(req.path.starts_with('/') || !req.path.is_empty());
+        }
+    }
+
+    /// The JSON reader is total on arbitrary strings…
+    #[test]
+    fn json_parser_is_total(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    /// …and print → parse is identity on values it built itself.
+    #[test]
+    fn json_roundtrip(n in 0usize..30, seed in any::<u64>()) {
+        // A deterministic value tree from the seed, depth-bounded.
+        fn build(mut s: u64, depth: usize, budget: &mut usize) -> Json {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *budget = budget.saturating_sub(1);
+            match if depth == 0 || *budget == 0 { s % 4 } else { s % 6 } {
+                0 => Json::Null,
+                1 => Json::Bool(s & 16 != 0),
+                2 => Json::Num(if f64::from_bits(s).is_finite() { f64::from_bits(s) } else { s as f64 }),
+                3 => Json::Str(format!("s{}\"\\é☃\n", s % 100)),
+                4 => Json::Arr((0..(s % 4)).map(|i| build(s ^ i, depth - 1, budget)).collect()),
+                _ => Json::Obj(
+                    (0..(s % 4)).map(|i| (format!("k{i}"), build(s ^ (i << 8), depth - 1, budget))).collect(),
+                ),
+            }
+        }
+        let mut budget = n + 1;
+        let v = build(seed, 4, &mut budget);
+        let text = v.to_string();
+        let back = Json::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&v), "through {}", text);
+    }
+
+    /// Query-log records round-trip through the codec, and any truncation of
+    /// the encoded stream fails cleanly instead of panicking or mis-decoding.
+    #[test]
+    fn qlog_roundtrip_and_truncation(
+        seeds in prop::collection::vec((any::<u32>(), any::<u16>(), any::<u32>(), 0usize..50), 1..6),
+        cut_frac in 0u8..100,
+    ) {
+        let mut records: Vec<QlogRecord> = seeds
+            .into_iter()
+            .map(|(ts, status, lat, n)| QlogRecord {
+                ts_micros: u64::from(ts),
+                status,
+                latency_micros: u64::from(lat),
+                sql: "SELECT é☃ ".chars().cycle().take(n).collect(),
+            })
+            .collect();
+        let mut prev = 0u64;
+        for r in &mut records {
+            r.ts_micros = r.ts_micros.max(prev); // the writer's monotone clamp
+            prev = r.ts_micros;
+        }
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for r in &records {
+            prev = write_qlog_record(&mut buf, prev, r);
+        }
+        let decoded = read_qlog_body(&buf);
+        prop_assert_eq!(decoded.as_deref(), Some(&records[..]));
+        // Truncating the stream must either fail cleanly (cut mid-record) or
+        // decode a strict prefix of the records (cut on a record boundary) —
+        // never panic, never invent data.
+        if !buf.is_empty() {
+            let cut = (buf.len() - 1) * usize::from(cut_frac) / 100;
+            match read_qlog_body(&buf[..cut]) {
+                None => {}
+                Some(prefix) => {
+                    prop_assert!(prefix.len() < records.len());
+                    prop_assert_eq!(&records[..prefix.len()], &prefix[..]);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the qlog reader.
+    #[test]
+    fn qlog_reader_is_total(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = read_qlog_body(&bytes);
+    }
+}

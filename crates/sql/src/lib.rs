@@ -21,4 +21,4 @@ mod parser;
 
 pub use ast::{AggFunc, CmpOp, Condition, Predicate, Query};
 pub use lexer::{lex, lex_spanned, LexError, Token};
-pub use parser::{parse_query, ParseError};
+pub use parser::{error_offset, parse_query, ParseError};

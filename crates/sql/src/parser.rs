@@ -101,6 +101,18 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     Ok(q)
 }
 
+/// Byte offset of the first syntax error in `input`, or `None` if it parses.
+///
+/// The structured offset ([`ParseError::at`]) is erased when a parse error
+/// crosses a `PhError::Parse(String)` boundary (the workspace-level error
+/// carries only the message); error *reporters* — `ph_server`'s 400-response
+/// JSON, editor integrations — recover it here by re-running the parser on the
+/// offending text. Error path only: the text already failed once, so the
+/// re-parse costs nothing on any hot path.
+pub fn error_offset(input: &str) -> Option<usize> {
+    parse_query(input).err().map(|e| e.at())
+}
+
 struct Parser {
     tokens: Vec<(Token, usize)>,
     pos: usize,
@@ -371,6 +383,14 @@ mod tests {
         // Display always names the offset.
         let e = parse_query("SELECT COUNT(x) FROM t WHERE x > >").unwrap_err();
         assert!(e.to_string().contains("byte 33"), "{e}");
+    }
+
+    #[test]
+    fn error_offset_matches_parse_error() {
+        assert_eq!(error_offset("SELECT COUNT(x) FROM t WHERE x > 3"), None);
+        assert_eq!(error_offset("SELECT COUNT(x) FROM t WHERE x ? 3"), Some(31));
+        let sql = "SELECT COUNT(x) FROM t WHERE x >";
+        assert_eq!(error_offset(sql), Some(sql.len()));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! To put the same session on a socket — HTTP server, admission control,
+//! metrics, query log — see `examples/serve.rs` and the `ph-serve` binary.
 
 use pairwisehist::prelude::*;
 

@@ -115,9 +115,47 @@
 //! assert!(answers.windows(2).all(|w| w[0] == w[1]), "same snapshot, same answer");
 //! ```
 //!
+//! ## Serving over the network
+//!
+//! The [`server`] layer puts a session on a socket: a dependency-free HTTP/1.1
+//! [`Server`](ph_server::Server) (fixed worker pool, **bounded accept queue
+//! with 503 admission control**, graceful shutdown) exposing `POST /query`,
+//! `POST /ingest` (JSON rows or CSV), `GET /tables`, `GET /stats`
+//! (plan-cache hit/miss via [`Session::stats`](ph_core::Session::stats),
+//! per-table footprints, per-endpoint latency histograms) and `GET /healthz`.
+//! Every [`PhError`](ph_types::PhError) maps to a structured 4xx/5xx JSON body
+//! ([`status_for`](ph_server::status_for)); parse errors carry the byte offset
+//! of the syntax error. Served queries are appended to a varint-compressed
+//! **query log** replayable by the `logreplay` bench bin. The bundled
+//! [`Client`](ph_server::Client) returns the same
+//! [`AqpAnswer`](ph_core::AqpAnswer) values a local `Session::sql` call
+//! produces — bit-identical, because the wire format is float-lossless:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pairwisehist::prelude::*;
+//!
+//! let data = Dataset::builder("demo")
+//!     .column(Column::from_ints("x", (0..8_000).map(|i| Some(i % 100)).collect())).unwrap()
+//!     .column(Column::from_ints("y", (0..8_000).map(|i| Some((i % 100) * 2)).collect())).unwrap()
+//!     .build();
+//! let session = Arc::new(Session::new());
+//! session.register(data).unwrap();
+//!
+//! let server = Server::bind(session.clone(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::new(server.local_addr().to_string());
+//! let sql = "SELECT COUNT(y) FROM demo WHERE x >= 50;";
+//! assert_eq!(client.query(sql).unwrap(), session.sql(sql).unwrap()); // bit-identical
+//! server.shutdown();
+//! ```
+//!
+//! Standalone deployment uses the `ph-serve` binary (`--data-dir` reopens a
+//! persisted catalog) and `ph-bench-client`, a closed-loop load generator.
+//!
 //! See `examples/` for the full compression pipeline (Fig 2), an edge-analytics
-//! scenario and a flight-delay analysis, and `crates/bench` for the binaries that
-//! regenerate every table and figure of the paper's evaluation.
+//! scenario, a flight-delay analysis and the served deployment (`serve.rs`),
+//! and `crates/bench` for the binaries that regenerate every table and figure
+//! of the paper's evaluation.
 
 pub use ph_baselines as baselines;
 pub use ph_core as core;
@@ -125,6 +163,7 @@ pub use ph_datagen as datagen;
 pub use ph_encoding as encoding;
 pub use ph_exact as exact;
 pub use ph_gd as gd;
+pub use ph_server as server;
 pub use ph_sql as sql;
 pub use ph_stats as stats;
 pub use ph_types as types;
@@ -134,11 +173,12 @@ pub use ph_workload as workload;
 pub mod prelude {
     pub use ph_core::{
         AqpAnswer, AqpEngine, AqpError, CacheStats, CompactReport, Estimate, FootprintReport,
-        IngestReport, PairwiseHist, PairwiseHistConfig, Prepared, Session, SplitRule,
-        TableSnapshot,
+        IngestReport, PairwiseHist, PairwiseHistConfig, Prepared, Session, SessionStats,
+        SplitRule, TableSnapshot, TableStats,
     };
     pub use ph_exact::{evaluate, ExactAnswer, ExactEngine};
     pub use ph_gd::{GdCompressor, GdStore, Preprocessor};
+    pub use ph_server::{Client, ClientError, Server, ServerConfig};
     pub use ph_sql::{parse_query, AggFunc, Query};
     pub use ph_types::{Column, ColumnType, Dataset, PhError, Value};
 }
