@@ -51,6 +51,8 @@ fn json_escape(s: &str) -> String {
 
 /// Results of the segmented-ingest benchmark.
 struct IngestBench {
+    /// Whether each batch was journaled to the ingest WAL before the swap.
+    wal: bool,
     base_rows: usize,
     batch_rows: usize,
     batches: usize,
@@ -78,7 +80,7 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// rebuild-on-staleness posture, O(total rows)) would show up as the second
 /// half's p50 drifting above the first half's; segmented ingest keeps them
 /// level because sealing is O(threshold) and the edge-free path O(batch).
-fn bench_ingest(smoke: bool) -> IngestBench {
+fn bench_ingest(smoke: bool, wal: bool) -> IngestBench {
     let (base_rows, batch_rows, batches, seal_threshold) =
         if smoke { (8_000, 500, 16, 4_000) } else { (50_000, 2_000, 60, 20_000) };
     let base = ph_datagen::generate("Power", base_rows, 7).expect("dataset");
@@ -86,6 +88,12 @@ fn bench_ingest(smoke: bool) -> IngestBench {
         Session::with_config(PairwiseHistConfig { ns: base_rows, ..Default::default() });
     session.set_max_staleness(f64::INFINITY); // size-based sealing only
     session.set_seal_threshold(seal_threshold);
+    let wal_dir = std::env::temp_dir().join(format!("ph_bench_wal_{}", std::process::id()));
+    if wal {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        std::fs::create_dir_all(&wal_dir).expect("wal dir");
+        session.enable_wal(&wal_dir).expect("enable wal");
+    }
     let mut raw_retained_rows_bytes = base.heap_size();
     session.register(base.clone()).expect("register Power");
     // Batches drawn from the base distribution (same schema and dictionaries).
@@ -107,7 +115,11 @@ fn bench_ingest(smoke: bool) -> IngestBench {
     first.sort_by(|a, b| a.total_cmp(b));
     second.sort_by(|a, b| a.total_cmp(b));
     let report = session.footprint_report("Power").expect("footprint report");
+    if wal {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
     IngestBench {
+        wal,
         base_rows,
         batch_rows,
         batches,
@@ -126,12 +138,17 @@ fn bench_ingest(smoke: bool) -> IngestBench {
     }
 }
 
-/// The `"ingest_latency"` JSON object (no trailing newline or comma).
+/// The `"ingest_latency"` (or `"ingest_latency_wal"`) JSON object — no
+/// trailing newline or comma. The `_wal` variant measures the same workload
+/// with every batch journaled first, so the delta between the two is the WAL
+/// append overhead.
 fn ingest_json(b: &IngestBench) -> String {
+    let key = if b.wal { "ingest_latency_wal" } else { "ingest_latency" };
     let growth = b.second_half_p50_us / b.first_half_p50_us.max(1e-9);
     let ratio = b.resident_bytes as f64 / b.raw_retained_rows_bytes.max(1) as f64;
     format!(
-        "  \"ingest_latency\": {{\n    \"base_rows\": {}, \"batch_rows\": {}, \"batches\": {}, \"seal_threshold_rows\": {},\n    \"p50_us\": {:.2}, \"p99_us\": {:.2},\n    \"first_half_p50_us\": {:.2}, \"second_half_p50_us\": {:.2}, \"late_vs_early_p50_ratio\": {growth:.3},\n    \"sealed_segments\": {}, \"segments_final\": {},\n    \"raw_retained_rows_bytes\": {}, \"resident_bytes\": {{ \"synopsis\": {}, \"row_store\": {}, \"delta\": {}, \"total\": {} }},\n    \"resident_vs_raw_ratio\": {ratio:.4}\n  }}",
+        "  \"{key}\": {{\n    \"wal_enabled\": {}, \"base_rows\": {}, \"batch_rows\": {}, \"batches\": {}, \"seal_threshold_rows\": {},\n    \"p50_us\": {:.2}, \"p99_us\": {:.2},\n    \"first_half_p50_us\": {:.2}, \"second_half_p50_us\": {:.2}, \"late_vs_early_p50_ratio\": {growth:.3},\n    \"sealed_segments\": {}, \"segments_final\": {},\n    \"raw_retained_rows_bytes\": {}, \"resident_bytes\": {{ \"synopsis\": {}, \"row_store\": {}, \"delta\": {}, \"total\": {} }},\n    \"resident_vs_raw_ratio\": {ratio:.4}\n  }}",
+        b.wal,
         b.base_rows,
         b.batch_rows,
         b.batches,
@@ -157,14 +174,20 @@ fn main() {
         // CI's build job: exercise the ingest bench end to end at small scale
         // and write a self-contained (partial) summary; the perf job produces
         // the full artifact.
-        let ib = bench_ingest(true);
+        let ib = bench_ingest(true, false);
+        let ibw = bench_ingest(true, true);
         eprintln!(
-            "ingest(smoke)      p50 {:.1} µs  p99 {:.1} µs  resident/raw {:.3}",
+            "ingest(smoke)      p50 {:.1} µs  p99 {:.1} µs  resident/raw {:.3}  wal p50 {:.1} µs",
             ib.p50_us,
             ib.p99_us,
-            ib.resident_bytes as f64 / ib.raw_retained_rows_bytes.max(1) as f64
+            ib.resident_bytes as f64 / ib.raw_retained_rows_bytes.max(1) as f64,
+            ibw.p50_us,
         );
-        let json = format!("{{\n  \"smoke\": true,\n{}\n}}\n", ingest_json(&ib));
+        let json = format!(
+            "{{\n  \"smoke\": true,\n{},\n{}\n}}\n",
+            ingest_json(&ib),
+            ingest_json(&ibw)
+        );
         std::fs::write(&out_path, &json).expect("write summary");
         eprintln!("wrote {out_path} (smoke mode: ingest_latency only)");
         return;
@@ -321,8 +344,10 @@ fn main() {
     }
     json.push_str("  ],\n");
 
-    // Segmented ingest: per-batch cost and bytes-resident (see bench_ingest).
-    let ib = bench_ingest(false);
+    // Segmented ingest: per-batch cost and bytes-resident (see bench_ingest),
+    // then the same workload with the ingest WAL armed — the delta is the
+    // durability tax per batch.
+    let ib = bench_ingest(false, false);
     eprintln!(
         "ingest_latency     p50 {:.1} µs  p99 {:.1} µs  late/early p50 {:.2}  \
          resident/raw {:.3} ({} seals)",
@@ -333,6 +358,15 @@ fn main() {
         ib.sealed_segments,
     );
     json.push_str(&ingest_json(&ib));
+    json.push_str(",\n");
+    let ibw = bench_ingest(false, true);
+    eprintln!(
+        "ingest_latency_wal p50 {:.1} µs  p99 {:.1} µs  (wal overhead p50 {:+.1} µs)",
+        ibw.p50_us,
+        ibw.p99_us,
+        ibw.p50_us - ib.p50_us,
+    );
+    json.push_str(&ingest_json(&ibw));
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write summary");
     eprintln!("wrote {out_path}");

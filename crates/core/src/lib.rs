@@ -52,6 +52,7 @@ mod session;
 mod storage;
 mod uniform;
 mod update;
+mod wal;
 mod weights;
 
 pub use aggregate::Estimate;

@@ -87,12 +87,12 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Deref;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use ph_sql::parse_query;
-use ph_types::{Dataset, PhError};
+use ph_types::{faultfs, Dataset, PhError};
 
 use crate::build::{next_plan_epoch, PairwiseHist, PairwiseHistConfig};
 use crate::engine::AqpAnswer;
@@ -105,6 +105,7 @@ use crate::storage::{
     segment_from_bytes, segment_to_bytes, table_manifest_from_bytes, table_manifest_to_bytes,
     TABLE_MAGIC,
 };
+use crate::wal;
 
 /// Plan-cache capacity across all shards. Caching is keyed by full query
 /// fingerprint (structure and literals), so adversarially unique literals could
@@ -151,6 +152,11 @@ struct TableCell {
     /// so footprint queries never touch the writer lock (a metrics poll must
     /// not stall behind an in-flight seal, rebuild or save).
     delta_bytes: AtomicUsize,
+    /// Sequence number of the last ingest batch journaled to (or replayed
+    /// from) this table's WAL; 0 = none. Written only under the writer lock
+    /// (or during single-threaded `open_dir` replay); `save_dir` reads it as
+    /// the manifest's replay watermark.
+    wal_seq: AtomicU64,
 }
 
 impl TableCell {
@@ -159,6 +165,7 @@ impl TableCell {
             state: RwLock::new(Arc::new(state)),
             delta_rows: Mutex::new(None),
             delta_bytes: AtomicUsize::new(0),
+            wal_seq: AtomicU64::new(0),
         }
     }
 
@@ -393,6 +400,16 @@ pub struct Session {
     /// current or dropped tables are ever touched — a shared directory's
     /// foreign files are left alone.
     dropped: Mutex<HashSet<String>>,
+    /// Durability home (see [`Session::enable_wal`]): when set, every accepted
+    /// ingest batch is journaled and fsynced to `<dir>/<base>.phwal` before
+    /// the in-memory swap, and a [`Session::save_dir`] into this directory
+    /// truncates the logs it has folded in.
+    wal_dir: Mutex<Option<PathBuf>>,
+    /// Tables whose persisted state failed checksum/decode verification at
+    /// [`Session::open_dir`]: key (table name, or the file-name base when the
+    /// manifest itself was unreadable) → reason. Quarantined tables are not
+    /// served; everything else in the catalog is.
+    quarantined: Mutex<BTreeMap<String, String>>,
 }
 
 impl Default for Session {
@@ -417,7 +434,43 @@ impl Session {
             max_staleness: AtomicU64::new(0.5f64.to_bits()),
             seal_threshold: AtomicUsize::new(DEFAULT_SEAL_ROWS),
             dropped: Mutex::new(HashSet::new()),
+            wal_dir: Mutex::new(None),
+            quarantined: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Turns on write-ahead logging: from now on every accepted [`Session::ingest`]
+    /// batch is appended — and fsynced — to `<dir>/<table base>.phwal` *before*
+    /// the in-memory swap, so a crash after `ingest` returns loses nothing;
+    /// [`Session::open_dir`] on the directory replays the tail past the last
+    /// snapshot. A [`Session::save_dir`] into the same directory folds the
+    /// logged batches into segment files and truncates the logs.
+    /// [`Session::open_dir`] enables journaling on the opened directory
+    /// automatically.
+    pub fn enable_wal(&self, dir: impl AsRef<Path>) -> Result<(), PhError> {
+        let dir = dir.as_ref();
+        faultfs::create_dir_all(dir)?;
+        *self.wal_dir.lock().expect("wal dir lock") = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    /// Whether ingest batches are currently journaled (see [`Session::enable_wal`]).
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_dir.lock().expect("wal dir lock").is_some()
+    }
+
+    /// Tables isolated at [`Session::open_dir`] because their persisted state
+    /// failed checksum or decode verification, as `(name, reason)` pairs
+    /// sorted by name. Queries against a quarantined table fail with
+    /// [`PhError::Quarantined`]; the rest of the catalog serves normally.
+    /// Re-[`Session::register`]ing the name (with fresh data) clears the entry.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.quarantined
+            .lock()
+            .expect("quarantine lock")
+            .iter()
+            .map(|(n, r)| (n.clone(), r.clone()))
+            .collect()
     }
 
     /// Sets the staleness threshold above which [`Session::ingest`] seals the
@@ -480,6 +533,9 @@ impl Session {
         if map.contains_key(&name) {
             return taken(&name); // lost a registration race for the same name
         }
+        // Fresh data under a quarantined name supersedes the damaged files
+        // (the next save_dir overwrites them).
+        self.quarantined.lock().expect("quarantine lock").remove(&name);
         map.insert(name, Arc::new(TableCell::new(state)));
         Ok(())
     }
@@ -499,6 +555,12 @@ impl Session {
     pub fn drop_table(&self, table: &str) -> Result<(), PhError> {
         let removed = self.tables.write().expect("table map lock").remove(table);
         if removed.is_none() {
+            // Dropping a quarantined table is how an operator discards damaged
+            // files for good: the next save_dir sweeps them.
+            if self.quarantined.lock().expect("quarantine lock").remove(table).is_some() {
+                self.dropped.lock().expect("dropped set lock").insert(table.to_string());
+                return Ok(());
+            }
             return Err(PhError::UnknownTable(table.to_string()));
         }
         // After the map removal, so a racing `prepare` can't re-cache a plan
@@ -550,12 +612,12 @@ impl Session {
     }
 
     fn cell(&self, table: &str) -> Result<Arc<TableCell>, PhError> {
-        self.tables
-            .read()
-            .expect("table map lock")
-            .get(table)
-            .cloned()
-            .ok_or_else(|| PhError::UnknownTable(table.to_string()))
+        self.tables.read().expect("table map lock").get(table).cloned().ok_or_else(|| {
+            match self.quarantined.lock().expect("quarantine lock").get(table) {
+                Some(reason) => PhError::Quarantined(format!("'{table}': {reason}")),
+                None => PhError::UnknownTable(table.to_string()),
+            }
+        })
     }
 
     /// Parses, routes and executes one query, going through the plan cache.
@@ -790,6 +852,9 @@ impl Session {
             // legacy segment without retained rows) must leave the table — and
             // the delta-rows ↔ delta-synopsis invariant — exactly as it was.
             let state = self.rebuild_with_batch(table, &cur, delta_rows.as_ref(), batch)?;
+            // Journal only once the batch is certain to apply: a journaled
+            // batch that could never re-apply would poison replay.
+            self.wal_append(table, &cell, batch)?;
             *delta_rows = None;
             cell.set_delta_bytes(0);
             let staleness = state.staleness();
@@ -804,6 +869,15 @@ impl Session {
                 sealed_segments: 0,
             });
         }
+
+        // Durability point: the batch is accepted — journal it (append +
+        // fsync) *before* any in-memory mutation, so once `ingest` returns the
+        // rows are recoverable. On a journaling failure (e.g. disk full) the
+        // table is untouched and the error propagates; a torn record from a
+        // crash mid-append is discarded by replay as an unacknowledged tail.
+        // Nothing after this point can fail: the batch schema was fully
+        // validated above, so the delta append and synopsis fold are total.
+        self.wal_append(table, &cell, batch)?;
 
         // Edge-free hot path: grow the raw delta rows in place (we hold their
         // lock — the writer lock) and decide sealing on the grown delta. `cur`
@@ -1022,10 +1096,25 @@ impl Session {
     /// multi-file layout: one manifest (`.pwhs`) plus one blob per segment
     /// (`.phseg`), the un-sealed delta serialized as a final segment. Compressed
     /// rows ship with each segment, so a reopened catalog remains fully
-    /// ingestable. Stale files belonging to *this catalog's* tables are swept:
-    /// blobs of [`Session::drop_table`]ed names and leftover segment files from
-    /// versions with more segments. Files of other tables in a shared directory
-    /// are never touched. Returns the number of tables written.
+    /// ingestable. Returns the number of tables written.
+    ///
+    /// The save is **crash-safe**. Every file is written to a `.tmp` sibling,
+    /// fsynced, renamed into place, and the directory fsynced; segment blobs
+    /// land before their manifest, and segment files are generation-numbered
+    /// (`<base>.g<gen>.seg<i>.phseg`) so an interrupted save can never tear the
+    /// files the previously committed manifest still references. The manifest
+    /// rename is each table's single commit point; it records the table's WAL
+    /// watermark, and a save into the WAL home directory (see
+    /// [`Session::enable_wal`]) then truncates that table's log. A crash
+    /// anywhere leaves the directory opening to either the old or the new
+    /// snapshot, never a torn mix.
+    ///
+    /// Only after every table has committed are stale files swept: blobs of
+    /// [`Session::drop_table`]ed names, segment files of superseded
+    /// generations, and orphaned `*.tmp` files from interrupted saves (never
+    /// counted as catalog members). The sweep is scoped to file-name bases
+    /// this catalog's current or dropped tables own — a shared directory's
+    /// foreign files are left alone.
     ///
     /// Concurrent writers may swap tables while the directory is written; each
     /// table's files are internally consistent (serialized under the table's
@@ -1033,7 +1122,7 @@ impl Session {
     /// of the call.
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<usize, PhError> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
+        faultfs::create_dir_all(dir)?;
         let cells: Vec<(String, Arc<TableCell>)> = self
             .tables
             .read()
@@ -1041,10 +1130,27 @@ impl Session {
             .iter()
             .map(|(n, c)| (n.clone(), c.clone()))
             .collect();
+        let truncate_wal =
+            self.wal_dir.lock().expect("wal dir lock").as_deref() == Some(dir);
+        // One listing up front decides each table's next generation number:
+        // one past the highest generation any existing file of its base claims.
+        let mut existing: Vec<PathBuf> = faultfs::read_dir_paths(dir)?;
+        existing.sort();
+        let gen_of = |base: &str| -> u64 {
+            let prefix = format!("{base}.g");
+            existing
+                .iter()
+                .filter_map(|p| p.file_name()?.to_str()?.strip_prefix(&prefix))
+                .filter_map(|rest| rest.split('.').next()?.parse::<u64>().ok())
+                .max()
+                .unwrap_or(0)
+        };
         let mut expected: HashSet<String> = HashSet::new();
         for (name, cell) in &cells {
             // The writer lock pins the delta-rows ↔ state invariant so the
-            // serialized delta segment matches the published delta synopsis.
+            // serialized delta segment matches the published delta synopsis —
+            // and freezes `wal_seq`, so the watermark written below covers
+            // exactly the batches folded into these blobs.
             let delta_rows = cell.delta_rows.lock().expect("table writer lock");
             let state = cell.snapshot();
             let mut blobs: Vec<Vec<u8>> = state
@@ -1057,43 +1163,63 @@ impl Session {
                 blobs.push(segment_to_bytes(delta, Some(&store)));
             }
             let base = file_base_for(name);
-            let manifest = table_manifest_to_bytes(name, &state.pre, blobs.len());
-            let manifest_name = format!("{base}.pwhs");
-            std::fs::write(dir.join(&manifest_name), manifest)?;
-            expected.insert(manifest_name);
+            let gen = gen_of(&base) + 1;
+            // Segments first: the manifest must never name a blob that is not
+            // already durable.
             for (i, blob) in blobs.iter().enumerate() {
-                let seg_name = format!("{base}.seg{i}.phseg");
-                std::fs::write(dir.join(&seg_name), blob)?;
+                let seg_name = segment_file_name(&base, gen, i);
+                write_atomic(dir, &seg_name, blob)?;
                 expected.insert(seg_name);
             }
+            let wal_seq = cell.wal_seq.load(Ordering::Relaxed);
+            let manifest =
+                table_manifest_to_bytes(name, &state.pre, blobs.len(), gen, wal_seq);
+            let manifest_name = format!("{base}.pwhs");
+            // Commit point for this table.
+            write_atomic(dir, &manifest_name, &manifest)?;
+            expected.insert(manifest_name);
+            if truncate_wal {
+                // Everything the log holds up to `wal_seq` is now in the
+                // committed snapshot. A crash right here replays nothing: the
+                // watermark skips every surviving record.
+                wal::remove_wal(&wal::wal_path(dir, &base))?;
+            }
         }
-        // Sweep files this catalog no longer accounts for: dropped tables'
-        // blobs, and leftover segment files from versions with more segments.
-        // The sweep is scoped to file-name bases this session has ever owned —
-        // other catalogs' files in a shared directory are not this session's to
-        // delete.
+        // Post-commit sweep — reached only with every manifest committed, so a
+        // failed save never deletes the files a reopen would still need.
+        let dropped_bases: HashSet<String> = self
+            .dropped
+            .lock()
+            .expect("dropped set lock")
+            .iter()
+            .map(|n| file_base_for(n))
+            .collect();
         let mut owned_bases: HashSet<String> =
             cells.iter().map(|(name, _)| file_base_for(name)).collect();
-        owned_bases
-            .extend(self.dropped.lock().expect("dropped set lock").iter().map(|n| file_base_for(n)));
-        for entry in std::fs::read_dir(dir)? {
-            let path = entry?.path();
+        owned_bases.extend(dropped_bases.iter().cloned());
+        for path in faultfs::read_dir_paths(dir)? {
             let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
-            let base = match path.extension().and_then(|e| e.to_str()) {
-                // "<base>.pwhs"
-                Some("pwhs") => file_name.trim_end_matches(".pwhs"),
-                // "<base>.seg<i>.phseg"
-                Some("phseg") => file_name
-                    .trim_end_matches(".phseg")
-                    .rsplit_once(".seg")
-                    .map(|(b, _)| b)
-                    .unwrap_or(file_name),
-                _ => continue,
+            // A `.tmp` sibling is an interrupted save's orphan: whatever its
+            // underlying name, it was never a catalog member.
+            let logical = file_name.strip_suffix(".tmp").unwrap_or(file_name);
+            let is_tmp = logical.len() != file_name.len();
+            let Some(base) = owned_base_of(logical) else { continue };
+            if !owned_bases.contains(base) {
+                continue;
+            }
+            let remove = if is_tmp {
+                true
+            } else if logical.ends_with(".phwal") {
+                // Live tables keep their (just-truncated) logs; a dropped
+                // table's log goes with its blobs.
+                dropped_bases.contains(base)
+            } else {
+                !expected.contains(logical)
             };
-            if owned_bases.contains(base) && !expected.contains(file_name) {
-                std::fs::remove_file(&path)?;
+            if remove {
+                faultfs::remove_file(&path)?;
             }
         }
         Ok(cells.len())
@@ -1106,64 +1232,231 @@ impl Session {
     /// rebuild — keeps working on the reopened catalog. Legacy single-blob
     /// `.pwhs` files (the pre-segmentation format) load as one-segment tables
     /// without rows.
+    ///
+    /// Tables whose files fail checksum or decode verification are
+    /// **quarantined** rather than failing the whole open: the rest of the
+    /// catalog serves, queries on the damaged table answer
+    /// [`PhError::Quarantined`], and [`Session::quarantined`] lists the
+    /// casualties with reasons. Only directory-level I/O failures abort.
+    ///
+    /// After the snapshot loads, each table's write-ahead log tail is replayed
+    /// through the normal ingest path: records at or below the manifest's
+    /// watermark (already folded into the snapshot) are skipped, a torn final
+    /// record — the signature of a crash mid-append — is discarded as never
+    /// acknowledged, and mid-log damage quarantines the table. The opened
+    /// directory becomes the session's WAL home (see [`Session::enable_wal`]),
+    /// so the reopened catalog is durable by default.
     pub fn open_dir(dir: impl AsRef<Path>) -> Result<Session, PhError> {
         let dir = dir.as_ref();
         let session = Session::new();
+        let mut paths = faultfs::read_dir_paths(dir)?;
+        // Deterministic load order: fault injection counts filesystem ops, and
+        // quarantine-on-duplicate must pick the same file every run.
+        paths.sort();
+        // Tables that loaded, with their manifest's WAL watermark.
+        let mut loaded: Vec<(String, u64)> = Vec::new();
         {
             let mut map = session.tables.write().expect("table map lock");
-            for entry in std::fs::read_dir(dir)? {
-                let path = entry?.path();
+            let mut quarantined = session.quarantined.lock().expect("quarantine lock");
+            for path in &paths {
                 if path.extension().and_then(|e| e.to_str()) != Some("pwhs") {
                     continue;
                 }
-                let bytes = std::fs::read(&path)?;
+                // Until the manifest's checksum clears, the name bytes inside
+                // it cannot be trusted — early failures quarantine under the
+                // file's base name instead.
+                let file_base = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("<non-utf8>")
+                    .to_string();
+                let fail = |k: &str, e: PhError| (k.to_string(), e);
                 let corrupt =
-                    |detail: &str| PhError::Corrupt(format!("{}: {detail}", path.display()));
-                let (name, state) = if bytes.starts_with(TABLE_MAGIC) {
-                    let (name, pre, n_segments) = table_manifest_from_bytes(&bytes)
-                        .ok_or_else(|| corrupt("manifest does not decode"))?;
-                    let pre = Arc::new(pre);
-                    let base = file_base_for(&name);
-                    let epoch = next_plan_epoch();
-                    let mut segments = Vec::with_capacity(n_segments);
-                    for i in 0..n_segments {
-                        let seg_path = dir.join(format!("{base}.seg{i}.phseg"));
-                        let seg_bytes = std::fs::read(&seg_path)?;
-                        let (mut engine, store) = segment_from_bytes(&seg_bytes, pre.clone())
-                            .ok_or_else(|| corrupt(&format!("segment {i} does not decode")))?;
-                        engine.plan_epoch = epoch;
-                        segments.push(Arc::new(Segment::new(engine, store.map(Arc::new))));
+                    |detail: String| PhError::Corrupt(format!("{}: {detail}", path.display()));
+                let load = || -> Result<(String, TableState, u64), (String, PhError)> {
+                    let bytes =
+                        faultfs::read(path).map_err(|e| fail(&file_base, e.into()))?;
+                    if bytes.starts_with(TABLE_MAGIC) {
+                        let m = table_manifest_from_bytes(&bytes).ok_or_else(|| {
+                            fail(&file_base, corrupt("manifest does not decode".into()))
+                        })?;
+                        let name = m.name;
+                        let pre = Arc::new(m.pre);
+                        let base = file_base_for(&name);
+                        let epoch = next_plan_epoch();
+                        let mut segments = Vec::with_capacity(m.n_segments);
+                        for i in 0..m.n_segments {
+                            let seg_path = dir.join(segment_file_name(&base, m.gen, i));
+                            let seg_bytes =
+                                faultfs::read(&seg_path).map_err(|e| fail(&name, e.into()))?;
+                            let (mut engine, store) = segment_from_bytes(&seg_bytes, pre.clone())
+                                .ok_or_else(|| {
+                                    fail(&name, corrupt(format!("segment {i} does not decode")))
+                                })?;
+                            engine.plan_epoch = epoch;
+                            segments.push(Arc::new(Segment::new(engine, store.map(Arc::new))));
+                        }
+                        if segments.is_empty() {
+                            return Err(fail(&name, corrupt("manifest lists no segments".into())));
+                        }
+                        let cfg = config_from_engine(&segments[0].engine);
+                        Ok((name, TableState { epoch, pre, segments, delta: None, cfg }, m.wal_seq))
+                    } else {
+                        // Legacy single-blob format: one segment, no retained
+                        // rows, nothing journaled against it.
+                        let (name, engine) = PairwiseHist::from_bytes_named(&bytes)
+                            .ok_or_else(|| fail(&file_base, corrupt("does not decode".into())))?;
+                        let cfg = config_from_engine(&engine);
+                        let pre = engine.preprocessor().clone();
+                        let epoch = engine.plan_epoch();
+                        let state = TableState {
+                            epoch,
+                            pre,
+                            segments: vec![Arc::new(Segment::new(engine, None))],
+                            delta: None,
+                            cfg,
+                        };
+                        Ok((name, state, 0))
                     }
-                    if segments.is_empty() {
-                        return Err(corrupt("manifest lists no segments"));
-                    }
-                    let cfg = config_from_engine(&segments[0].engine);
-                    (name, TableState { epoch, pre, segments, delta: None, cfg })
-                } else {
-                    // Legacy single-blob format: one segment, no retained rows.
-                    let (name, engine) = PairwiseHist::from_bytes_named(&bytes)
-                        .ok_or_else(|| corrupt("does not decode"))?;
-                    let cfg = config_from_engine(&engine);
-                    let pre = engine.preprocessor().clone();
-                    let epoch = engine.plan_epoch();
-                    let state = TableState {
-                        epoch,
-                        pre,
-                        segments: vec![Arc::new(Segment::new(engine, None))],
-                        delta: None,
-                        cfg,
-                    };
-                    (name, state)
                 };
-                if map.contains_key(&name) {
-                    return Err(PhError::Corrupt(format!(
-                        "table '{name}' appears in more than one file"
-                    )));
+                match load() {
+                    Ok((name, state, watermark)) => {
+                        if map.contains_key(&name) {
+                            quarantined.insert(
+                                file_base,
+                                format!("table '{name}' appears in more than one file"),
+                            );
+                            continue;
+                        }
+                        map.insert(name.clone(), Arc::new(TableCell::new(state)));
+                        loaded.push((name, watermark));
+                    }
+                    Err((key, e)) => {
+                        quarantined.insert(key, e.to_string());
+                    }
                 }
-                map.insert(name, Arc::new(TableCell::new(state)));
             }
         }
+        // Replay each surviving table's WAL tail. `wal_dir` is still `None`
+        // here, so the replayed ingests do not re-journal themselves.
+        for (name, watermark) in loaded {
+            let wal_path = wal::wal_path(dir, &file_base_for(&name));
+            let replayed = (|| -> Result<u64, PhError> {
+                let replay = wal::read_wal(&wal_path)?;
+                if replay.torn_tail {
+                    // Amputate the torn bytes now: a later append landing
+                    // after them would read as mid-log damage next open. A
+                    // prefix too short to hold even the magic means no intact
+                    // record ever hit the disk — start the log over.
+                    if replay.valid_len <= wal::WAL_MAGIC.len() {
+                        wal::remove_wal(&wal_path)?;
+                    } else {
+                        faultfs::truncate(&wal_path, replay.valid_len as u64)?;
+                    }
+                }
+                let mut max_seq = watermark;
+                for (seq, batch) in &replay.records {
+                    // At or below the watermark: already in the snapshot. A
+                    // crash between manifest commit and WAL truncation leaves
+                    // such records behind; skipping them is what makes the
+                    // commit protocol idempotent.
+                    if *seq <= watermark {
+                        continue;
+                    }
+                    session.ingest(&name, batch)?;
+                    max_seq = max_seq.max(*seq);
+                }
+                Ok(max_seq)
+            })();
+            match replayed {
+                Ok(max_seq) => {
+                    if let Some(cell) = session.tables.read().expect("table map lock").get(&name) {
+                        cell.wal_seq.store(max_seq, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => {
+                    // A log that cannot be trusted poisons the whole table:
+                    // serving the snapshot alone could silently drop
+                    // acknowledged rows.
+                    session.tables.write().expect("table map lock").remove(&name);
+                    session
+                        .quarantined
+                        .lock()
+                        .expect("quarantine lock")
+                        .insert(name, format!("WAL replay failed: {e}"));
+                }
+            }
+        }
+        *session.wal_dir.lock().expect("wal dir lock") = Some(dir.to_path_buf());
         Ok(session)
+    }
+
+    /// Journals `batch` to the table's write-ahead log; a no-op unless
+    /// [`Session::enable_wal`] (or [`Session::open_dir`]) armed one.
+    ///
+    /// Called under the table's writer lock, after every fallible part of the
+    /// ingest and before any in-memory mutation. That placement is the whole
+    /// durability argument: once the record is fsynced the batch is certain to
+    /// apply, so an acknowledged ingest survives a crash, and a crash mid-append
+    /// leaves a torn tail that replay discards as never acknowledged.
+    fn wal_append(&self, table: &str, cell: &TableCell, batch: &Dataset) -> Result<(), PhError> {
+        let Some(dir) = self.wal_dir.lock().expect("wal dir lock").clone() else {
+            return Ok(());
+        };
+        let seq = cell.wal_seq.load(Ordering::Relaxed) + 1;
+        wal::append_record(&wal::wal_path(&dir, &file_base_for(table)), seq, batch)?;
+        cell.wal_seq.store(seq, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `dir/name` atomically: a `.tmp` sibling is written and
+/// fsynced, renamed over the final name, and the directory fsynced so the
+/// rename itself is durable. A crash at any point leaves either the old file,
+/// the new file, or a `.tmp` orphan (swept after the next fully committed
+/// save) — never a partially written file under the final name.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), PhError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    faultfs::write(&tmp, bytes)?;
+    faultfs::fsync_file(&tmp)?;
+    faultfs::rename(&tmp, &dir.join(name))?;
+    faultfs::fsync_dir(dir)?;
+    Ok(())
+}
+
+/// File name of segment `i` at generation `gen` for a table with file-name base
+/// `base`. Generation 0 is the legacy un-numbered layout (`<base>.seg<i>.phseg`)
+/// that pre-v3 saves produced; later generations embed the number so a new save
+/// never overwrites blobs the previously committed manifest still references.
+fn segment_file_name(base: &str, gen: u64, i: usize) -> String {
+    if gen == 0 {
+        format!("{base}.seg{i}.phseg")
+    } else {
+        format!("{base}.g{gen}.seg{i}.phseg")
+    }
+}
+
+/// The table file base a catalog file name belongs to, or `None` for names this
+/// layer never produces. Recognized shapes: `<base>.pwhs`, `<base>.phwal`,
+/// `<base>[.g<gen>].seg<i>.phseg`. [`file_base_for`] output never contains a
+/// dot, so any parse that leaves one marks a foreign file the sweep must leave
+/// alone.
+fn owned_base_of(logical: &str) -> Option<&str> {
+    fn no_dots(s: &str) -> Option<&str> {
+        (!s.is_empty() && !s.contains('.')).then_some(s)
+    }
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if let Some(base) = logical.strip_suffix(".pwhs").or_else(|| logical.strip_suffix(".phwal")) {
+        return no_dots(base);
+    }
+    let stem = logical.strip_suffix(".phseg")?;
+    let (head, idx) = stem.rsplit_once(".seg")?;
+    if !digits(idx) {
+        return None;
+    }
+    match head.rsplit_once(".g") {
+        Some((base, gen)) if digits(gen) => no_dots(base),
+        _ => no_dots(head),
     }
 }
 
@@ -1497,7 +1790,6 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         s.save_dir(&dir).unwrap();
         let cold = Session::open_dir(&dir).unwrap();
-        std::fs::remove_dir_all(&dir).unwrap();
         let batch2 = {
             let x = vec![Some(1i64)];
             let y = vec![Some(2i64)];
@@ -1518,6 +1810,7 @@ mod tests {
             grouped.groups().unwrap().contains_key("NEWER"),
             "novel category lands after a cold reopen"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -1686,7 +1979,6 @@ mod tests {
         let blob = s.engine("t").unwrap().engine().to_bytes_named("t");
         std::fs::write(dir.join("t-legacy.pwhs"), blob).unwrap();
         let cold = Session::open_dir(&dir).unwrap();
-        std::fs::remove_dir_all(&dir).unwrap();
         cold.set_max_staleness(f64::INFINITY);
 
         // Edge-free rows land in the delta…
@@ -1710,6 +2002,7 @@ mod tests {
         assert!(r.rebuilt, "threshold seal fires over the preserved delta");
         let est = cold.sql("SELECT COUNT(x) FROM t").unwrap().scalar().unwrap();
         assert!((est.value - 5_000.0).abs() / 5_000.0 < 0.02, "{}", est.value);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Two catalogs sharing one save directory: each save sweeps only its own

@@ -434,7 +434,7 @@ impl PairwiseHist {
     }
 }
 
-// --- Segmented catalog persistence (version 2) ---------------------------------
+// --- Segmented catalog persistence (versions 2 and 3) --------------------------
 //
 // A `Session` table persists as one **manifest** plus one blob **per segment**
 // (the delta, if any, is serialized as a final sealed segment). The manifest
@@ -445,10 +445,21 @@ impl PairwiseHist {
 // ```text
 // manifest (<name>-<hash>.pwhs):   "PWT2" | u8 version | u16 name_len | name
 //                                  | u32 pre_len | preprocessor | u32 n_segments
-// segment  (<name>-<hash>.seg<i>.phseg):
+//                                  | u64 gen | u64 wal_seq        (v3 only)
+//                                  | u32 crc32 of all prior bytes (v3 only)
+// segment  (<name>-<hash>.g<gen>.seg<i>.phseg):
 //                                  "PSG2" | u8 version | u64 syn_len | synopsis
 //                                  | u8 has_store | u64 store_len | GdStore bytes
+//                                  | u32 crc32 of all prior bytes (v3 only)
 // ```
+//
+// Version 3 adds the durability fields: `gen` is the snapshot generation
+// (segment files are generation-numbered so a crashed save can never tear the
+// files the committed manifest still references), `wal_seq` is the ingest-WAL
+// watermark (replay skips WAL records with seq ≤ it), and the CRC32 trailer
+// lets `open_dir` distinguish a clean blob from bit-rot and quarantine the
+// table instead of loading garbage. Version-2 blobs (no trailer, gen 0,
+// watermark 0) are still read.
 //
 // Because each segment ships its compressed rows, a reopened catalog is fully
 // ingestable — rebuilds (novel categorical values, NULL-introducing batches,
@@ -456,21 +467,38 @@ impl PairwiseHist {
 // rows" dead-end. The legacy single-blob `PWHS` format is still read by
 // `Session::open_dir` (as a one-segment table without rows).
 
-/// Magic of the version-2 table manifest.
+/// Magic of the table manifest (versions 2 and 3).
 pub(crate) const TABLE_MAGIC: &[u8; 4] = b"PWT2";
-/// Magic of a version-2 segment blob.
+/// Magic of a segment blob (versions 2 and 3).
 pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"PSG2";
 const V2_VERSION: u8 = 2;
+const V3_VERSION: u8 = 3;
 
-/// Serializes a table manifest (shared metadata of all its segment blobs).
+/// Decoded table manifest (v2 or v3).
+pub(crate) struct TableManifest {
+    pub name: String,
+    pub pre: Preprocessor,
+    pub n_segments: usize,
+    /// Snapshot generation the segment files of this manifest belong to
+    /// (0 for v2 manifests, whose segment files are un-generation-numbered).
+    pub gen: u64,
+    /// Ingest-WAL watermark: every WAL record with `seq <= wal_seq` is already
+    /// folded into the segments this manifest references.
+    pub wal_seq: u64,
+}
+
+/// Serializes a table manifest (shared metadata of all its segment blobs),
+/// version 3: generation + WAL watermark + CRC32 trailer.
 pub(crate) fn table_manifest_to_bytes(
     table: &str,
     pre: &Preprocessor,
     n_segments: usize,
+    gen: u64,
+    wal_seq: u64,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(TABLE_MAGIC);
-    out.push(V2_VERSION);
+    out.push(V3_VERSION);
     let name = table.as_bytes();
     debug_assert!(name.len() <= u16::MAX as usize, "table name too long");
     out.extend_from_slice(&(name.len() as u16).to_le_bytes());
@@ -479,46 +507,72 @@ pub(crate) fn table_manifest_to_bytes(
     out.extend_from_slice(&(pre_bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(&pre_bytes);
     out.extend_from_slice(&(n_segments as u32).to_le_bytes());
+    out.extend_from_slice(&gen.to_le_bytes());
+    out.extend_from_slice(&wal_seq.to_le_bytes());
+    let crc = ph_encoding::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Restores `(table name, preprocessor, segment count)` from a manifest.
-/// Returns `None` on malformed input.
-pub(crate) fn table_manifest_from_bytes(data: &[u8]) -> Option<(String, Preprocessor, usize)> {
+/// Restores a [`TableManifest`] from v2 or v3 bytes, verifying the v3 CRC
+/// trailer. Returns `None` on malformed or corrupted input.
+pub(crate) fn table_manifest_from_bytes(data: &[u8]) -> Option<TableManifest> {
     let mut pos = 0usize;
     if data.get(..4)? != TABLE_MAGIC {
         return None;
     }
     pos += 4;
-    if *data.get(pos)? != V2_VERSION {
-        return None;
-    }
+    let version = *data.get(pos)?;
     pos += 1;
-    let name_len = u16::from_le_bytes(data.get(pos..pos + 2)?.try_into().ok()?) as usize;
+    let body = match version {
+        V2_VERSION => data,
+        V3_VERSION => {
+            // Trailer first: a failed checksum means the rest of the bytes
+            // cannot be trusted, not even their length fields.
+            let body_len = data.len().checked_sub(4)?;
+            let stored = u32::from_le_bytes(data.get(body_len..)?.try_into().ok()?);
+            if ph_encoding::crc32(&data[..body_len]) != stored {
+                return None;
+            }
+            &data[..body_len]
+        }
+        _ => return None,
+    };
+    let name_len = u16::from_le_bytes(body.get(pos..pos + 2)?.try_into().ok()?) as usize;
     pos += 2;
     let name =
-        std::str::from_utf8(data.get(pos..pos.checked_add(name_len)?)?).ok()?.to_string();
+        std::str::from_utf8(body.get(pos..pos.checked_add(name_len)?)?).ok()?.to_string();
     pos += name_len;
-    let pre_len = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    let pre_len = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
     pos += 4;
-    let pre = Preprocessor::from_bytes(data.get(pos..pos.checked_add(pre_len)?)?)?;
+    let pre = Preprocessor::from_bytes(body.get(pos..pos.checked_add(pre_len)?)?)?;
     pos += pre_len;
-    let n_segments = u32::from_le_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+    let n_segments = u32::from_le_bytes(body.get(pos..pos + 4)?.try_into().ok()?) as usize;
     pos += 4;
-    if pos != data.len() || n_segments > 1 << 20 {
+    let (gen, wal_seq) = if version == V3_VERSION {
+        let g = u64::from_le_bytes(body.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        let w = u64::from_le_bytes(body.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        (g, w)
+    } else {
+        (0, 0)
+    };
+    if pos != body.len() || n_segments > 1 << 20 {
         return None;
     }
-    Some((name, pre, n_segments))
+    Some(TableManifest { name, pre, n_segments, gen, wal_seq })
 }
 
-/// Serializes one segment: its synopsis and (when present) its compressed rows.
+/// Serializes one segment (version 3, CRC32 trailer): its synopsis and (when
+/// present) its compressed rows.
 pub(crate) fn segment_to_bytes(
     engine: &PairwiseHist,
     store: Option<&ph_gd::GdStore>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(SEGMENT_MAGIC);
-    out.push(V2_VERSION);
+    out.push(V3_VERSION);
     let syn = engine.to_bytes();
     out.extend_from_slice(&(syn.len() as u64).to_le_bytes());
     out.extend_from_slice(&syn);
@@ -526,11 +580,14 @@ pub(crate) fn segment_to_bytes(
     let store_bytes = store.map(|s| s.to_bytes()).unwrap_or_default();
     out.extend_from_slice(&(store_bytes.len() as u64).to_le_bytes());
     out.extend_from_slice(&store_bytes);
+    let crc = ph_encoding::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Restores a segment blob against the table's shared preprocessor.
-/// Returns `None` on malformed input.
+/// Restores a v2 or v3 segment blob against the table's shared preprocessor,
+/// verifying the v3 CRC trailer. Returns `None` on malformed or corrupted
+/// input.
 pub(crate) fn segment_from_bytes(
     data: &[u8],
     pre: Arc<Preprocessor>,
@@ -540,9 +597,19 @@ pub(crate) fn segment_from_bytes(
         return None;
     }
     pos += 4;
-    if *data.get(pos)? != V2_VERSION {
-        return None;
-    }
+    let version = *data.get(pos)?;
+    let data = match version {
+        V2_VERSION => data,
+        V3_VERSION => {
+            let body_len = data.len().checked_sub(4)?;
+            let stored = u32::from_le_bytes(data.get(body_len..)?.try_into().ok()?);
+            if ph_encoding::crc32(&data[..body_len]) != stored {
+                return None;
+            }
+            &data[..body_len]
+        }
+        _ => return None,
+    };
     pos += 1;
     let syn_len = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
     pos += 8;

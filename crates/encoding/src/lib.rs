@@ -11,11 +11,13 @@
 //! `⌈bits / 8⌉` accounting exactly.
 
 mod bitio;
+mod crc32;
 mod golomb;
 mod qlog;
 mod varint;
 
 pub use bitio::{BitReader, BitWriter};
+pub use crc32::{crc32, Crc32};
 pub use golomb::{golomb_decode, golomb_encode, golomb_len_bits, optimal_golomb_m};
 pub use qlog::{
     read_qlog_body, read_qlog_record, write_qlog_record, QlogRecord, QLOG_MAGIC,

@@ -58,11 +58,46 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// A connection to one server. Reconnects transparently once per request if
-/// the kept-alive socket has gone away (server restart, idle timeout).
+/// How transient failures are retried: up to `attempts` tries in total, with
+/// a jittered exponential delay between them. Applies to both the TCP connect
+/// and (for idempotent requests) the whole exchange, so a server that is
+/// restarting — or a listener that flaps — is ridden out instead of surfaced
+/// as an instant error.
+///
+/// The delay before retry `k` (1-based) is drawn uniformly from
+/// `[d/2, d]` where `d = min(base_delay · 2^(k-1), max_delay)`: exponential
+/// growth keeps a dead server cheap to wait on, the jitter keeps a thundering
+/// herd of clients from reconnecting in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries (first attempt included). `0` behaves as `1`.
+    pub attempts: u32,
+    /// Delay scale of the first retry.
+    pub base_delay: Duration,
+    /// Upper bound any single delay is clamped to.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A connection to one server. Reconnects transparently if the kept-alive
+/// socket has gone away (server restart, idle timeout), retrying with the
+/// client's [`RetryPolicy`].
 pub struct Client {
     addr: String,
     timeout: Duration,
+    retry: RetryPolicy,
+    /// xorshift64* state for retry jitter — seeded from the address so the
+    /// client needs no RNG dependency, never zero (xorshift's absorbing state).
+    jitter_state: u64,
     conn: Option<HttpConn<TcpStream>>,
 }
 
@@ -70,7 +105,15 @@ impl Client {
     /// A client for `addr` (`"127.0.0.1:7871"`). Connection is lazy — the
     /// first request opens it.
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into(), timeout: Duration::from_secs(30), conn: None }
+        let addr = addr.into();
+        let jitter_state = ph_types::fnv1a(addr.as_bytes()) | 1;
+        Self {
+            addr,
+            timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            jitter_state,
+            conn: None,
+        }
     }
 
     /// Sets the per-read socket timeout (default 30 s).
@@ -79,20 +122,68 @@ impl Client {
         self
     }
 
+    /// Sets the retry budget and backoff shape (default: 4 attempts,
+    /// 25 ms base, 2 s cap).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The jittered delay before 1-based retry `k`.
+    fn backoff_delay(&mut self, k: u32) -> Duration {
+        let exp = self.retry.base_delay.saturating_mul(1u32 << (k - 1).min(16));
+        let d = exp.min(self.retry.max_delay).as_nanos().max(2) as u64;
+        Duration::from_nanos(d / 2 + self.next_jitter() % (d / 2 + 1))
+    }
+
+    /// Opens the kept-alive connection if it is down, retrying refused/failed
+    /// connects under the retry policy.
     fn connect(&mut self) -> Result<&mut HttpConn<TcpStream>, ClientError> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)
-                .map_err(|e| ClientError::Transport(format!("connect {}: {e}", self.addr)))?;
-            let conn = HttpConn::new(stream);
-            conn.configure(self.timeout)
-                .map_err(|e| ClientError::Transport(e.to_string()))?;
-            self.conn = Some(conn);
+            let attempts = self.retry.attempts.max(1);
+            let mut last = None;
+            for k in 0..attempts {
+                if k > 0 {
+                    let delay = self.backoff_delay(k);
+                    std::thread::sleep(delay);
+                }
+                match TcpStream::connect(&self.addr) {
+                    Ok(stream) => {
+                        let conn = HttpConn::new(stream);
+                        conn.configure(self.timeout, self.timeout)
+                            .map_err(|e| ClientError::Transport(e.to_string()))?;
+                        self.conn = Some(conn);
+                        last = None;
+                        break;
+                    }
+                    Err(e) => {
+                        last = Some(ClientError::Transport(format!(
+                            "connect {}: {e} (attempt {}/{attempts})",
+                            self.addr,
+                            k + 1
+                        )));
+                    }
+                }
+            }
+            if let Some(err) = last {
+                return Err(err);
+            }
         }
         Ok(self.conn.as_mut().expect("just connected"))
     }
 
     /// One request/response exchange. Idempotent requests (queries, reads) are
-    /// retried once on a dead kept-alive socket; non-idempotent ones
+    /// retried on a dead kept-alive socket — up to the retry budget, with
+    /// backoff after the first immediate retry; non-idempotent ones
     /// (`/ingest` — the server may have applied the batch before the
     /// connection died) surface the transport error instead, so a batch can
     /// never be applied twice behind the caller's back.
@@ -105,8 +196,14 @@ impl Client {
         idempotent: bool,
     ) -> Result<(u16, Json), ClientError> {
         let mut first_error = None;
-        let attempts = if idempotent { 2 } else { 1 };
-        for _ in 0..attempts {
+        let attempts = if idempotent { self.retry.attempts.max(2) } else { 1 };
+        for k in 0..attempts {
+            if k > 1 {
+                // First re-try is immediate (a stale keep-alive socket is the
+                // overwhelmingly common case); later ones back off.
+                let delay = self.backoff_delay(k - 1);
+                std::thread::sleep(delay);
+            }
             let conn = self.connect()?;
             let sent = conn.write_request(method, target, content_type, body);
             let result = sent.and_then(|_| conn.read_response(MAX_RESPONSE_BYTES));

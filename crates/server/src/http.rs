@@ -350,10 +350,18 @@ impl<S: Read + Write> HttpConn<S> {
 }
 
 impl HttpConn<std::net::TcpStream> {
-    /// Applies the serving socket options: no Nagle delay, bounded reads.
-    pub fn configure(&self, read_timeout: Duration) -> std::io::Result<()> {
+    /// Applies the serving socket options: no Nagle delay, bounded reads, and
+    /// bounded writes — a peer that stops draining its receive window stalls
+    /// the response `write_all`, and without a deadline that parks the worker
+    /// thread indefinitely.
+    pub fn configure(
+        &self,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> std::io::Result<()> {
         self.stream.set_nodelay(true)?;
-        self.stream.set_read_timeout(Some(read_timeout))
+        self.stream.set_read_timeout(Some(read_timeout))?;
+        self.stream.set_write_timeout(Some(write_timeout))
     }
 }
 

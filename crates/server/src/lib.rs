@@ -65,7 +65,7 @@ pub mod querylog;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use load::{run_closed_loop, LoadReport};
 pub use querylog::{read_query_log, QueryLogWriter};

@@ -59,6 +59,9 @@ pub struct ServerConfig {
     /// Per-read socket timeout; a connection idle (or stalled mid-request)
     /// longer than this is closed.
     pub read_timeout: Duration,
+    /// Per-write socket timeout: a client that stops draining its receive
+    /// window can no longer pin a worker forever mid-response.
+    pub write_timeout: Duration,
     /// Where to append the query log (`None` → no log).
     pub query_log: Option<PathBuf>,
 }
@@ -70,6 +73,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
             query_log: None,
         }
     }
@@ -436,7 +440,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
             continue;
         }
         let mut http = HttpConn::new(conn);
-        if http.configure(shared.cfg.read_timeout).is_ok() {
+        if http.configure(shared.cfg.read_timeout, shared.cfg.write_timeout).is_ok() {
             handle_connection(shared, &mut http);
         }
         *shared.active[slot].lock().expect("active slot lock") = None;
@@ -649,6 +653,17 @@ fn stats_json(shared: &Shared) -> Json {
             ])
         })
         .collect();
+    // Quarantined tables: present in the persisted catalog but isolated after
+    // failing open-time verification. Operators watch this array — a non-empty
+    // value means durable state needs attention even though serving is up.
+    let quarantined = shared
+        .session
+        .quarantined()
+        .into_iter()
+        .map(|(table, reason)| {
+            obj(vec![("table", Json::Str(table)), ("reason", Json::Str(reason))])
+        })
+        .collect();
     obj(vec![
         ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
         (
@@ -660,6 +675,7 @@ fn stats_json(shared: &Shared) -> Json {
             ]),
         ),
         ("tables", Json::Arr(tables)),
+        ("quarantined", Json::Arr(quarantined)),
         (
             "server",
             obj(vec![
@@ -687,5 +703,6 @@ pub(crate) fn kind_of(e: &PhError) -> &'static str {
         PhError::Schema(_) => "schema",
         PhError::Io(_) => "io",
         PhError::Corrupt(_) => "corrupt",
+        PhError::Quarantined(_) => "quarantined",
     }
 }

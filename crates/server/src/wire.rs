@@ -17,15 +17,17 @@ use crate::json::{obj, Json};
 ///
 /// 4xx = the request is at fault and retrying it unchanged cannot help
 /// (malformed SQL, names that don't resolve, a schema the table rejects).
-/// `503` = transient serving condition (a plan raced a seal; the retry the
-/// session already does internally almost always absorbs this). `500` = the
-/// server's own storage failed.
+/// `503` = transient serving condition (a plan raced a seal — the retry the
+/// session already does internally almost always absorbs this — or the table
+/// is quarantined after failing open-time verification: unavailable until an
+/// operator re-registers or drops it, while the rest of the catalog serves).
+/// `500` = the server's own storage failed.
 pub fn status_for(e: &PhError) -> u16 {
     match e {
         PhError::Parse(_) | PhError::UnknownColumn(_) | PhError::InvalidQuery(_) => 400,
         PhError::UnknownTable(_) => 404,
         PhError::Unsupported(_) | PhError::Schema(_) => 422,
-        PhError::StalePlan(_) => 503,
+        PhError::StalePlan(_) | PhError::Quarantined(_) => 503,
         PhError::Io(_) | PhError::Corrupt(_) => 500,
     }
 }
@@ -156,5 +158,6 @@ mod tests {
         assert_eq!(status_for(&PhError::StalePlan("p".into())), 503);
         assert_eq!(status_for(&PhError::Io("i".into())), 500);
         assert_eq!(status_for(&PhError::Corrupt("c".into())), 500);
+        assert_eq!(status_for(&PhError::Quarantined("q".into())), 503);
     }
 }

@@ -91,6 +91,13 @@ pub enum PhError {
     Io(String),
     /// Persisted bytes exist but do not decode.
     Corrupt(String),
+    /// The table exists in the catalog but its persisted state failed
+    /// checksum/decode verification at open time; it is isolated while the
+    /// rest of the catalog serves. The message names the table and the
+    /// underlying failure. Distinct from [`PhError::Corrupt`] so servers can
+    /// answer "this table is damaged" (a 503 on that table only) without
+    /// string inspection.
+    Quarantined(String),
 }
 
 impl fmt::Display for PhError {
@@ -105,6 +112,7 @@ impl fmt::Display for PhError {
             PhError::Schema(m) => write!(f, "schema error: {m}"),
             PhError::Io(m) => write!(f, "i/o error: {m}"),
             PhError::Corrupt(m) => write!(f, "corrupt synopsis data: {m}"),
+            PhError::Quarantined(m) => write!(f, "table quarantined: {m}"),
         }
     }
 }

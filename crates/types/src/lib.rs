@@ -19,6 +19,7 @@ mod bitmap;
 mod column;
 mod dataset;
 mod error;
+pub mod faultfs;
 mod value;
 
 pub use bitmap::Bitmap;

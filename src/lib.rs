@@ -81,6 +81,29 @@
 //! the same queries identically *and* remaining fully ingestable: rebuilds
 //! decode the persisted compressed rows instead of dead-ending.
 //!
+//! ## Crash safety: WAL, atomic snapshots, quarantine
+//!
+//! Persistence is crash-safe end to end. Snapshots are **atomic**: every file
+//! is written to a temp name, fsynced and renamed, segment blobs commit before
+//! their table's manifest, and everything on disk carries a CRC32 trailer —
+//! a crash mid-save leaves the previous snapshot intact, never a half-state.
+//! A session with a **WAL home** — armed explicitly with
+//! [`Session::enable_wal`](ph_core::Session::enable_wal), or implicitly by
+//! `open_dir`, which makes the opened directory the home (query it with
+//! [`Session::wal_enabled`](ph_core::Session::wal_enabled)) — journals every
+//! accepted ingest batch *before* publishing it, so a `kill -9` right after
+//! `ingest` returns loses nothing: the next `open_dir` replays the journal
+//! tail past the snapshot and answers exactly as an uncrashed process would.
+//! `save_dir` folds the journal into the snapshot and truncates it.
+//!
+//! Verification failures at open time (bit-rot, a doctored file) don't take
+//! the catalog down: the damaged table is **quarantined** — excluded from
+//! serving, listed with a reason in
+//! [`Session::quarantined`](ph_core::Session::quarantined) and the server's
+//! `/stats` — while every intact table serves. Queries against it return
+//! [`PhError::Quarantined`](ph_types::PhError::Quarantined) (HTTP 503);
+//! re-registering or dropping the table clears the entry.
+//!
 //! ## Sharing a session across threads
 //!
 //! `Session` is `Send + Sync` and every method takes `&self`: put one behind an

@@ -1,0 +1,354 @@
+//! The crash matrix: kill the durability state machine at **every**
+//! filesystem operation and prove recovery.
+//!
+//! A scripted workload (WAL-journaled ingests around a mid-stream `save_dir`,
+//! including a rebuild-forcing batch) first runs under a pure counting plan to
+//! enumerate its filesystem operations. Then, for every operation index `k`
+//! and every crash-flavoured fault, the workload re-runs on a fresh copy of
+//! the baseline catalog with the fault armed at `k`, the "process" dies, and
+//! the directory is reopened. Recovery must satisfy:
+//!
+//! * **acked rows survive** — every batch whose `ingest` returned `Ok` before
+//!   the crash is present in the reopened catalog (a fully journaled but
+//!   unacknowledged batch may also replay: acked ⊆ recovered);
+//! * **bit-identical estimates** — the reopened catalog answers a query
+//!   battery exactly like an uncrashed twin that absorbed the same batches;
+//! * **no quarantine** — a crash is not corruption; every table serves.
+//!
+//! A separate bit-rot matrix arms [`FaultKind::ReadCorruption`] at every read
+//! of the reopen path and asserts the damaged table is quarantined (or, for a
+//! torn-tail alias in the log, served from a consistent prefix) while
+//! `open_dir` itself never fails and the rest of the catalog serves.
+//!
+//! `PH_BENCH_SMOKE=1` strides the matrix (every 4th index) so the suite stays
+//! in the per-push CI budget; the dedicated crash-matrix job runs it in full.
+
+use pairwisehist::prelude::*;
+use pairwisehist::types::faultfs::{self, FaultKind, FaultPlan};
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+const BASE_ROWS: usize = 1_200;
+const BATCH_ROWS: usize = 150;
+
+/// Correlated base table: `x` uniform, `y = 2x + noise` with ~3 % nulls, and a
+/// three-value category. The first rows pin the numeric extremes so every
+/// workload batch stays inside the fitted ranges (edge-free ingest path).
+fn base_table(name: &str) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let n = BASE_ROWS;
+    let mut x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..1000))).collect();
+    x[0] = Some(0);
+    x[1] = Some(999);
+    let mut y: Vec<Option<i64>> = x
+        .iter()
+        .map(|v| rng.gen_bool(0.97).then(|| v.unwrap() * 2 + rng.gen_range(0..80)))
+        .collect();
+    y[0] = Some(0);
+    y[1] = Some(2 * 999 + 79);
+    let c: Vec<Option<&str>> = (0..n).map(|i| Some(["a", "b", "c"][i % 3])).collect();
+    Dataset::builder(name)
+        .column(Column::from_ints("x", x))
+        .unwrap()
+        .column(Column::from_ints("y", y))
+        .unwrap()
+        .column(Column::from_strings("c", c))
+        .unwrap()
+        .build()
+}
+
+/// Batch sizes are `BATCH_ROWS + 2^(i-1)`: the power-of-two excess makes the
+/// recovered row count decode to the exact *subset* of batches that survived
+/// (`extra / BATCH_ROWS` batches, bitmask `extra % BATCH_ROWS`) — a survivable
+/// fault like ENOSPC can fail one mid-stream batch while later ones land, so
+/// recovery is a subset, not a prefix.
+fn batch_rows(i: u64) -> usize {
+    BATCH_ROWS + (1 << (i - 1))
+}
+
+/// Workload batch `i` (1-based). Batch 3 carries an unseen category, forcing
+/// the refit-rebuild ingest path; the others ride the edge-free path.
+fn batch(i: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(100 + i);
+    let n = batch_rows(i);
+    let x: Vec<Option<i64>> = (0..n).map(|_| Some(rng.gen_range(0..1000))).collect();
+    let y: Vec<Option<i64>> = x
+        .iter()
+        .map(|v| rng.gen_bool(0.97).then(|| v.unwrap() * 2 + rng.gen_range(0..80)))
+        .collect();
+    let cat = if i == 3 { "NEW" } else { "a" };
+    let c: Vec<Option<&str>> = (0..n).map(|_| Some(cat)).collect();
+    Dataset::builder("t")
+        .column(Column::from_ints("x", x))
+        .unwrap()
+        .column(Column::from_ints("y", y))
+        .unwrap()
+        .column(Column::from_strings("c", c))
+        .unwrap()
+        .build()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let p = entry.unwrap().path();
+        std::fs::copy(&p, dst.join(p.file_name().unwrap())).unwrap();
+    }
+}
+
+/// The scripted workload. Returns the per-batch acknowledgement flags
+/// (`ingest` returned `Ok`).
+fn run_workload(session: &Session, dir: &Path) -> [bool; 4] {
+    let mut acked = [false; 4];
+    for i in 1..=4u64 {
+        if i == 3 {
+            // Mid-stream snapshot: commits what landed so far, truncates the WAL.
+            let _ = session.save_dir(dir);
+        }
+        acked[i as usize - 1] = session.ingest("t", &batch(i)).is_ok();
+    }
+    acked
+}
+
+/// Decodes the recovered batch subset from the table's extra rows (see
+/// [`batch_rows`]). Panics if the count is not a valid subset sum — i.e. a
+/// torn, partially applied batch is visible.
+fn recovered_subset(rows: usize, tag: &str) -> [bool; 4] {
+    assert!(rows >= BASE_ROWS, "{tag}: base rows lost");
+    let extra = rows - BASE_ROWS;
+    let count = extra / BATCH_ROWS;
+    let mask = extra % BATCH_ROWS;
+    assert!(
+        count <= 4 && mask < 16 && mask.count_ones() as usize == count,
+        "{tag}: {rows} rows is not base + a whole-batch subset"
+    );
+    std::array::from_fn(|i| mask & (1 << i) != 0)
+}
+
+/// Battery of estimates that must be bit-identical between the recovered
+/// catalog and its uncrashed twin.
+const BATTERY: [&str; 6] = [
+    "SELECT COUNT(x) FROM t",
+    "SELECT COUNT(y) FROM t WHERE x > 400",
+    "SELECT SUM(y) FROM t WHERE x < 700",
+    "SELECT AVG(y) FROM t WHERE x > 100",
+    "SELECT VAR(x) FROM t WHERE y < 1500",
+    "SELECT COUNT(x) FROM t GROUP BY c",
+];
+
+fn battery_answers(session: &Session) -> Vec<pairwisehist::core::AqpAnswer> {
+    BATTERY.iter().map(|sql| session.sql(sql).expect(sql)).collect()
+}
+
+fn total_rows(session: &Session, table: &str) -> usize {
+    let stats = session.stats();
+    let t = stats.tables.iter().find(|t| t.name == table).expect("table stats");
+    (t.sealed_rows + t.delta_rows) as usize
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ph_crashmx_{}_{tag}", std::process::id()))
+}
+
+fn smoke_stride() -> usize {
+    if std::env::var("PH_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        4
+    } else {
+        1
+    }
+}
+
+/// Baseline catalog on disk: the base table saved once, no WAL yet.
+fn make_baseline(tag: &str) -> PathBuf {
+    let dir = scratch(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let s = Session::new();
+    s.register(base_table("t")).unwrap();
+    s.save_dir(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn crash_matrix_recovers_acked_rows_bit_identically() {
+    let baseline = make_baseline("base");
+    let work = scratch("count");
+
+    // Counting run: enumerate the workload's filesystem operations.
+    copy_dir(&baseline, &work);
+    let session = Session::open_dir(&work).unwrap();
+    faultfs::arm(FaultPlan { trigger_at_op: usize::MAX, kind: FaultKind::ShortWrite });
+    let acked_clean = run_workload(&session, &work);
+    let total_ops = faultfs::disarm();
+    drop(session);
+    assert_eq!(acked_clean, [true; 4], "fault-free workload acks everything");
+    assert!(total_ops > 10, "workload must exercise the durability surface, saw {total_ops}");
+
+    let kinds =
+        [FaultKind::ShortWrite, FaultKind::Enospc, FaultKind::TornRename];
+    for kind in kinds {
+        for k in (0..total_ops).step_by(smoke_stride()) {
+            let tag = format!("{kind:?}_{k}");
+            let run_dir = scratch(&tag);
+            copy_dir(&baseline, &run_dir);
+
+            let session = Session::open_dir(&run_dir).unwrap();
+            faultfs::arm(FaultPlan { trigger_at_op: k, kind });
+            let acked = run_workload(&session, &run_dir);
+            faultfs::disarm();
+            drop(session); // the "process" is dead; only the disk survives
+
+            // Reopen: recovery must never fail or quarantine after a crash.
+            let recovered = Session::open_dir(&run_dir).expect("reopen after crash");
+            assert!(
+                recovered.quarantined().is_empty(),
+                "{tag}: a crash is not corruption: {:?}",
+                recovered.quarantined()
+            );
+            let rows = total_rows(&recovered, "t");
+            let subset = recovered_subset(rows, &tag);
+            for i in 0..4 {
+                assert!(
+                    subset[i] || !acked[i],
+                    "{tag}: batch {} was acknowledged but did not survive \
+                     (acked {acked:?}, recovered {subset:?})",
+                    i + 1
+                );
+            }
+
+            // The mid-stream save is atomic, so recovery must land in exactly
+            // one of two uncrashed lineages: the save never happened, or it
+            // fully committed. Build both twins fault-free and require the
+            // recovered estimates to match one of them bit for bit.
+            let recovered_answers = battery_answers(&recovered);
+
+            // Twin A — the save never committed: plain ingest of the
+            // surviving batches over the baseline.
+            let a_dir = scratch(&format!("{tag}_twin_a"));
+            copy_dir(&baseline, &a_dir);
+            let twin_a = Session::open_dir(&a_dir).unwrap();
+            for i in 1..=4u64 {
+                if subset[i as usize - 1] {
+                    twin_a.ingest("t", &batch(i)).unwrap();
+                }
+            }
+            let answers_a = battery_answers(&twin_a);
+            drop(twin_a);
+            std::fs::remove_dir_all(&a_dir).unwrap();
+
+            // Twin B — the save committed: pre-save batches, a save + reopen
+            // (the recovered catalog serves the save's serialized state, so
+            // the twin must round-trip too), then the post-save batches.
+            let b_dir = scratch(&format!("{tag}_twin_b"));
+            copy_dir(&baseline, &b_dir);
+            let twin_b = Session::open_dir(&b_dir).unwrap();
+            for i in 1..=2u64 {
+                if subset[i as usize - 1] {
+                    twin_b.ingest("t", &batch(i)).unwrap();
+                }
+            }
+            twin_b.save_dir(&b_dir).unwrap();
+            drop(twin_b);
+            let twin_b = Session::open_dir(&b_dir).unwrap();
+            for i in 3..=4u64 {
+                if subset[i as usize - 1] {
+                    twin_b.ingest("t", &batch(i)).unwrap();
+                }
+            }
+            let answers_b = battery_answers(&twin_b);
+            drop(twin_b);
+            std::fs::remove_dir_all(&b_dir).unwrap();
+
+            assert!(
+                recovered_answers == answers_a || recovered_answers == answers_b,
+                "{tag}: recovered estimates match neither uncrashed lineage\n\
+                 recovered: {recovered_answers:?}\n\
+                 no-save:   {answers_a:?}\n\
+                 committed: {answers_b:?}"
+            );
+            drop(recovered);
+            std::fs::remove_dir_all(&run_dir).unwrap();
+        }
+    }
+    std::fs::remove_dir_all(&baseline).unwrap();
+    std::fs::remove_dir_all(&work).unwrap();
+}
+
+/// Bit-rot matrix: one flipped bit at every read of the reopen path. The
+/// damaged table quarantines (or serves a consistent prefix when the flip
+/// lands in the WAL's final record — indistinguishable from a torn append);
+/// `open_dir` itself must survive, and the undamaged second table must serve.
+#[test]
+fn read_corruption_quarantines_without_taking_down_the_catalog() {
+    let dir = scratch("rot_base");
+    let _ = std::fs::remove_dir_all(&dir);
+    let s = Session::new();
+    s.register(base_table("t")).unwrap();
+    s.register(base_table("u")).unwrap();
+    s.save_dir(&dir).unwrap();
+    drop(s);
+    // Leave journaled-but-unsaved batches behind so the WAL is part of the
+    // read surface.
+    let s = Session::open_dir(&dir).unwrap();
+    s.ingest("t", &batch(1)).unwrap();
+    s.ingest("t", &batch(2)).unwrap();
+    drop(s);
+
+    // Count the reads of a clean reopen.
+    let probe = scratch("rot_probe");
+    copy_dir(&dir, &probe);
+    faultfs::arm(FaultPlan { trigger_at_op: usize::MAX, kind: FaultKind::ReadCorruption });
+    let clean = Session::open_dir(&probe).unwrap();
+    let total_ops = faultfs::disarm();
+    let clean_t_rows = total_rows(&clean, "t");
+    let clean_u_rows = total_rows(&clean, "u");
+    drop(clean);
+    std::fs::remove_dir_all(&probe).unwrap();
+    assert_eq!(clean_t_rows, BASE_ROWS + batch_rows(1) + batch_rows(2));
+    assert_eq!(clean_u_rows, BASE_ROWS);
+
+    for k in (0..total_ops).step_by(smoke_stride()) {
+        let run_dir = scratch(&format!("rot_{k}"));
+        copy_dir(&dir, &run_dir);
+        faultfs::arm(FaultPlan { trigger_at_op: k, kind: FaultKind::ReadCorruption });
+        let opened = Session::open_dir(&run_dir).expect("bit-rot must never fail open_dir");
+        let fired = faultfs::fault_fired();
+        faultfs::disarm();
+
+        let quarantined = opened.quarantined();
+        assert!(quarantined.len() <= 1, "one flipped bit damages at most one table");
+        for (name, reason) in &quarantined {
+            assert!(!reason.is_empty(), "quarantine must say why");
+            // Queries on the quarantined table answer Quarantined, not
+            // UnknownTable — the operator sees "damaged", not "absent".
+            if name == "t" || name == "u" {
+                let sql = format!("SELECT COUNT(x) FROM {name}");
+                assert!(
+                    matches!(opened.sql(&sql), Err(PhError::Quarantined(_))),
+                    "query on quarantined '{name}' must say so"
+                );
+            }
+        }
+        if fired && quarantined.is_empty() {
+            // The flip landed somewhere self-healing: only the WAL's final
+            // record can absorb damage silently (torn-tail alias), so every
+            // serving table still holds a whole-batch subset, never a torn
+            // one.
+            recovered_subset(total_rows(&opened, "t"), &format!("rot_{k}"));
+        }
+        // The undamaged table(s) keep serving.
+        let serving = opened.tables();
+        assert!(
+            serving.len() + quarantined.len() >= 2,
+            "catalog lost tables without quarantining them: {serving:?} / {quarantined:?}"
+        );
+        for name in &serving {
+            opened
+                .sql(&format!("SELECT COUNT(x) FROM {name}"))
+                .unwrap_or_else(|e| panic!("serving table '{name}' must answer: {e}"));
+        }
+        drop(opened);
+        std::fs::remove_dir_all(&run_dir).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -206,7 +206,6 @@ fn multi_segment_persistence_round_trips_and_stays_ingestable() {
     session.save_dir(&dir).unwrap();
 
     let reopened = Session::open_dir(&dir).unwrap();
-    std::fs::remove_dir_all(&dir).unwrap();
     assert_eq!(
         reopened.engine("t").unwrap().n_segments(),
         session.engine("t").unwrap().n_segments(),
@@ -245,6 +244,7 @@ fn multi_segment_persistence_round_trips_and_stays_ingestable() {
         "all rows survive the rebuild: {} vs {expected}",
         count.value
     );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// `drop_table` with a genuinely racing reader thread: the reader's held
