@@ -20,6 +20,12 @@
 //! engine in the workspace — PairwiseHist, the exact scan, or a baseline — answers
 //! the same parsed queries and returns the same [`Estimate`]/`AqpAnswer` types.
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 mod kde;
 mod sampling;
 mod spn;

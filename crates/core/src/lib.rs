@@ -37,6 +37,12 @@
 //! assert!(est.lo <= 5000.0 && 5000.0 <= est.hi, "bounds contain the truth");
 //! ```
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 mod aggregate;
 mod bins;
 mod build;

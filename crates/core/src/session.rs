@@ -59,6 +59,15 @@
 //!    holding long-lived handles can re-prepare themselves. Edge-free delta
 //!    ingest keeps the epoch — plans stay valid across those swaps.
 //!
+//! **Lock poison policy.** Every lock acquisition recovers from poison
+//! (`unwrap_or_else(PoisonError::into_inner)`) instead of panicking: one
+//! panicking thread must degrade the session, never kill every other thread
+//! that touches the same lock. This is sound here because the structures the
+//! locks guard are either published atomically (whole-`Arc` swaps — a panicked
+//! writer's half-built state was never visible) or are maps/sets whose
+//! individual operations complete before the guard drops. Enforced by the
+//! `no-panic-serving` lint rule.
+//!
 //! # Quick start
 //!
 //! ```
@@ -89,7 +98,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use ph_sql::parse_query;
 use ph_types::{faultfs, Dataset, PhError};
@@ -171,12 +180,12 @@ impl TableCell {
 
     /// The current state; the read lock is held only for the `Arc` clone.
     fn snapshot(&self) -> Arc<TableState> {
-        self.state.read().expect("table state lock").clone()
+        self.state.read().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Publishes a replacement state.
     fn swap(&self, next: TableState) {
-        *self.state.write().expect("table state lock") = Arc::new(next);
+        *self.state.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
     }
 
     /// Records the delta rows' resident bytes (writer-side, after mutation).
@@ -266,19 +275,21 @@ impl PlanCache {
     }
 
     fn shard_for_fp(&self, fp: u64) -> &RwLock<CacheShard> {
+        // ph-lint: allow(no-panic-serving) — index is % len: new() builds exactly PLAN_CACHE_SHARDS shards
         &self.shards[(fp as usize) % PLAN_CACHE_SHARDS]
     }
 
     fn shard_for_text(&self, sql: &str) -> &RwLock<CacheShard> {
+        // ph-lint: allow(no-panic-serving) — index is % len: new() builds exactly PLAN_CACHE_SHARDS shards
         &self.shards[(ph_types::fnv1a(sql.as_bytes()) as usize) % PLAN_CACHE_SHARDS]
     }
 
     fn get_by_text(&self, sql: &str) -> Option<Arc<Prepared>> {
-        self.shard_for_text(sql).read().expect("plan cache lock").by_text.get(sql).cloned()
+        self.shard_for_text(sql).read().unwrap_or_else(PoisonError::into_inner).by_text.get(sql).cloned()
     }
 
     fn get_by_fp(&self, fp: u64) -> Option<Arc<Prepared>> {
-        self.shard_for_fp(fp).read().expect("plan cache lock").by_fingerprint.get(&fp).cloned()
+        self.shard_for_fp(fp).read().unwrap_or_else(PoisonError::into_inner).by_fingerprint.get(&fp).cloned()
     }
 
     /// Records a plan under its fingerprint and the spelling that produced it.
@@ -288,13 +299,13 @@ impl PlanCache {
     fn insert(&self, sql: &str, plan: &Arc<Prepared>) {
         let per_shard = (PLAN_CACHE_CAP / PLAN_CACHE_SHARDS).max(1);
         {
-            let mut shard = self.shard_for_fp(plan.fingerprint()).write().expect("plan cache lock");
+            let mut shard = self.shard_for_fp(plan.fingerprint()).write().unwrap_or_else(PoisonError::into_inner);
             if shard.by_fingerprint.len() >= per_shard {
                 shard.by_fingerprint.clear();
             }
             shard.by_fingerprint.insert(plan.fingerprint(), plan.clone());
         }
-        let mut shard = self.shard_for_text(sql).write().expect("plan cache lock");
+        let mut shard = self.shard_for_text(sql).write().unwrap_or_else(PoisonError::into_inner);
         if shard.by_text.len() >= per_shard * 4 {
             shard.by_text.clear();
         }
@@ -305,7 +316,7 @@ impl PlanCache {
     /// the table was dropped).
     fn invalidate_table(&self, table: &str) {
         for shard in &self.shards {
-            let mut s = shard.write().expect("plan cache lock");
+            let mut s = shard.write().unwrap_or_else(PoisonError::into_inner);
             s.by_fingerprint.retain(|_, p| p.query().table != table);
             s.by_text.retain(|_, p| p.query().table != table);
         }
@@ -314,7 +325,7 @@ impl PlanCache {
     fn entries(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("plan cache lock").by_fingerprint.len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).by_fingerprint.len())
             .sum()
     }
 }
@@ -450,13 +461,13 @@ impl Session {
     pub fn enable_wal(&self, dir: impl AsRef<Path>) -> Result<(), PhError> {
         let dir = dir.as_ref();
         faultfs::create_dir_all(dir)?;
-        *self.wal_dir.lock().expect("wal dir lock") = Some(dir.to_path_buf());
+        *self.wal_dir.lock().unwrap_or_else(PoisonError::into_inner) = Some(dir.to_path_buf());
         Ok(())
     }
 
     /// Whether ingest batches are currently journaled (see [`Session::enable_wal`]).
     pub fn wal_enabled(&self) -> bool {
-        self.wal_dir.lock().expect("wal dir lock").is_some()
+        self.wal_dir.lock().unwrap_or_else(PoisonError::into_inner).is_some()
     }
 
     /// Tables isolated at [`Session::open_dir`] because their persisted state
@@ -467,7 +478,7 @@ impl Session {
     pub fn quarantined(&self) -> Vec<(String, String)> {
         self.quarantined
             .lock()
-            .expect("quarantine lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(n, r)| (n.clone(), r.clone()))
             .collect()
@@ -511,7 +522,7 @@ impl Session {
         let taken = |name: &str| {
             Err(PhError::Schema(format!("table '{name}' is already registered")))
         };
-        if self.tables.read().expect("table map lock").contains_key(&name) {
+        if self.tables.read().unwrap_or_else(PoisonError::into_inner).contains_key(&name) {
             return taken(&name);
         }
         // The state keeps the *requested* configuration; `ns` is clamped to the
@@ -529,20 +540,20 @@ impl Session {
             delta: None,
             cfg: cfg.clone(),
         };
-        let mut map = self.tables.write().expect("table map lock");
+        let mut map = self.tables.write().unwrap_or_else(PoisonError::into_inner);
         if map.contains_key(&name) {
             return taken(&name); // lost a registration race for the same name
         }
         // Fresh data under a quarantined name supersedes the damaged files
         // (the next save_dir overwrites them).
-        self.quarantined.lock().expect("quarantine lock").remove(&name);
+        self.quarantined.lock().unwrap_or_else(PoisonError::into_inner).remove(&name);
         map.insert(name, Arc::new(TableCell::new(state)));
         Ok(())
     }
 
     /// Registered table names, in sorted order.
     pub fn tables(&self) -> Vec<String> {
-        self.tables.read().expect("table map lock").keys().cloned().collect()
+        self.tables.read().unwrap_or_else(PoisonError::into_inner).keys().cloned().collect()
     }
 
     /// Removes `table` from the catalog and invalidates its cached plans. Its
@@ -553,12 +564,12 @@ impl Session {
     /// the `Arc` keeps it alive — while new [`Session::sql`] calls fail with
     /// [`PhError::UnknownTable`]. The name can be re-registered immediately.
     pub fn drop_table(&self, table: &str) -> Result<(), PhError> {
-        let removed = self.tables.write().expect("table map lock").remove(table);
+        let removed = self.tables.write().unwrap_or_else(PoisonError::into_inner).remove(table);
         if removed.is_none() {
             // Dropping a quarantined table is how an operator discards damaged
             // files for good: the next save_dir sweeps them.
-            if self.quarantined.lock().expect("quarantine lock").remove(table).is_some() {
-                self.dropped.lock().expect("dropped set lock").insert(table.to_string());
+            if self.quarantined.lock().unwrap_or_else(PoisonError::into_inner).remove(table).is_some() {
+                self.dropped.lock().unwrap_or_else(PoisonError::into_inner).insert(table.to_string());
                 return Ok(());
             }
             return Err(PhError::UnknownTable(table.to_string()));
@@ -566,7 +577,7 @@ impl Session {
         // After the map removal, so a racing `prepare` can't re-cache a plan
         // for a table that still resolves.
         self.cache.invalidate_table(table);
-        self.dropped.lock().expect("dropped set lock").insert(table.to_string());
+        self.dropped.lock().unwrap_or_else(PoisonError::into_inner).insert(table.to_string());
         Ok(())
     }
 
@@ -574,7 +585,7 @@ impl Session {
     /// snapshot stays valid (and answers from its version) even if writers swap
     /// in newer state — or drop the table — afterwards.
     pub fn engine(&self, table: &str) -> Option<TableSnapshot> {
-        let cell = self.tables.read().expect("table map lock").get(table).cloned()?;
+        let cell = self.tables.read().unwrap_or_else(PoisonError::into_inner).get(table).cloned()?;
         Some(TableSnapshot(cell.snapshot()))
     }
 
@@ -612,8 +623,8 @@ impl Session {
     }
 
     fn cell(&self, table: &str) -> Result<Arc<TableCell>, PhError> {
-        self.tables.read().expect("table map lock").get(table).cloned().ok_or_else(|| {
-            match self.quarantined.lock().expect("quarantine lock").get(table) {
+        self.tables.read().unwrap_or_else(PoisonError::into_inner).get(table).cloned().ok_or_else(|| {
+            match self.quarantined.lock().unwrap_or_else(PoisonError::into_inner).get(table) {
                 Some(reason) => PhError::Quarantined(format!("'{table}': {reason}")),
                 None => PhError::UnknownTable(table.to_string()),
             }
@@ -678,7 +689,7 @@ impl Session {
     /// re-`prepare` recipe would loop on the same dead handle.
     fn cached_by_text(&self, sql: &str) -> Option<Arc<Prepared>> {
         let p = self.cache.get_by_text(sql)?;
-        let cell = self.tables.read().expect("table map lock").get(&p.query().table).cloned()?;
+        let cell = self.tables.read().unwrap_or_else(PoisonError::into_inner).get(&p.query().table).cloned()?;
         if p.token() == cell.snapshot().epoch {
             Some(p)
         } else {
@@ -800,7 +811,7 @@ impl Session {
         let cell = self.cell(table)?;
         // The delta-rows lock is the writer lock: one writer per table at a
         // time; readers are never blocked by it.
-        let mut delta_rows = cell.delta_rows.lock().expect("table writer lock");
+        let mut delta_rows = cell.delta_rows.lock().unwrap_or_else(PoisonError::into_inner);
         let cur = cell.snapshot();
         let pre = cur.pre.clone();
         // Full schema validation up front: nothing below may fail half-applied.
@@ -886,6 +897,7 @@ impl Session {
             Some(d) => d.append(batch)?,
             None => *delta_rows = Some(batch.clone()),
         }
+        // ph-lint: allow(no-panic-serving) — the match directly above guarantees Some
         let delta_data = delta_rows.as_ref().expect("delta appended above");
         let delta_n = delta_data.n_rows();
 
@@ -933,6 +945,7 @@ impl Session {
             let epoch = next_plan_epoch();
             let mut segments: Vec<Arc<Segment>> =
                 cur.segments.iter().map(|s| Arc::new(s.restamped(epoch))).collect();
+            // ph-lint: allow(no-panic-serving) — seal is only entered when delta_n > 0, so the delta exists
             let rows = delta_rows.take().expect("delta present when sealing");
             let mut sealed = 0usize;
             let mut start = 0usize;
@@ -1044,7 +1057,7 @@ impl Session {
     /// blocked. Legacy segments without row stores are left as they are.
     pub fn compact(&self, table: &str) -> Result<CompactReport, PhError> {
         let cell = self.cell(table)?;
-        let _writer = cell.delta_rows.lock().expect("table writer lock");
+        let _writer = cell.delta_rows.lock().unwrap_or_else(PoisonError::into_inner);
         let cur = cell.snapshot();
         let threshold = self.seal_threshold();
         let is_small = |s: &Arc<Segment>| s.store.is_some() && s.n_rows() < threshold;
@@ -1061,6 +1074,7 @@ impl Session {
         let rows_compacted: usize = small.iter().map(|s| s.n_rows()).sum();
         let merged = Arc::new(
             merge_segments(&small, &cur.pre, &cur.cfg, cur.epoch)
+                // ph-lint: allow(no-panic-serving) — `small` only admits segments with a row store (is_small filter)
                 .expect("small segments all carry stores"),
         );
         // The merged segment takes the position of the oldest segment it
@@ -1126,12 +1140,12 @@ impl Session {
         let cells: Vec<(String, Arc<TableCell>)> = self
             .tables
             .read()
-            .expect("table map lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(n, c)| (n.clone(), c.clone()))
             .collect();
         let truncate_wal =
-            self.wal_dir.lock().expect("wal dir lock").as_deref() == Some(dir);
+            self.wal_dir.lock().unwrap_or_else(PoisonError::into_inner).as_deref() == Some(dir);
         // One listing up front decides each table's next generation number:
         // one past the highest generation any existing file of its base claims.
         let mut existing: Vec<PathBuf> = faultfs::read_dir_paths(dir)?;
@@ -1151,7 +1165,7 @@ impl Session {
             // serialized delta segment matches the published delta synopsis —
             // and freezes `wal_seq`, so the watermark written below covers
             // exactly the batches folded into these blobs.
-            let delta_rows = cell.delta_rows.lock().expect("table writer lock");
+            let delta_rows = cell.delta_rows.lock().unwrap_or_else(PoisonError::into_inner);
             let state = cell.snapshot();
             let mut blobs: Vec<Vec<u8>> = state
                 .segments
@@ -1168,6 +1182,9 @@ impl Session {
             // already durable.
             for (i, blob) in blobs.iter().enumerate() {
                 let seg_name = segment_file_name(&base, gen, i);
+                // ph-lint: allow(lock-across-io) — the writer lock freezes delta ↔ wal_seq
+                // so the manifest's watermark covers exactly the blobs written here;
+                // releasing it would let an ingest slip between blob and watermark
                 write_atomic(dir, &seg_name, blob)?;
                 expected.insert(seg_name);
             }
@@ -1176,12 +1193,15 @@ impl Session {
                 table_manifest_to_bytes(name, &state.pre, blobs.len(), gen, wal_seq);
             let manifest_name = format!("{base}.pwhs");
             // Commit point for this table.
+            // ph-lint: allow(lock-across-io) — same invariant as the segment writes above
             write_atomic(dir, &manifest_name, &manifest)?;
             expected.insert(manifest_name);
             if truncate_wal {
                 // Everything the log holds up to `wal_seq` is now in the
                 // committed snapshot. A crash right here replays nothing: the
                 // watermark skips every surviving record.
+                // ph-lint: allow(lock-across-io) — WAL truncation must precede any new
+                // journaled batch, which the held writer lock excludes
                 wal::remove_wal(&wal::wal_path(dir, &base))?;
             }
         }
@@ -1190,7 +1210,7 @@ impl Session {
         let dropped_bases: HashSet<String> = self
             .dropped
             .lock()
-            .expect("dropped set lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|n| file_base_for(n))
             .collect();
@@ -1256,8 +1276,8 @@ impl Session {
         // Tables that loaded, with their manifest's WAL watermark.
         let mut loaded: Vec<(String, u64)> = Vec::new();
         {
-            let mut map = session.tables.write().expect("table map lock");
-            let mut quarantined = session.quarantined.lock().expect("quarantine lock");
+            let mut map = session.tables.write().unwrap_or_else(PoisonError::into_inner);
+            let mut quarantined = session.quarantined.lock().unwrap_or_else(PoisonError::into_inner);
             for path in &paths {
                 if path.extension().and_then(|e| e.to_str()) != Some("pwhs") {
                     continue;
@@ -1274,7 +1294,10 @@ impl Session {
                 let corrupt =
                     |detail: String| PhError::Corrupt(format!("{}: {detail}", path.display()));
                 let load = || -> Result<(String, TableState, u64), (String, PhError)> {
+                    // open_dir runs before the session is shared: both maps are
+                    // locked for the whole single-threaded load.
                     let bytes =
+                        // ph-lint: allow(lock-across-io) — single-threaded startup load, no contention
                         faultfs::read(path).map_err(|e| fail(&file_base, e.into()))?;
                     if bytes.starts_with(TABLE_MAGIC) {
                         let m = table_manifest_from_bytes(&bytes).ok_or_else(|| {
@@ -1288,6 +1311,7 @@ impl Session {
                         for i in 0..m.n_segments {
                             let seg_path = dir.join(segment_file_name(&base, m.gen, i));
                             let seg_bytes =
+                                // ph-lint: allow(lock-across-io) — single-threaded startup load, no contention
                                 faultfs::read(&seg_path).map_err(|e| fail(&name, e.into()))?;
                             let (mut engine, store) = segment_from_bytes(&seg_bytes, pre.clone())
                                 .ok_or_else(|| {
@@ -1296,10 +1320,10 @@ impl Session {
                             engine.plan_epoch = epoch;
                             segments.push(Arc::new(Segment::new(engine, store.map(Arc::new))));
                         }
-                        if segments.is_empty() {
+                        let Some(first) = segments.first() else {
                             return Err(fail(&name, corrupt("manifest lists no segments".into())));
-                        }
-                        let cfg = config_from_engine(&segments[0].engine);
+                        };
+                        let cfg = config_from_engine(&first.engine);
                         Ok((name, TableState { epoch, pre, segments, delta: None, cfg }, m.wal_seq))
                     } else {
                         // Legacy single-blob format: one segment, no retained
@@ -1370,7 +1394,7 @@ impl Session {
             })();
             match replayed {
                 Ok(max_seq) => {
-                    if let Some(cell) = session.tables.read().expect("table map lock").get(&name) {
+                    if let Some(cell) = session.tables.read().unwrap_or_else(PoisonError::into_inner).get(&name) {
                         cell.wal_seq.store(max_seq, Ordering::Relaxed);
                     }
                 }
@@ -1378,16 +1402,16 @@ impl Session {
                     // A log that cannot be trusted poisons the whole table:
                     // serving the snapshot alone could silently drop
                     // acknowledged rows.
-                    session.tables.write().expect("table map lock").remove(&name);
+                    session.tables.write().unwrap_or_else(PoisonError::into_inner).remove(&name);
                     session
                         .quarantined
                         .lock()
-                        .expect("quarantine lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .insert(name, format!("WAL replay failed: {e}"));
                 }
             }
         }
-        *session.wal_dir.lock().expect("wal dir lock") = Some(dir.to_path_buf());
+        *session.wal_dir.lock().unwrap_or_else(PoisonError::into_inner) = Some(dir.to_path_buf());
         Ok(session)
     }
 
@@ -1400,7 +1424,7 @@ impl Session {
     /// apply, so an acknowledged ingest survives a crash, and a crash mid-append
     /// leaves a torn tail that replay discards as never acknowledged.
     fn wal_append(&self, table: &str, cell: &TableCell, batch: &Dataset) -> Result<(), PhError> {
-        let Some(dir) = self.wal_dir.lock().expect("wal dir lock").clone() else {
+        let Some(dir) = self.wal_dir.lock().unwrap_or_else(PoisonError::into_inner).clone() else {
             return Ok(());
         };
         let seq = cell.wal_seq.load(Ordering::Relaxed) + 1;

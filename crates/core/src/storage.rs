@@ -74,17 +74,17 @@ impl PairwiseHist {
         let params_bytes = out.len();
 
         // --- 1-d histograms ---
-        for c in 0..d {
+        for (c, &mc) in m.iter().enumerate() {
             let bins = self.hist1d(c);
             write_u32(&mut out, bins.k() as u32);
             for &e in &bins.edges {
-                write_le(&mut out, encode_edge(e), m[c]);
+                write_le(&mut out, encode_edge(e), mc);
             }
             for &v in &bins.vmin {
-                write_le(&mut out, v, m[c]);
+                write_le(&mut out, v, mc);
             }
             for &v in &bins.vmax {
-                write_le(&mut out, v, m[c]);
+                write_le(&mut out, v, mc);
             }
             for &u in &bins.uniq {
                 write_u32(&mut out, u);
@@ -96,6 +96,8 @@ impl PairwiseHist {
         for pair in &self.pairs {
             for (dim, col) in [(&pair.dim_i, pair.col_i), (&pair.dim_j, pair.col_j)] {
                 let parent_bins = self.hist1d(col);
+                // Width 8 is unreachable fallback: `col` indexes a registered column.
+                let mc = m.get(col).copied().unwrap_or(8);
                 // Additional edges: refined edges not present in the 1-d histogram.
                 let extra: Vec<u64> = dim
                     .bins
@@ -106,12 +108,15 @@ impl PairwiseHist {
                     .collect();
                 write_u32(&mut out, extra.len() as u32);
                 for &e in &extra {
-                    write_le(&mut out, e, m[col]);
+                    write_le(&mut out, e, mc);
                 }
                 // Metadata for bins inside split parents (ascending refined order).
                 for t in split_bins(&dim.parent) {
-                    write_le(&mut out, dim.bins.vmin[t], m[col]);
-                    write_le(&mut out, dim.bins.vmax[t], m[col]);
+                    // ph-lint: allow(no-panic-serving) — split_bins yields t < parent.len() = k, and vmin/vmax/uniq all have k entries
+                    write_le(&mut out, dim.bins.vmin[t], mc);
+                    // ph-lint: allow(no-panic-serving) — same k-bounded index as vmin above
+                    write_le(&mut out, dim.bins.vmax[t], mc);
+                    // ph-lint: allow(no-panic-serving) — same k-bounded index as vmin above
                     write_u32(&mut out, dim.bins.uniq[t]);
                 }
             }
@@ -199,20 +204,22 @@ impl PairwiseHist {
             if k == 0 || k > 1 << 24 {
                 return None;
             }
+            let mc = *m.get(c)?;
             let mut edges = Vec::with_capacity(k + 1);
             for _ in 0..=k {
-                edges.push(decode_edge(read_le(data, &mut pos, m[c])?));
+                edges.push(decode_edge(read_le(data, &mut pos, mc)?));
             }
+            // ph-lint: allow(no-panic-serving) — windows(2) yields exactly 2 elements
             if edges.windows(2).any(|w| w[0] >= w[1]) {
                 return None;
             }
             let mut vmin = Vec::with_capacity(k);
             for _ in 0..k {
-                vmin.push(read_le(data, &mut pos, m[c])?);
+                vmin.push(read_le(data, &mut pos, mc)?);
             }
             let mut vmax = Vec::with_capacity(k);
             for _ in 0..k {
-                vmax.push(read_le(data, &mut pos, m[c])?);
+                vmax.push(read_le(data, &mut pos, mc)?);
             }
             let mut uniq = Vec::with_capacity(k);
             for _ in 0..k {
@@ -239,22 +246,24 @@ impl PairwiseHist {
                     if n_extra > 1 << 24 {
                         return None;
                     }
-                    let mut edges = raw1d[col].edges.clone();
+                    let parent_edges = &raw1d.get(col)?.edges;
+                    let mc = *m.get(col)?;
+                    let mut edges = parent_edges.clone();
                     for _ in 0..n_extra {
-                        edges.push(decode_edge(read_le(data, &mut pos, m[col])?));
+                        edges.push(decode_edge(read_le(data, &mut pos, mc)?));
                     }
                     edges.sort_by(|a, b| a.total_cmp(b));
                     edges.dedup();
-                    if edges.len() != raw1d[col].edges.len() + n_extra {
+                    if edges.len() != parent_edges.len() + n_extra {
                         return None; // extras must be new, distinct edges
                     }
                     // Which refined bins carry stored metadata: those in split parents.
-                    let parent = parent_map_raw(&edges, &raw1d[col].edges);
+                    let parent = parent_map_raw(&edges, parent_edges);
                     let n_split = split_bins(&parent).count();
                     let mut meta = Vec::with_capacity(n_split);
                     for _ in 0..n_split {
-                        let vmin = read_le(data, &mut pos, m[col])?;
-                        let vmax = read_le(data, &mut pos, m[col])?;
+                        let vmin = read_le(data, &mut pos, mc)?;
+                        let vmax = read_le(data, &mut pos, mc)?;
                         let uniq = read_u32(data, &mut pos)?;
                         if vmin > vmax {
                             return None; // corrupt metadata: extremes out of order
@@ -277,7 +286,7 @@ impl PairwiseHist {
             if lh == 0 || lh > 64 {
                 return None;
             }
-            let k = raw1d[c].edges.len() - 1;
+            let k = raw1d.get(c)?.edges.len() - 1;
             let mut reader = BitReader::new(data.get(pos..)?);
             let mut counts = Vec::with_capacity(k);
             for _ in 0..k {
@@ -321,15 +330,15 @@ impl PairwiseHist {
                 let mut col_sums = vec![0u64; kj];
                 for ri in 0..ki {
                     for rj in 0..kj {
-                        let cnt = counts[ri * kj + rj] as u64;
-                        row_sums[ri] += cnt;
-                        col_sums[rj] += cnt;
+                        let cnt = *counts.get(ri * kj + rj)? as u64;
+                        *row_sums.get_mut(ri)? += cnt;
+                        *col_sums.get_mut(rj)? += cnt;
                     }
                 }
                 let dim_i =
-                    rebuild_dim(rdi.edges, rdi.meta, &hist1d[i], row_sums, m_min, &mut chi2)?;
+                    rebuild_dim(rdi.edges, rdi.meta, hist1d.get(i)?, row_sums, m_min, &mut chi2)?;
                 let dim_j =
-                    rebuild_dim(rdj.edges, rdj.meta, &hist1d[j], col_sums, m_min, &mut chi2)?;
+                    rebuild_dim(rdj.edges, rdj.meta, hist1d.get(j)?, col_sums, m_min, &mut chi2)?;
                 pairs.push(PairHist { col_i: i, col_j: j, dim_i, dim_j, counts });
             }
         }
@@ -531,10 +540,11 @@ pub(crate) fn table_manifest_from_bytes(data: &[u8]) -> Option<TableManifest> {
             // cannot be trusted, not even their length fields.
             let body_len = data.len().checked_sub(4)?;
             let stored = u32::from_le_bytes(data.get(body_len..)?.try_into().ok()?);
-            if ph_encoding::crc32(&data[..body_len]) != stored {
+            let body = data.get(..body_len)?;
+            if ph_encoding::crc32(body) != stored {
                 return None;
             }
-            &data[..body_len]
+            body
         }
         _ => return None,
     };
@@ -603,10 +613,11 @@ pub(crate) fn segment_from_bytes(
         V3_VERSION => {
             let body_len = data.len().checked_sub(4)?;
             let stored = u32::from_le_bytes(data.get(body_len..)?.try_into().ok()?);
-            if ph_encoding::crc32(&data[..body_len]) != stored {
+            let body = data.get(..body_len)?;
+            if ph_encoding::crc32(body) != stored {
                 return None;
             }
-            &data[..body_len]
+            body
         }
         _ => return None,
     };
@@ -659,10 +670,10 @@ fn rebuild_dim(
             vmax.push(hi);
             uniq.push(u);
         } else {
-            let p = parent[t] as usize;
-            vmin.push(parent_bins.vmin[p]);
-            vmax.push(parent_bins.vmax[p]);
-            uniq.push(parent_bins.uniq[p]);
+            let p = *parent.get(t)? as usize;
+            vmin.push(*parent_bins.vmin.get(p)?);
+            vmax.push(*parent_bins.vmax.get(p)?);
+            uniq.push(*parent_bins.uniq.get(p)?);
         }
     }
     Some(crate::build2d::PairDim {
@@ -681,7 +692,7 @@ fn split_bins(parent: &[u32]) -> impl Iterator<Item = usize> + '_ {
     parent
         .iter()
         .enumerate()
-        .filter(move |(_, p)| children[p] > 1)
+        .filter(move |(_, p)| children.get(p).is_some_and(|&c| c > 1))
         .map(|(t, _)| t)
 }
 
@@ -689,6 +700,7 @@ fn split_bins(parent: &[u32]) -> impl Iterator<Item = usize> + '_ {
 fn parent_map_raw(edges: &[f64], parent_edges: &[f64]) -> Vec<u32> {
     (0..edges.len() - 1)
         .map(|t| {
+            // ph-lint: allow(no-panic-serving) — t ranges over 0..len-1, so t and t+1 are in bounds
             let mid = 0.5 * (edges[t] + edges[t + 1]);
             let p = parent_edges.partition_point(|&e| e < mid).saturating_sub(1);
             p.min(parent_edges.len().saturating_sub(2)) as u32
@@ -772,7 +784,7 @@ fn read_pair_counts(
             if idx >= cells {
                 return None;
             }
-            counts[idx] = reader.read_bits(lh)? as u32;
+            *counts.get_mut(idx)? = reader.read_bits(lh)? as u32;
             prev = idx as i64;
         }
         *pos += reader.bit_pos().div_ceil(8) as usize;
@@ -788,7 +800,9 @@ fn read_pair_counts(
 
 /// Byte width for edges/values of one column: enough for the doubled top edge.
 fn edge_byte_width(bins: &DimBins) -> usize {
-    let top = encode_edge(*bins.edges.last().expect("non-empty edges"));
+    // `DimBins` always holds k+1 ≥ 2 edges; an empty slice can only mean a bug
+    // upstream, and width 1 keeps the serializer total either way.
+    let top = bins.edges.last().map_or(0, |&e| encode_edge(e));
     (bits_for(top) as usize).div_ceil(8)
 }
 
@@ -805,14 +819,15 @@ fn decode_edge(v: u64) -> f64 {
 
 fn write_le(out: &mut Vec<u8>, v: u64, width: usize) {
     debug_assert!(width == 8 || v < (1u64 << (8 * width)), "{v} exceeds {width} bytes");
-    out.extend_from_slice(&v.to_le_bytes()[..width]);
+    let bytes = v.to_le_bytes();
+    out.extend_from_slice(bytes.get(..width).unwrap_or(&bytes));
 }
 
 fn read_le(data: &[u8], pos: &mut usize, width: usize) -> Option<u64> {
-    let slice = data.get(*pos..*pos + width)?;
+    let slice = data.get(*pos..pos.checked_add(width)?)?;
     *pos += width;
     let mut buf = [0u8; 8];
-    buf[..width].copy_from_slice(slice);
+    buf.get_mut(..width)?.copy_from_slice(slice);
     Some(u64::from_le_bytes(buf))
 }
 

@@ -60,7 +60,7 @@ pub(crate) fn append_record(path: &Path, seq: u64, batch: &Dataset) -> Result<()
     // Prepend the magic when the log is empty, not merely absent: a failed
     // earlier append (ENOSPC after open) can leave a zero-byte file behind,
     // and appending a bare record to it would produce an unreadable log.
-    let empty = std::fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
+    let empty = faultfs::file_len(path).map(|n| n == 0).unwrap_or(true);
     if empty {
         rec.extend_from_slice(WAL_MAGIC);
     }
@@ -112,7 +112,7 @@ pub(crate) fn read_wal(path: &Path) -> Result<WalReplay, PhError> {
             valid_len: 0,
         });
     }
-    if &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+    if !data.starts_with(WAL_MAGIC) {
         return Err(PhError::Corrupt(format!("{}: bad WAL magic", path.display())));
     }
     let mut pos = WAL_MAGIC.len();
@@ -124,18 +124,15 @@ pub(crate) fn read_wal(path: &Path) -> Result<WalReplay, PhError> {
             let len = read_uvarint(&data, &mut cursor)? as usize;
             let crc_end = cursor.checked_add(4)?;
             let payload_end = crc_end.checked_add(len)?;
-            if payload_end > data.len() {
-                return None;
-            }
-            Some((crc_end, payload_end))
+            let stored = u32::from_le_bytes(data.get(cursor..crc_end)?.try_into().ok()?);
+            let payload = data.get(crc_end..payload_end)?;
+            Some((stored, payload, payload_end))
         })();
-        let Some((crc_end, payload_end)) = header_ok else {
+        let Some((stored, payload, payload_end)) = header_ok else {
             // Header or payload runs past end-of-file: torn final append.
             torn_tail = true;
             break;
         };
-        let stored = u32::from_le_bytes(data[crc_end - 4..crc_end].try_into().unwrap());
-        let payload = &data[crc_end..payload_end];
         if crc32(payload) != stored {
             if payload_end == data.len() {
                 // Checksum failure on the very last record: a torn append
@@ -215,8 +212,9 @@ pub(crate) fn encode_batch(out: &mut Vec<u8>, batch: &Dataset) {
         let n = col.len();
         let mut bits = vec![0u8; n.div_ceil(8)];
         for i in 0..n {
-            if col.is_valid(i) {
-                bits[i / 8] |= 1 << (i % 8);
+            match bits.get_mut(i / 8) {
+                Some(b) if col.is_valid(i) => *b |= 1 << (i % 8),
+                _ => {}
             }
         }
         out.extend_from_slice(&bits);
@@ -270,7 +268,7 @@ pub(crate) fn decode_batch(data: &[u8], pos: &mut usize) -> Option<Dataset> {
         let bits_end = pos.checked_add(bits_len)?;
         let bits = data.get(*pos..bits_end)?;
         *pos = bits_end;
-        let valid = |i: usize| bits[i / 8] & (1 << (i % 8)) != 0;
+        let valid = |i: usize| bits.get(i / 8).is_some_and(|&b| b & (1 << (i % 8)) != 0);
         let col = match tag {
             TAG_INT | TAG_TIMESTAMP => {
                 let mut values = Vec::with_capacity(n_rows);

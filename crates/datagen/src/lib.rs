@@ -12,6 +12,12 @@
 //! of how IDEBench synthesises data, and the mechanism behind the Fig 10(d)
 //! real-vs-synthetic comparison.
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod idebench;
 pub mod real;
 mod util;

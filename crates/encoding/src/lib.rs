@@ -10,6 +10,12 @@
 //! All streams are MSB-first within each byte, so encoded sizes match the paper's
 //! `⌈bits / 8⌉` accounting exactly.
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 mod bitio;
 mod crc32;
 mod golomb;
@@ -20,7 +26,7 @@ pub use bitio::{BitReader, BitWriter};
 pub use crc32::{crc32, Crc32};
 pub use golomb::{golomb_decode, golomb_encode, golomb_len_bits, optimal_golomb_m};
 pub use qlog::{
-    read_qlog_body, read_qlog_record, write_qlog_record, QlogRecord, QLOG_MAGIC,
+    read_qlog_body, read_qlog_prefix, read_qlog_record, write_qlog_record, QlogRecord, QLOG_MAGIC,
 };
 pub use varint::{read_uvarint, write_uvarint};
 

@@ -72,7 +72,7 @@ pub fn read_qlog_record(data: &[u8], pos: &mut usize, prev_ts: u64) -> Option<Ql
     if end > data.len() {
         return None;
     }
-    let sql = std::str::from_utf8(&data[*pos..end]).ok()?.to_string();
+    let sql = std::str::from_utf8(&data[*pos..end]).ok()?.to_owned();
     *pos = end;
     Some(QlogRecord {
         ts_micros: prev_ts.checked_add(delta)?,
@@ -94,6 +94,30 @@ pub fn read_qlog_body(data: &[u8]) -> Option<Vec<QlogRecord>> {
         out.push(rec);
     }
     Some(out)
+}
+
+/// Decodes the longest clean prefix of a log body. Returns the records that
+/// decoded and the byte offset they span; `offset == data.len()` means the
+/// whole body was clean. Unlike [`read_qlog_body`] this never gives up
+/// wholesale: a log cut mid-record by a crash — or with a corrupted tail —
+/// still yields every record before the damage. It cannot fabricate records:
+/// every returned record decoded from an intact byte range, and decoding stops
+/// at the first record that does not.
+pub fn read_qlog_prefix(data: &[u8]) -> (Vec<QlogRecord>, usize) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut prev_ts = 0u64;
+    while pos < data.len() {
+        let mark = pos;
+        match read_qlog_record(data, &mut pos, prev_ts) {
+            Some(rec) => {
+                prev_ts = rec.ts_micros;
+                out.push(rec);
+            }
+            None => return (out, mark),
+        }
+    }
+    (out, pos)
 }
 
 #[cfg(test)]
@@ -156,6 +180,37 @@ mod tests {
         for cut in 1..buf.len() {
             assert_eq!(read_qlog_body(&buf[..cut]), None, "cut at {cut} must fail cleanly");
         }
+    }
+
+    #[test]
+    fn prefix_salvages_records_before_the_damage() {
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        let recs = [
+            QlogRecord { ts_micros: 100, status: 200, latency_micros: 5, sql: "a".into() },
+            QlogRecord { ts_micros: 200, status: 200, latency_micros: 6, sql: "bb".into() },
+        ];
+        for r in &recs {
+            prev = write_qlog_record(&mut buf, prev, r);
+        }
+        let clean_len = buf.len();
+        // A third record, cut mid-way: the prefix reader salvages the first two
+        // at every cut point and reports the clean offset.
+        write_qlog_record(
+            &mut buf,
+            prev,
+            &QlogRecord { ts_micros: 300, status: 500, latency_micros: 7, sql: "ccc".into() },
+        );
+        for cut in clean_len + 1..buf.len() {
+            let (salvaged, offset) = read_qlog_prefix(&buf[..cut]);
+            assert_eq!(salvaged, recs, "cut at {cut}");
+            assert_eq!(offset, clean_len, "cut at {cut}");
+        }
+        // Untruncated, the prefix reader agrees with the strict one.
+        let (all, offset) = read_qlog_prefix(&buf);
+        assert_eq!(all.len(), 3);
+        assert_eq!(offset, buf.len());
+        assert_eq!(read_qlog_body(&buf).as_deref(), Some(&all[..]));
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! [`EncodedMatrix`] of non-negative integers, and [`GdCompressor`] picks the
 //! base/deviation split and builds a [`GdStore`].
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 mod greedy;
 mod matrix;
 mod preprocess;

@@ -1,0 +1,94 @@
+//! `ph-lint` — the workspace invariant gate.
+//!
+//! Usage:
+//! ```text
+//! ph-lint [--rules] [ROOT]
+//! ```
+//! With no arguments, finds the workspace root above the current directory,
+//! lints every `.rs` file, prints `file:line: [rule] message` diagnostics and
+//! exits 1 if any were found. `--rules` prints the rule set and exits.
+//! CI runs `cargo run -p ph_lint` as a blocking job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--rules" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: ph-lint [--rules] [ROOT]");
+                println!("Lints the workspace at ROOT (default: nearest [workspace] above cwd).");
+                return ExitCode::SUCCESS;
+            }
+            other if root_arg.is_none() && !other.starts_with('-') => {
+                root_arg = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("ph-lint: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("ph-lint: cannot determine current directory: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ph_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("ph-lint: no [workspace] Cargo.toml found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let ws = match ph_lint::Workspace::scan(&root) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ph-lint: scan of {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = ws.lint();
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("ph-lint: {} files clean", ws.file_count());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "ph-lint: {} violation{} in {} files scanned",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            ws.file_count()
+        );
+        println!(
+            "ph-lint: suppress a true exception with \
+             `// ph-lint: allow(<rule>) — <justification>` (justification required)"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn print_rules() {
+    println!("ph-lint rules:");
+    for (name, blurb) in ph_lint::rules::RULES {
+        println!("  {name:<20} {blurb}");
+    }
+    let meta = "meta-rule: allow directives must name a real rule and carry a justification";
+    println!("  {:<20} {meta}", ph_lint::rules::BAD_ALLOW);
+}

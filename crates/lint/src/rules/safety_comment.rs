@@ -1,0 +1,110 @@
+//! R6 `safety-comment`: every `unsafe` carries its proof.
+//!
+//! The workspace is currently 100% safe Rust, and the planned directions
+//! (FastLanes-style bit-packing kernels, mmap'd segment stores, an event-loop
+//! poll shim) are exactly where the first `unsafe` blocks will appear. This
+//! rule pins the convention *before* that happens: each `unsafe` block, fn,
+//! impl or trait must have a `// SAFETY:` comment on its own line or the
+//! line(s) directly above, stating the invariant that makes it sound. The
+//! standard-library convention, enforced.
+
+use super::Diagnostic;
+use crate::scope::FileCtx;
+
+/// Rule name.
+pub const NAME: &str = "safety-comment";
+
+/// Scans every `unsafe` token (tests included — an unsound test is still
+/// unsound) for an adjacent SAFETY comment.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe` in a trait-bound position (`unsafe impl`, `unsafe fn` in a
+        // trait decl) is still a proof obligation; all forms are checked.
+        let covered = ctx.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && (c.line_end == t.line
+                    || c.line_end + 1 == t.line
+                    || covers_attr_gap(ctx, i, c.line_end))
+        });
+        if !covered {
+            out.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: t.line,
+                rule: NAME,
+                message: "`unsafe` without a `// SAFETY:` comment on or directly above \
+                          this line — state the invariant that makes this sound"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// A SAFETY comment separated from `unsafe` only by attributes still counts:
+/// `// SAFETY: …` / `#[inline]` / `unsafe fn …`.
+fn covers_attr_gap(ctx: &FileCtx, unsafe_idx: usize, comment_end: u32) -> bool {
+    let unsafe_line = ctx.tokens[unsafe_idx].line;
+    if comment_end >= unsafe_line {
+        return false;
+    }
+    // Every token strictly between the comment and the `unsafe` line must
+    // belong to attributes (`#`, `[`, `]`, or inside brackets).
+    let mut depth = 0i32;
+    for t in &ctx.tokens[..unsafe_idx] {
+        if t.line <= comment_end || t.line >= unsafe_line {
+            continue;
+        }
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && !t.is_punct('#') && !t.is_punct('!') {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::FileCtx;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new("crates/encoding/src/bitio.rs", src);
+        let mut out = Vec::new();
+        check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unsafe_fires() {
+        assert_eq!(run("fn f() { unsafe { g() } }").len(), 1);
+        assert_eq!(run("unsafe fn f() {}").len(), 1);
+        assert_eq!(run("unsafe impl Send for X {}").len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_passes() {
+        for src in [
+            "// SAFETY: ptr is valid for len bytes\nfn f() { unsafe { g() } }",
+            "fn f() { /* SAFETY: checked above */ unsafe { g() } }",
+            "// SAFETY: no aliasing\n#[inline]\nunsafe fn f() {}",
+        ] {
+            assert!(run(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn stale_comment_far_above_does_not_count() {
+        let src = "// SAFETY: old note\nfn a() {}\nfn f() { unsafe { g() } }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_not_code() {
+        assert!(run("// unsafe\nfn f() { let s = \"unsafe\"; }").is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture (linted as crates/core/src/ingest.rs): broken escape hatches.
+pub fn unjustified(path: &Path, b: &[u8]) {
+    // ph-lint: allow(durable-io)
+    std::fs::write(path, b).ok(); // still fires: the allow above has no justification
+}
+
+// ph-lint: allow(no-such-rule) — typo'd rule name
+pub fn typod() {}
+
+// ph-lint: alow(durable-io) — misspelled keyword
+pub fn misspelled() {}

@@ -1,0 +1,7 @@
+// Fixture (linted as crates/core/src/ingest.rs): raw std::fs in product code.
+pub fn persist(path: &std::path::Path, bytes: &[u8]) {
+    std::fs::write(path, bytes).ok(); // line 3: durable-io
+    let f = File::create(path); // line 4: durable-io
+    let _ = OpenOptions::new().append(true).open(path); // line 5: durable-io
+    let _ = f;
+}

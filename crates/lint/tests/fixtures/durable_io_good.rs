@@ -1,0 +1,22 @@
+// Fixture (linted as crates/core/src/ingest.rs): the compliant forms.
+use ph_types::faultfs;
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> Result<(), PhError> {
+    faultfs::write(path, bytes)?;
+    faultfs::fsync_dir(path.parent().unwrap_or(path))?;
+    Ok(())
+}
+
+// A justified allow is the escape hatch for true exceptions.
+pub fn probe(path: &std::path::Path) -> bool {
+    // ph-lint: allow(durable-io) — read-only probe of a path the matrix never mutates
+    std::fs::metadata(path).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use std::fs freely.
+    fn scratch() {
+        std::fs::write("/tmp/x", b"y").unwrap();
+    }
+}

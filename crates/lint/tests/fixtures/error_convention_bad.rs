@@ -1,0 +1,10 @@
+// Fixture (linted as crates/encoding/src/frame.rs): stringly-typed public API.
+pub fn decode(bytes: &[u8]) -> Result<Frame, String> {
+    // line 2: error-convention — String has no From<String> for PhError
+    Err(String::from("nope"))
+}
+
+pub fn parse(text: &str) -> Result<Frame, ParseFailure> {
+    // line 7: error-convention — ParseFailure has no From impl in the fixture WsCtx
+    Err(ParseFailure)
+}

@@ -1,0 +1,29 @@
+// Fixture (linted as crates/encoding/src/frame.rs): the sanctioned shapes.
+pub fn decode(bytes: &[u8]) -> Result<Frame, PhError> {
+    Err(PhError::Corrupt("fixture".into()))
+}
+
+// GdError is accepted because the fixture WsCtx sees `impl From<GdError> for
+// PhError` — the convention is "convertible", not "identical".
+pub fn compress(rows: &[Row]) -> Result<Vec<u8>, GdError> {
+    Ok(Vec::new())
+}
+
+pub fn read_exact_file(path: &Path) -> io::Result<Vec<u8>> {
+    faultfs::read(path)
+}
+
+pub fn len(frame: &Frame) -> usize {
+    frame.rows
+}
+
+pub(crate) fn internal(bytes: &[u8]) -> Result<Frame, String> {
+    // pub(crate) is not public API; local String errors are the author's business.
+    Err(String::from("internal"))
+}
+
+impl From<GdError> for PhError {
+    fn from(e: GdError) -> Self {
+        PhError::Corrupt(String::from("gd"))
+    }
+}

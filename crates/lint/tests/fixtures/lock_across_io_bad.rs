@@ -1,0 +1,12 @@
+// Fixture (linted as crates/core/src/flush.rs): I/O under a live guard.
+pub fn flush(state: &State, path: &Path) -> Result<(), PhError> {
+    let guard = state.inner.lock().unwrap_or_else(|p| p.into_inner());
+    faultfs::write(path, &guard.bytes)?; // line 4: lock-across-io
+    Ok(())
+}
+
+pub fn publish(cell: &RwLock<Snapshot>, stream: &mut TcpStream) -> Result<(), PhError> {
+    let snap = cell.read().unwrap_or_else(|p| p.into_inner());
+    stream.write_all(&snap.bytes)?; // line 10: lock-across-io
+    Ok(())
+}

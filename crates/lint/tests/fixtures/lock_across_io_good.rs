@@ -1,0 +1,32 @@
+// Fixture (linted as crates/core/src/flush.rs): I/O outside the critical section.
+pub fn flush(state: &State, path: &Path) -> Result<(), PhError> {
+    // Clone under the lock (cheap), write after it drops.
+    let bytes = {
+        let guard = state.inner.lock().unwrap_or_else(|p| p.into_inner());
+        guard.bytes.clone()
+    };
+    faultfs::write(path, &bytes)?;
+    Ok(())
+}
+
+pub fn publish(cell: &RwLock<Snapshot>, stream: &mut TcpStream) -> Result<(), PhError> {
+    let snap = cell.read().unwrap_or_else(|p| p.into_inner()).clone(); // temporary guard
+    stream.write_all(&snap.bytes)?;
+    Ok(())
+}
+
+pub fn explicit_drop(state: &State, path: &Path) -> Result<(), PhError> {
+    let guard = state.inner.lock().unwrap_or_else(|p| p.into_inner());
+    let bytes = guard.bytes.clone();
+    drop(guard);
+    faultfs::write(path, &bytes)?;
+    Ok(())
+}
+
+pub fn ordered_append(state: &State) -> Result<(), PhError> {
+    let guard = state.writer.lock().unwrap_or_else(|p| p.into_inner());
+    // ph-lint: allow(lock-across-io) — write-ahead ordering: the WAL append must
+    // happen under the writer lock or two writers could interleave records
+    wal::append(&guard.wal, &guard.pending)?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+// Fixture (linted as crates/server/src/handler.rs): panic paths in serving code.
+pub fn handle(req: &Request, state: &State) -> Response {
+    let body = req.body.as_ref().unwrap(); // line 3: no-panic-serving
+    let table = state.tables.lock().expect("tables lock"); // line 4: no-panic-serving
+    if body.is_empty() {
+        panic!("empty body"); // line 6: no-panic-serving
+    }
+    let first = body[0]; // line 8: no-panic-serving (slice index)
+    match first {
+        0 => Response::ok(),
+        _ => unreachable!(), // line 11: no-panic-serving
+    }
+}

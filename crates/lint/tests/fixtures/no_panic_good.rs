@@ -1,0 +1,31 @@
+// Fixture (linted as crates/server/src/handler.rs): graceful forms.
+pub fn handle(req: &Request, state: &State) -> Result<Response, PhError> {
+    let Some(body) = req.body.as_ref() else {
+        return Err(PhError::BadRequest);
+    };
+    // Poison recovery instead of expect: the data is a metrics counter, a
+    // panicking writer cannot corrupt it beyond a lost increment.
+    let table = state.tables.lock().unwrap_or_else(|p| p.into_inner());
+    let first = body.first().copied().ok_or(PhError::BadRequest)?;
+    debug_assert!(table.ready()); // debug_assert is allowed: compiled out in release
+    match first {
+        0 => Ok(Response::ok()),
+        _ => Err(PhError::BadRequest),
+    }
+}
+
+// Invariant-backed expects carry a justified allow.
+pub fn hot_path(state: &State) -> u64 {
+    // ph-lint: allow(no-panic-serving) — invariant: counter registered in State::new
+    state.counters.get("queries").expect("registered at startup").load()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(v[0], 1);
+        Some(2).unwrap();
+    }
+}

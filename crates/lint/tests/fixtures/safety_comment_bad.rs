@@ -1,0 +1,6 @@
+// Fixture (linted as crates/encoding/src/bitio.rs): unsafe without proof.
+pub fn read_u64_unaligned(bytes: &[u8], at: usize) -> u64 {
+    unsafe { core::ptr::read_unaligned(bytes.as_ptr().add(at).cast()) } // line 3: safety-comment
+}
+
+unsafe impl Send for Pool {} // line 6: safety-comment

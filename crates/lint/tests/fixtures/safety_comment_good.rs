@@ -1,0 +1,12 @@
+// Fixture (linted as crates/encoding/src/bitio.rs): every unsafe carries its proof.
+pub fn read_u64_unaligned(bytes: &[u8], at: usize) -> u64 {
+    assert!(at + 8 <= bytes.len());
+    // SAFETY: the assert above guarantees at..at+8 is in bounds, and
+    // read_unaligned has no alignment requirement.
+    unsafe { core::ptr::read_unaligned(bytes.as_ptr().add(at).cast()) }
+}
+
+// SAFETY: Pool owns its buffers exclusively; the raw pointers are never
+// aliased across threads.
+#[allow(dead_code)]
+unsafe impl Send for Pool {}

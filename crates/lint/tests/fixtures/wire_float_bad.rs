@@ -1,0 +1,8 @@
+// Fixture (linted as crates/server/src/wire.rs): ad-hoc stringification.
+pub fn render(answer: &AqpAnswer) -> String {
+    let mut s = format!("{}", answer.estimate); // line 3: wire-float-hygiene
+    s.push_str(&answer.ci.to_string()); // line 4: wire-float-hygiene
+    let rounded = answer.estimate as f32; // line 5: wire-float-hygiene
+    s.push_str(&format!("{rounded:.3}")); // line 6: wire-float-hygiene
+    s
+}

@@ -1,0 +1,13 @@
+// Fixture (linted as crates/server/src/wire.rs): floats go through the encoder.
+pub fn render(answer: &AqpAnswer) -> String {
+    let mut s = String::from("{\"estimate\":");
+    json::write_f64(&mut s, answer.estimate); // the single lossless egress
+    s.push_str(",\"debug\":");
+    s.push_str(&format!("{:?}", answer.source)); // Debug never carries a wire float
+    s.push_str(&format!("{:04x}", answer.flags)); // integer radix is fine
+    s
+}
+
+pub fn label(name: &str) -> String {
+    name.to_owned() // .to_owned() exists only for the string family
+}

@@ -1,0 +1,176 @@
+//! Fixture tests: each rule must fire on its `_bad` fixture, stay quiet on its
+//! `_good` fixture (which also exercises the justified-allow escape), and the
+//! allow auditor must reject the malformed directives in `bad_allow.rs`.
+//!
+//! Fixtures are lexed from `tests/fixtures/` but linted *as if* they lived at
+//! a product path — the rel path passed to `lint_source` is what scopes each
+//! rule, and the fixtures directory itself is excluded from workspace scans.
+
+use ph_lint::{lint_source, WsCtx};
+
+/// Reads a fixture and lints it under the given pretend path.
+fn lint_fixture(name: &str, pretend_rel: &str, ws: &WsCtx) -> Vec<ph_lint::Diagnostic> {
+    let src = read_fixture(name);
+    lint_source(pretend_rel, &src, ws)
+}
+
+fn read_fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The WsCtx a real scan would build over these fixtures: the good
+/// error-convention fixture declares `impl From<GdError> for PhError`.
+fn fixture_ws() -> WsCtx {
+    let mut ws = WsCtx::default();
+    ws.absorb(&ph_lint::FileCtx::new(
+        "crates/encoding/src/frame.rs",
+        &read_fixture("error_convention_good.rs"),
+    ));
+    assert!(ws.pherror_froms.iter().any(|f| f == "GdError"), "pre-pass missed the From impl");
+    ws
+}
+
+fn rules_fired(diags: &[ph_lint::Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn durable_io_fires_on_bad_and_not_on_good() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("durable_io_bad.rs", "crates/core/src/ingest.rs", &ws);
+    assert_eq!(rules_fired(&bad), ["durable-io"], "{bad:?}");
+    assert_eq!(bad.len(), 3, "{bad:?}");
+    assert_eq!(bad.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 4, 5]);
+
+    let good = lint_fixture("durable_io_good.rs", "crates/core/src/ingest.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn durable_io_is_exempt_in_faultfs_shims_and_tests() {
+    let ws = WsCtx::default();
+    let src = read_fixture("durable_io_bad.rs");
+    for rel in [
+        "crates/types/src/faultfs.rs",
+        "shims/rand/src/lib.rs",
+        "crates/core/tests/persistence.rs",
+        "crates/bench/src/lib.rs",
+    ] {
+        let d = lint_source(rel, &src, &ws);
+        assert!(!d.iter().any(|d| d.rule == "durable-io"), "{rel}: {d:?}");
+    }
+}
+
+#[test]
+fn no_panic_fires_on_bad_and_not_on_good() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("no_panic_bad.rs", "crates/server/src/handler.rs", &ws);
+    assert_eq!(rules_fired(&bad), ["no-panic-serving"], "{bad:?}");
+    assert_eq!(bad.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 4, 6, 8, 11], "{bad:?}");
+
+    let good = lint_fixture("no_panic_good.rs", "crates/server/src/handler.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn no_panic_scope_is_serving_path_only() {
+    let ws = WsCtx::default();
+    let src = read_fixture("no_panic_bad.rs");
+    // Same code in a non-serving crate: the rule stays quiet (other rules may
+    // still apply, so filter).
+    for rel in ["crates/datagen/src/lib.rs", "crates/server/src/bin/ph_server.rs"] {
+        let d = lint_source(rel, &src, &ws);
+        assert!(!d.iter().any(|d| d.rule == "no-panic-serving"), "{rel}: {d:?}");
+    }
+    // And the three hardened core files are in scope.
+    let d = lint_source("crates/core/src/wal.rs", &src, &ws);
+    assert!(d.iter().any(|d| d.rule == "no-panic-serving"), "{d:?}");
+}
+
+#[test]
+fn lock_across_io_fires_on_bad_and_not_on_good() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("lock_across_io_bad.rs", "crates/core/src/flush.rs", &ws);
+    assert_eq!(rules_fired(&bad), ["lock-across-io"], "{bad:?}");
+    assert_eq!(bad.iter().map(|d| d.line).collect::<Vec<_>>(), [4, 10], "{bad:?}");
+
+    let good = lint_fixture("lock_across_io_good.rs", "crates/core/src/flush.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn error_convention_fires_on_bad_and_not_on_good() {
+    let ws = fixture_ws();
+    let bad = lint_fixture("error_convention_bad.rs", "crates/encoding/src/frame.rs", &ws);
+    assert_eq!(rules_fired(&bad), ["error-convention"], "{bad:?}");
+    assert_eq!(bad.len(), 2, "{bad:?}");
+    assert!(bad[0].message.contains("String"), "{bad:?}");
+    assert!(bad[1].message.contains("ParseFailure"), "{bad:?}");
+
+    let good = lint_fixture("error_convention_good.rs", "crates/encoding/src/frame.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn wire_float_fires_on_bad_and_not_on_good() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("wire_float_bad.rs", "crates/server/src/wire.rs", &ws);
+    assert_eq!(rules_fired(&bad), ["wire-float-hygiene"], "{bad:?}");
+    assert_eq!(bad.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 4, 5, 6], "{bad:?}");
+
+    let good = lint_fixture("wire_float_good.rs", "crates/server/src/wire.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+
+    // The same stringification outside a wire-format file is not this rule's
+    // business.
+    let src = read_fixture("wire_float_bad.rs");
+    let d = lint_source("crates/server/src/metrics.rs", &src, &ws);
+    assert!(!d.iter().any(|d| d.rule == "wire-float-hygiene"), "{d:?}");
+}
+
+#[test]
+fn safety_comment_fires_on_bad_and_not_on_good() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("safety_comment_bad.rs", "crates/encoding/src/bitio.rs", &ws);
+    assert_eq!(rules_fired(&bad), ["safety-comment"], "{bad:?}");
+    assert_eq!(bad.iter().map(|d| d.line).collect::<Vec<_>>(), [3, 6], "{bad:?}");
+
+    let good = lint_fixture("safety_comment_good.rs", "crates/encoding/src/bitio.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn bad_allow_audit_catches_all_three_failure_modes() {
+    let ws = WsCtx::default();
+    let d = lint_fixture("bad_allow.rs", "crates/core/src/ingest.rs", &ws);
+    let bad_allows: Vec<_> = d.iter().filter(|d| d.rule == "bad-allow").collect();
+    assert_eq!(bad_allows.len(), 3, "{d:?}");
+    assert!(bad_allows.iter().any(|d| d.message.contains("justification")), "{d:?}");
+    assert!(bad_allows.iter().any(|d| d.message.contains("no-such-rule")), "{d:?}");
+    assert!(bad_allows.iter().any(|d| d.message.contains("malformed")), "{d:?}");
+    // The unjustified allow suppressed nothing.
+    assert!(d.iter().any(|d| d.rule == "durable-io" && d.line == 4), "{d:?}");
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // The gate's own acceptance criterion: `ph-lint` exits 0 on this repo.
+    // Running it here too means `cargo test` alone catches a regression even
+    // if someone skips the CI lint job locally.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace two levels up");
+    let ws = ph_lint::Workspace::scan(root).expect("scan workspace");
+    assert!(ws.file_count() > 50, "scan found only {} files — walk is broken", ws.file_count());
+    let diags = ws.lint();
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint violations:\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -58,6 +58,19 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Lets callers `?` client calls through code that speaks [`PhError`] — e.g.
+/// replay/verification tools comparing a served answer against a local
+/// session. Server-reported errors keep their status and kind in the message.
+impl From<ClientError> for ph_types::PhError {
+    fn from(e: ClientError) -> Self {
+        match &e {
+            ClientError::Server { .. } => ph_types::PhError::InvalidQuery(e.to_string()),
+            ClientError::Transport(_) => ph_types::PhError::Io(e.to_string()),
+            ClientError::Protocol(_) => ph_types::PhError::Corrupt(e.to_string()),
+        }
+    }
+}
+
 /// How transient failures are retried: up to `attempts` tries in total, with
 /// a jittered exponential delay between them. Applies to both the TCP connect
 /// and (for idempotent requests) the whole exchange, so a server that is
@@ -178,7 +191,11 @@ impl Client {
                 return Err(err);
             }
         }
-        Ok(self.conn.as_mut().expect("just connected"))
+        // The retry loop either stored a connection or returned its last error;
+        // answer the impossible leftover case gracefully instead of panicking.
+        self.conn.as_mut().ok_or_else(|| {
+            ClientError::Transport(format!("connect {}: no connection after retries", self.addr))
+        })
     }
 
     /// One request/response exchange. Idempotent requests (queries, reads) are
@@ -267,7 +284,7 @@ impl Client {
         let (status, doc) =
             self.exchange("POST", "/query", "application/json", body.as_bytes(), true)?;
         let doc = Self::ok_or_server_error(status, doc)?;
-        answer_from_json(&doc).map_err(ClientError::Protocol)
+        answer_from_json(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// Ingests JSON rows (`[{"col": value, …}, …]`) into `table`. Returns the

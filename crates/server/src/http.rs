@@ -45,6 +45,18 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// Lets callers `?` HTTP exchanges through code that speaks [`PhError`]:
+/// socket failures are I/O, everything else is bytes that don't decode as the
+/// protocol claims.
+impl From<HttpError> for ph_types::PhError {
+    fn from(e: HttpError) -> Self {
+        match &e {
+            HttpError::Io(_) => ph_types::PhError::Io(e.to_string()),
+            _ => ph_types::PhError::Corrupt(e.to_string()),
+        }
+    }
+}
+
 /// One parsed request: start line, lowercased headers, query params and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -93,8 +105,8 @@ fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&byte) = bytes.get(i) {
+        match byte {
             b'+' => {
                 out.push(b' ');
                 i += 1;
@@ -243,8 +255,11 @@ impl<S: Read + Write> HttpConn<S> {
     fn read_head(&mut self) -> Result<Option<Vec<u8>>, HttpError> {
         loop {
             if let Some(pos) = find_head_end(&self.buf) {
-                let head = self.buf[..pos.start].to_vec();
-                self.buf.drain(..pos.end);
+                // find_head_end returns in-bounds offsets; the fallback arm is
+                // unreachable and merely keeps the hot read loop panic-free.
+                let head = self.buf.get(..pos.start).unwrap_or(&self.buf).to_vec();
+                let drain_end = pos.end.min(self.buf.len());
+                self.buf.drain(..drain_end);
                 return Ok(Some(head));
             }
             if self.buf.len() > MAX_HEAD_BYTES {
@@ -261,7 +276,8 @@ impl<S: Read + Write> HttpConn<S> {
                         Err(HttpError::Incomplete)
                     };
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                // Read's contract bounds n by the buffer length.
+                Ok(n) => self.buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk)),
                 Err(e) => return Err(io_error(e)),
             }
         }
@@ -273,12 +289,15 @@ impl<S: Read + Write> HttpConn<S> {
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(HttpError::Incomplete),
-                Ok(k) => self.buf.extend_from_slice(&chunk[..k]),
+                // Read's contract bounds k by the buffer length.
+                Ok(k) => self.buf.extend_from_slice(chunk.get(..k).unwrap_or(&chunk)),
                 Err(e) => return Err(io_error(e)),
             }
         }
-        let body = self.buf[..n].to_vec();
-        self.buf.drain(..n);
+        // The loop above leaves at least n bytes buffered.
+        let body = self.buf.get(..n).unwrap_or(&self.buf).to_vec();
+        let drain_end = n.min(self.buf.len());
+        self.buf.drain(..drain_end);
         Ok(body)
     }
 

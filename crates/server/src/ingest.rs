@@ -84,7 +84,9 @@ fn rows_from_json(rows: &[Json]) -> Result<(Vec<String>, Vec<Vec<Cell>>), PhErro
     }
     let mut out = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
-        let members = row.as_obj().expect("checked above");
+        let members = row
+            .as_obj()
+            .ok_or_else(|| PhError::Schema(format!("row {i} is not a JSON object")))?;
         let mut cells = Vec::with_capacity(names.len());
         for name in &names {
             let cell = match members.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
@@ -160,7 +162,7 @@ fn parse_csv(body: &[u8]) -> Result<(Vec<String>, Vec<Vec<Cell>>), PhError> {
         rows.push(row);
     }
     // Drop blank trailing lines.
-    rows.retain(|r| !(r.len() == 1 && r[0].0.is_empty() && !r[0].1));
+    rows.retain(|r| !matches!(r.as_slice(), [(f, false)] if f.is_empty()));
     let mut it = rows.into_iter();
     let header = it
         .next()
@@ -216,10 +218,12 @@ fn assemble(
     }
     let mut builder = Dataset::builder(table);
     for col in 0..pre.n_columns() {
-        let col_name = &pre.names()[col];
+        let col_name = pre.names().get(col).ok_or_else(|| {
+            PhError::Schema(format!("column index {col} out of range in table '{table}'"))
+        })?;
         let at = names.iter().position(|n| n == col_name);
         fn cell(row: &[Cell], at: Option<usize>) -> &Cell {
-            at.map_or(&Cell::Null, |j| &row[j])
+            at.and_then(|j| row.get(j)).unwrap_or(&Cell::Null)
         }
         let bad = |i: usize, detail: &str| {
             PhError::Schema(format!(

@@ -11,6 +11,8 @@
 
 use std::fmt::Write as _;
 
+use ph_types::PhError;
+
 /// Maximum nesting depth the parser accepts.
 const MAX_DEPTH: usize = 64;
 
@@ -105,14 +107,15 @@ impl Json {
     }
 
     /// Parses one JSON document (surrounding whitespace allowed, trailing
-    /// garbage rejected). Errors carry the byte offset of the problem.
-    pub fn parse(input: &str) -> Result<Json, String> {
+    /// garbage rejected). Errors are [`PhError::Parse`] and carry the byte
+    /// offset of the problem.
+    pub fn parse(input: &str) -> Result<Json, PhError> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos, 0)?;
+        let v = parse_value(bytes, &mut pos, 0).map_err(PhError::Parse)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing bytes after document at offset {pos}"));
+            return Err(PhError::Parse(format!("trailing bytes after document at offset {pos}")));
         }
         Ok(v)
     }
@@ -154,7 +157,7 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+    if bytes.get(*pos..).is_some_and(|rest| rest.starts_with(lit.as_bytes())) {
         *pos += lit.len();
         Ok(())
     } else {
@@ -283,7 +286,8 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 while matches!(bytes.get(*pos), Some(b) if *b != b'"' && *b != b'\\') {
                     *pos += 1;
                 }
-                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                let run = bytes.get(start..*pos).unwrap_or_default();
+                let chunk = std::str::from_utf8(run)
                     .map_err(|_| format!("invalid UTF-8 in string at offset {start}"))?;
                 out.push_str(chunk);
             }
@@ -310,7 +314,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
+    let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or_default())
         .map_err(|_| format!("bad number at offset {start}"))?;
     let x: f64 = text
         .parse()

@@ -56,6 +56,12 @@
 //! Binaries: `ph-serve` (the server process) and `ph-bench-client` (a
 //! closed-loop load generator over [`load::run_closed_loop`]).
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 pub mod client;
 pub mod http;
 mod ingest;
@@ -68,6 +74,6 @@ pub mod wire;
 pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
 pub use load::{run_closed_loop, LoadReport};
-pub use querylog::{read_query_log, QueryLogWriter};
+pub use querylog::{read_query_log, read_query_log_lossy, QueryLogWriter};
 pub use server::{Server, ServerConfig};
 pub use wire::{answer_from_json, answer_to_json, error_body, status_for};

@@ -40,7 +40,18 @@ pub fn run_closed_loop(
     duration: Duration,
     queries: &[String],
 ) -> LoadReport {
-    assert!(!queries.is_empty(), "need at least one query to drive");
+    if queries.is_empty() {
+        // Nothing to drive: report an idle run instead of aborting the caller.
+        return LoadReport {
+            connections,
+            seconds: 0.0,
+            ok: 0,
+            errors: 0,
+            qps: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+        };
+    }
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
     let mut per_conn: Vec<(u64, u64, Vec<f64>)> = Vec::new();
@@ -55,7 +66,7 @@ pub fn run_closed_loop(
                     let mut latencies_us: Vec<f64> = Vec::new();
                     let mut qi = c; // stagger
                     while !stop.load(Ordering::Acquire) {
-                        let q = &queries[qi % queries.len()];
+                        let Some(q) = queries.get(qi % queries.len()) else { break };
                         qi += 1;
                         let t = Instant::now();
                         match client.query(q) {
@@ -72,7 +83,9 @@ pub fn run_closed_loop(
             .collect();
         std::thread::sleep(duration);
         stop.store(true, Ordering::Release);
-        per_conn = handles.into_iter().map(|h| h.join().expect("load thread")).collect();
+        // A panicked loop drops its counts; the surviving connections still
+        // produce a report instead of cascading the panic into the driver.
+        per_conn = handles.into_iter().filter_map(|h| h.join().ok()).collect();
     });
     let seconds = t0.elapsed().as_secs_f64();
     let ok: u64 = per_conn.iter().map(|(ok, _, _)| ok).sum();
@@ -80,11 +93,8 @@ pub fn run_closed_loop(
     let mut latencies: Vec<f64> = per_conn.into_iter().flat_map(|(_, _, l)| l).collect();
     latencies.sort_by(|a, b| a.total_cmp(b));
     let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[((latencies.len() as f64 - 1.0) * p).round() as usize]
-        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies.get(idx).copied().unwrap_or(0.0)
     };
     LoadReport {
         connections,

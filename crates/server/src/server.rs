@@ -136,7 +136,9 @@ impl LatencyHist {
 
     fn record(&self, micros: u64) {
         let idx = (63 - micros.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Approximate quantile: the geometric midpoint of the bucket holding the
@@ -203,6 +205,7 @@ impl Metrics {
     }
 
     fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        // ph-lint: allow(no-panic-serving) — idx() enumerates Endpoint::ALL, 0..6
         &self.endpoints[e.idx()]
     }
 
@@ -250,8 +253,13 @@ impl ConnQueue {
     }
 
     /// Admits `conn` if there is room; hands it back (for the 503) otherwise.
+    ///
+    /// Poison policy: the queue mutex is only held for these few lines, so a
+    /// poisoned lock means some thread panicked mid-queue-op. That is treated
+    /// as shutdown — the acceptor sheds new connections (503) instead of
+    /// propagating the panic and taking the whole server down with it.
     fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
-        let mut inner = self.inner.lock().expect("conn queue lock");
+        let Ok(mut inner) = self.inner.lock() else { return Err(conn) };
         if inner.closed || inner.q.len() >= self.cap {
             return Err(conn);
         }
@@ -261,9 +269,11 @@ impl ConnQueue {
         Ok(())
     }
 
-    /// Blocks for the next connection; `None` once closed and drained.
+    /// Blocks for the next connection; `None` once closed and drained — or if
+    /// the lock is poisoned (see [`ConnQueue::try_push`]): the surviving
+    /// workers drain out exactly as on a normal shutdown.
     fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().expect("conn queue lock");
+        let mut inner = self.inner.lock().ok()?;
         loop {
             if let Some(conn) = inner.q.pop_front() {
                 return Some(conn);
@@ -271,12 +281,14 @@ impl ConnQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("conn queue lock");
+            inner = self.ready.wait(inner).ok()?;
         }
     }
 
+    /// Closes the queue. Shutdown must win even over poison, so the guard is
+    /// recovered rather than discarded: `closed` is always set.
     fn close(&self) {
-        self.inner.lock().expect("conn queue lock").closed = true;
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
         self.ready.notify_all();
     }
 }
@@ -375,7 +387,9 @@ impl Server {
         // makes their blocked `read` return EOF now instead of at the read
         // timeout; a response mid-write still completes.
         for slot in &self.shared.active {
-            if let Some(conn) = slot.lock().expect("active slot lock").as_ref() {
+            // A worker that panicked with its slot locked left at most one
+            // stale clone behind; recover the guard and sweep it anyway.
+            if let Some(conn) = slot.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
                 let _ = conn.shutdown(std::net::Shutdown::Read);
             }
         }
@@ -430,20 +444,27 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
 }
 
 fn worker_loop(shared: &Shared, slot: usize) {
+    // One slot per spawned worker; resolve it once instead of indexing (and
+    // potentially panicking) on every connection. Slot-lock poison is benign:
+    // the slot holds only a disposable clone of an in-flight connection.
+    let Some(me) = shared.active.get(slot) else { return };
+    let publish = |conn: Option<TcpStream>| {
+        *me.lock().unwrap_or_else(|p| p.into_inner()) = conn;
+    };
     while let Some(conn) = shared.queue.pop() {
-        *shared.active[slot].lock().expect("active slot lock") = conn.try_clone().ok();
+        publish(conn.try_clone().ok());
         // Re-check after publishing the clone: a shutdown racing the lines
         // above might have swept the slots before ours was visible.
         if shared.stop.load(Ordering::Acquire) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
-            *shared.active[slot].lock().expect("active slot lock") = None;
+            publish(None);
             continue;
         }
         let mut http = HttpConn::new(conn);
         if http.configure(shared.cfg.read_timeout, shared.cfg.write_timeout).is_ok() {
             handle_connection(shared, &mut http);
         }
-        *shared.active[slot].lock().expect("active slot lock") = None;
+        publish(None);
     }
 }
 
@@ -704,5 +725,73 @@ pub(crate) fn kind_of(e: &PhError) -> &'static str {
         PhError::Io(_) => "io",
         PhError::Corrupt(_) => "corrupt",
         PhError::Quarantined(_) => "quarantined",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Poisons `queue`'s mutex by locking it on a thread that then panics.
+    fn poison(queue: &Arc<ConnQueue>) {
+        let q = Arc::clone(queue);
+        let h = std::thread::spawn(move || {
+            let _guard = q.inner.lock().unwrap();
+            panic!("worker dies holding the queue lock");
+        });
+        assert!(h.join().is_err(), "the poisoning thread must have panicked");
+        assert!(queue.inner.lock().is_err(), "mutex is poisoned");
+    }
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    /// The regression this module exists for: a worker panicking while it
+    /// holds the queue lock must not wedge or crash the rest of the server.
+    /// Poison degrades to shutdown semantics — push sheds, pop drains out,
+    /// close still closes — instead of cascading the panic.
+    #[test]
+    fn poisoned_conn_queue_degrades_to_shutdown() {
+        let queue = Arc::new(ConnQueue::new(4));
+        poison(&queue);
+        let (conn, _peer) = loopback_pair();
+        assert!(queue.try_push(conn).is_err(), "push sheds instead of panicking");
+        assert!(queue.pop().is_none(), "pop drains out instead of panicking");
+        queue.close(); // must not panic, and must still mark the queue closed
+        assert!(queue.inner.lock().unwrap_or_else(|p| p.into_inner()).closed);
+    }
+
+    /// Without poison the queue behaves as a queue: a pushed connection comes
+    /// back out, and close() wakes a parked consumer.
+    #[test]
+    fn conn_queue_delivers_then_closes() {
+        let queue = Arc::new(ConnQueue::new(4));
+        let (conn, _peer) = loopback_pair();
+        assert!(queue.try_push(conn).is_ok());
+        assert!(queue.pop().is_some());
+        let q = Arc::clone(&queue);
+        let waiter = std::thread::spawn(move || q.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert!(waiter.join().unwrap().is_none(), "parked pop wakes with None on close");
+    }
+
+    /// Latency buckets clamp: the u64 extremes land in the last bucket rather
+    /// than out of bounds, and quantiles stay finite.
+    #[test]
+    fn latency_hist_extremes_are_clamped() {
+        let hist = LatencyHist::new();
+        hist.record(0);
+        hist.record(1);
+        hist.record(u64::MAX);
+        let total: u64 =
+            hist.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 3, "every sample landed in some bucket");
+        assert!(hist.quantile_us(0.99).is_finite());
     }
 }

@@ -37,9 +37,9 @@ pub fn status_for(e: &PhError) -> u16 {
 /// `position` is the byte offset into the SQL text, when known (parse errors).
 pub fn error_body(status: u16, kind: &str, message: &str, position: Option<usize>) -> Json {
     let mut members = vec![
-        ("kind", Json::Str(kind.to_string())),
+        ("kind", Json::Str(kind.to_owned())),
         ("status", Json::Num(f64::from(status))),
-        ("message", Json::Str(message.to_string())),
+        ("message", Json::Str(message.to_owned())),
     ];
     if let Some(at) = position {
         members.push(("position", Json::Num(at as f64)));
@@ -93,8 +93,14 @@ pub fn answer_to_json(answer: &AqpAnswer) -> Json {
     }
 }
 
-/// Parses an answer produced by [`answer_to_json`].
-pub fn answer_from_json(doc: &Json) -> Result<AqpAnswer, String> {
+/// Parses an answer produced by [`answer_to_json`]. A document that does not
+/// have an answer's shape is [`PhError::Corrupt`] — the bytes claim to be an
+/// answer and don't decode as one.
+pub fn answer_from_json(doc: &Json) -> Result<AqpAnswer, PhError> {
+    answer_from_json_inner(doc).map_err(PhError::Corrupt)
+}
+
+fn answer_from_json_inner(doc: &Json) -> Result<AqpAnswer, String> {
     match doc.get("kind").and_then(Json::as_str) {
         Some("scalar") => match doc.get("estimate") {
             Some(Json::Null) => Ok(AqpAnswer::Scalar(None)),

@@ -15,6 +15,12 @@
 //! workspace — PairwiseHist, the exact engine and all baselines — so a workload is
 //! parsed once and evaluated identically everywhere.
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 mod ast;
 mod lexer;
 mod parser;

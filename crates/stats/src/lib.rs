@@ -13,6 +13,12 @@
 //! regularized incomplete gamma, Acklam's inverse normal CDF, Box–Muller) so the
 //! workspace needs no external statistics crates.
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 mod chi2;
 mod gamma;
 mod normal;

@@ -259,6 +259,15 @@ pub fn truncate(path: &Path, len: u64) -> io::Result<()> {
     }
 }
 
+/// File length in bytes (`std::fs::metadata`), faultable only as a crash
+/// point — a metadata probe never lies about a file it can see.
+pub fn file_len(path: &Path) -> io::Result<u64> {
+    match check_op(Op::Other)? {
+        Some(FaultKind::ShortWrite) | Some(FaultKind::TornRename) => Err(dead()),
+        _ => Ok(std::fs::metadata(path)?.len()),
+    }
+}
+
 /// File deletion (`std::fs::remove_file`).
 pub fn remove_file(path: &Path) -> io::Result<()> {
     match check_op(Op::Other)? {

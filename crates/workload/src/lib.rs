@@ -9,6 +9,12 @@
 //! candidate query is accepted only if its selectivity on a verification subsample
 //! clears the configured floor.
 
+// Debug/scaffolding egress is banned in library code: a stray println corrupts
+// bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
+// are development leftovers. ph-lint R2 bans the panicking macros; these
+// clippy denies catch the printing/scaffolding ones.
+#![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -175,3 +175,83 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+/// Clean query log built once: its raw bytes and its decoded records.
+fn qlog_template() -> &'static (Vec<u8>, Vec<pairwisehist::encoding::QlogRecord>) {
+    use pairwisehist::server::querylog::{read_query_log, QueryLogWriter};
+    static CLEAN: std::sync::OnceLock<(Vec<u8>, Vec<pairwisehist::encoding::QlogRecord>)> =
+        std::sync::OnceLock::new();
+    CLEAN.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("ph_qlog_corr_tpl_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.phqlog");
+        let log = QueryLogWriter::create(&path).unwrap();
+        for i in 0..8u64 {
+            let status = if i % 3 == 0 { 400 } else { 200 };
+            log.append(status, 100 + i, &format!("SELECT COUNT(x) FROM t WHERE x < {i};"));
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let records = read_query_log(&path).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        (bytes, records)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flip one byte of (or truncate) the server's PHQL1 query log, then read
+    /// it back. Neither reader may panic; the lossy reader must degrade, not
+    /// fabricate: a truncated log salvages exactly a prefix of the clean
+    /// records, and whenever the strict reader accepts the bytes the lossy
+    /// reader returns the same records and reports the file intact.
+    #[test]
+    fn query_log_corruption_salvages_without_fabricating(
+        pos_sel in any::<u64>(),
+        mask in 1u8..255,
+        truncate in any::<bool>(),
+    ) {
+        use pairwisehist::server::querylog::{read_query_log, read_query_log_lossy};
+
+        let (bytes, clean) = qlog_template();
+        let mut damaged = bytes.clone();
+        let pos = (pos_sel % damaged.len() as u64) as usize;
+        if truncate {
+            damaged.truncate(pos);
+        } else {
+            damaged[pos] ^= mask;
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "ph_qlog_corr_case_{}_{pos_sel:x}_{mask:x}_{truncate}", std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.phqlog");
+        std::fs::write(&path, &damaged).unwrap();
+
+        let strict = read_query_log(&path);
+        let (salvaged, intact) = read_query_log_lossy(&path);
+
+        if truncate {
+            // A cut can only shorten: the salvage is a byte-exact prefix of
+            // the clean records, never an invented or altered one.
+            prop_assert!(salvaged.len() <= clean.len(), "cut log grew records");
+            for (got, want) in salvaged.iter().zip(clean) {
+                prop_assert!(got == want, "salvaged record differs from the clean log");
+            }
+            prop_assert!(pos >= bytes.len() || strict.is_err() || intact);
+        }
+        match strict {
+            Ok(records) => {
+                prop_assert!(salvaged == records, "strict and lossy readers disagree");
+                prop_assert!(intact, "fully decodable log reported damaged");
+            }
+            Err(PhError::Corrupt(reason)) => prop_assert!(!reason.is_empty()),
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
