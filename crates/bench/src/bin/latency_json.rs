@@ -3,10 +3,13 @@
 //! Measures the standard Power/100k query set (the Fig 11(c) metric), the
 //! factored GROUP BY path against a per-group rescan that emulates unfactored
 //! execution (one full scalar query per group — the seed's O(groups × plan)
-//! shape), latency scaling in the group count, and the `ingest_latency`
-//! section: per-batch ingest cost (p50/p99) on a growing segmented table plus
-//! bytes-resident before/after segmentation. Future PRs diff this file's
-//! numbers to track the perf trajectory.
+//! shape), latency scaling in the group count, the `ingest_latency` section —
+//! per-batch ingest cost (p50/p99, with the p99 delta against the previous
+//! artifact when one exists) on a growing segmented table plus bytes-resident
+//! before/after segmentation — and the `codec_compression` section: the
+//! per-column codec cascade's compression ratio per codec, next to the
+//! GreedyGD store it competes with. Future PRs diff this file's numbers to
+//! track the perf trajectory.
 //!
 //! Usage: `cargo run --release -p ph-bench --bin latency_json [out_path]`
 //!
@@ -83,7 +86,14 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 fn bench_ingest(smoke: bool, wal: bool) -> IngestBench {
     let (base_rows, batch_rows, batches, seal_threshold) =
         if smoke { (8_000, 500, 16, 4_000) } else { (50_000, 2_000, 60, 20_000) };
-    let base = ph_datagen::generate("Power", base_rows, 7).expect("dataset");
+    // One long Power stream, split into the registered base plus a strictly
+    // increasing tail of batches: each batch is a *continuation* of the stream
+    // (fresh timestamps, same dictionaries), not a bootstrap resample of rows
+    // the table already holds — resampling flattered both the codec cascade
+    // (duplicate rows re-compress for free) and the seal path.
+    let stream = ph_datagen::generate("Power", base_rows + batches * batch_rows, 7)
+        .expect("dataset");
+    let base = stream.slice(0, base_rows);
     let session =
         Session::with_config(PairwiseHistConfig { ns: base_rows, ..Default::default() });
     session.set_max_staleness(f64::INFINITY); // size-based sealing only
@@ -96,9 +106,10 @@ fn bench_ingest(smoke: bool, wal: bool) -> IngestBench {
     }
     let mut raw_retained_rows_bytes = base.heap_size();
     session.register(base.clone()).expect("register Power");
-    // Batches drawn from the base distribution (same schema and dictionaries).
-    let batch_sets: Vec<Dataset> =
-        (0..batches).map(|k| base.sample(batch_rows, 0xBEEF + k as u64)).collect();
+    // Successive stream slices past the base (see above).
+    let batch_sets: Vec<Dataset> = (0..batches)
+        .map(|k| stream.slice(base_rows + k * batch_rows, batch_rows))
+        .collect();
     let mut per_batch_us = Vec::with_capacity(batches);
     let mut sealed_segments = 0usize;
     for batch in &batch_sets {
@@ -138,16 +149,38 @@ fn bench_ingest(smoke: bool, wal: bool) -> IngestBench {
     }
 }
 
+/// Previous artifact's `p99_us` under `key`, so the new artifact can carry
+/// the p99 delta across runs without external tooling. Naive string scan — the
+/// artifact is hand-rolled JSON with a fixed shape.
+fn previous_p99(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at..];
+    let p = rest.find("\"p99_us\":")?;
+    let tail = &rest[p + "\"p99_us\":".len()..];
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
 /// The `"ingest_latency"` (or `"ingest_latency_wal"`) JSON object — no
 /// trailing newline or comma. The `_wal` variant measures the same workload
 /// with every batch journaled first, so the delta between the two is the WAL
-/// append overhead.
-fn ingest_json(b: &IngestBench) -> String {
+/// append overhead. When the previous artifact had this section, its p99 and
+/// the delta against it ride along.
+fn ingest_json(b: &IngestBench, prev_p99: Option<f64>) -> String {
     let key = if b.wal { "ingest_latency_wal" } else { "ingest_latency" };
     let growth = b.second_half_p50_us / b.first_half_p50_us.max(1e-9);
     let ratio = b.resident_bytes as f64 / b.raw_retained_rows_bytes.max(1) as f64;
+    let p99_trend = prev_p99
+        .map(|prev| {
+            format!(
+                " \"p99_previous_us\": {prev:.2}, \"p99_delta_us\": {:.2},",
+                b.p99_us - prev
+            )
+        })
+        .unwrap_or_default();
     format!(
-        "  \"{key}\": {{\n    \"wal_enabled\": {}, \"base_rows\": {}, \"batch_rows\": {}, \"batches\": {}, \"seal_threshold_rows\": {},\n    \"p50_us\": {:.2}, \"p99_us\": {:.2},\n    \"first_half_p50_us\": {:.2}, \"second_half_p50_us\": {:.2}, \"late_vs_early_p50_ratio\": {growth:.3},\n    \"sealed_segments\": {}, \"segments_final\": {},\n    \"raw_retained_rows_bytes\": {}, \"resident_bytes\": {{ \"synopsis\": {}, \"row_store\": {}, \"delta\": {}, \"total\": {} }},\n    \"resident_vs_raw_ratio\": {ratio:.4}\n  }}",
+        "  \"{key}\": {{\n    \"wal_enabled\": {}, \"base_rows\": {}, \"batch_rows\": {}, \"batches\": {}, \"seal_threshold_rows\": {},\n    \"p50_us\": {:.2}, \"p99_us\": {:.2},{p99_trend} \"p99_vs_p50_ratio\": {:.3},\n    \"first_half_p50_us\": {:.2}, \"second_half_p50_us\": {:.2}, \"late_vs_early_p50_ratio\": {growth:.3},\n    \"sealed_segments\": {}, \"segments_final\": {},\n    \"raw_retained_rows_bytes\": {}, \"resident_bytes\": {{ \"synopsis\": {}, \"row_store\": {}, \"delta\": {}, \"total\": {} }},\n    \"resident_vs_raw_ratio\": {ratio:.4}\n  }}",
         b.wal,
         b.base_rows,
         b.batch_rows,
@@ -155,6 +188,7 @@ fn ingest_json(b: &IngestBench) -> String {
         b.seal_threshold,
         b.p50_us,
         b.p99_us,
+        b.p99_us / b.p50_us.max(1e-9),
         b.first_half_p50_us,
         b.second_half_p50_us,
         b.sealed_segments,
@@ -167,6 +201,56 @@ fn ingest_json(b: &IngestBench) -> String {
     )
 }
 
+/// The `"codec_compression"` JSON object — the per-column codec cascade
+/// measured on a fresh Power sample: per-codec column counts and exact
+/// packed-vs-raw ratios, next to the GreedyGD store the cascade competes with
+/// at seal time. No trailing newline or comma.
+fn codec_compression_json(rows: usize) -> String {
+    use ph_gd::Codec;
+    let data = ph_datagen::generate("Power", rows, 7).expect("dataset");
+    let pre = ph_gd::Preprocessor::fit(&data);
+    let matrix = pre.encode(&data);
+    let gd_bytes = ph_gd::GdCompressor::new().compress(&matrix).packed_bytes();
+    struct Agg {
+        columns: usize,
+        packed: usize,
+        raw: usize,
+    }
+    let mut per: std::collections::BTreeMap<&'static str, Agg> =
+        std::collections::BTreeMap::new();
+    let mut columnar_bytes = 0usize;
+    for col in &matrix.columns {
+        let codec = ph_gd::choose_codec(col);
+        columnar_bytes += codec.packed_bytes();
+        let e = per.entry(codec.name()).or_insert(Agg { columns: 0, packed: 0, raw: 0 });
+        e.columns += 1;
+        e.packed += codec.packed_bytes();
+        e.raw += col.len() * 8;
+    }
+    let winner = if columnar_bytes < gd_bytes { "columnar" } else { "greedy-gd" };
+    let mut json = format!(
+        "  \"codec_compression\": {{\n    \"rows\": {rows}, \"greedy_gd_bytes\": {gd_bytes}, \"columnar_bytes\": {columnar_bytes}, \"winner\": \"{winner}\",\n    \"per_codec\": {{\n"
+    );
+    let n = per.len();
+    for (i, (name, a)) in per.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let ratio = a.packed as f64 / (a.raw as f64).max(1.0);
+        json.push_str(&format!(
+            "      \"{name}\": {{ \"columns\": {}, \"packed_bytes\": {}, \"raw_bytes\": {}, \"ratio\": {ratio:.4} }}{comma}\n",
+            a.columns, a.packed, a.raw
+        ));
+        eprintln!(
+            "codec:{name:<12} {:3} cols  {:>10} B packed  ratio {ratio:.4}",
+            a.columns, a.packed
+        );
+    }
+    json.push_str("    }\n  }");
+    eprintln!(
+        "codec cascade      {columnar_bytes} B vs greedy-gd {gd_bytes} B → winner {winner}"
+    );
+    json
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_query_latency.json".into());
     let smoke = std::env::var("PH_BENCH_SMOKE").is_ok();
@@ -174,6 +258,8 @@ fn main() {
         // CI's build job: exercise the ingest bench end to end at small scale
         // and write a self-contained (partial) summary; the perf job produces
         // the full artifact.
+        let prev = previous_p99(&out_path, "ingest_latency");
+        let prev_wal = previous_p99(&out_path, "ingest_latency_wal");
         let ib = bench_ingest(true, false);
         let ibw = bench_ingest(true, true);
         eprintln!(
@@ -184,9 +270,10 @@ fn main() {
             ibw.p50_us,
         );
         let json = format!(
-            "{{\n  \"smoke\": true,\n{},\n{}\n}}\n",
-            ingest_json(&ib),
-            ingest_json(&ibw)
+            "{{\n  \"smoke\": true,\n{},\n{},\n{}\n}}\n",
+            ingest_json(&ib, prev),
+            ingest_json(&ibw, prev_wal),
+            codec_compression_json(8_000)
         );
         std::fs::write(&out_path, &json).expect("write summary");
         eprintln!("wrote {out_path} (smoke mode: ingest_latency only)");
@@ -347,6 +434,8 @@ fn main() {
     // Segmented ingest: per-batch cost and bytes-resident (see bench_ingest),
     // then the same workload with the ingest WAL armed — the delta is the
     // durability tax per batch.
+    let prev = previous_p99(&out_path, "ingest_latency");
+    let prev_wal = previous_p99(&out_path, "ingest_latency_wal");
     let ib = bench_ingest(false, false);
     eprintln!(
         "ingest_latency     p50 {:.1} µs  p99 {:.1} µs  late/early p50 {:.2}  \
@@ -357,7 +446,7 @@ fn main() {
         ib.resident_bytes as f64 / ib.raw_retained_rows_bytes.max(1) as f64,
         ib.sealed_segments,
     );
-    json.push_str(&ingest_json(&ib));
+    json.push_str(&ingest_json(&ib, prev));
     json.push_str(",\n");
     let ibw = bench_ingest(false, true);
     eprintln!(
@@ -366,7 +455,9 @@ fn main() {
         ibw.p99_us,
         ibw.p50_us - ib.p50_us,
     );
-    json.push_str(&ingest_json(&ibw));
+    json.push_str(&ingest_json(&ibw, prev_wal));
+    json.push_str(",\n");
+    json.push_str(&codec_compression_json(50_000));
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write summary");
     eprintln!("wrote {out_path}");

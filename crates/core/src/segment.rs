@@ -26,30 +26,51 @@
 
 use std::sync::Arc;
 
-use ph_gd::{EncodedMatrix, GdCompressor, GdStore, Preprocessor};
+use ph_gd::{
+    choose_store, EncodeScratch, EncodedMatrix, EncodedPred, GdCompressor, GdError, Preprocessor,
+    RowStore,
+};
 use ph_sql::Query;
 use ph_types::{Column, ColumnType, Dataset, PhError, Value};
 
 use crate::build::{PairwiseHist, PairwiseHistConfig};
+use crate::coverage::RangeSet;
 use crate::engine::AqpAnswer;
 use crate::merge::merge_answers;
 use crate::prepared::{AqpEngine, Prepared};
 
-/// One sealed, immutable segment: its synopsis plus its GD-compressed rows.
+/// Exact count of retained rows whose encoded value in `col` falls in `rs`,
+/// evaluated directly on the compressed store — dictionary columns answer over
+/// code intervals, run-end columns add whole runs without touching rows —
+/// never materializing the column. The predicate contract: bit-identical to
+/// decoding the column and scanning it against the same range set (the
+/// equivalence suite pins this). `None` when `col` is out of range.
+pub(crate) fn count_store_matching(store: &RowStore, col: usize, rs: &RangeSet) -> Option<u64> {
+    let mut total = 0u64;
+    for &(lo, hi) in rs.intervals() {
+        let n = store.count_matching(col, &EncodedPred::Range { lo: Some(lo), hi: Some(hi) })?;
+        total = total.checked_add(n)?;
+    }
+    Some(total)
+}
+
+/// One sealed, immutable segment: its synopsis plus its compressed rows.
 pub(crate) struct Segment {
     /// The segment's synopsis; `plan_epoch` is stamped to the owning table
     /// version's epoch so one prepared plan serves every segment.
     pub(crate) engine: PairwiseHist,
-    /// The segment's retained rows, GD-compressed and shared by `Arc` so epoch
-    /// restamps and state swaps never copy row data. `None` only for tables
-    /// reopened from the legacy single-blob format, which carried no rows.
-    pub(crate) store: Option<Arc<GdStore>>,
-    /// Serialized size of `store` (O(1) accounting, see [`GdStore::packed_bytes`]).
+    /// The segment's retained rows — GreedyGD or per-column codecs, whichever
+    /// won the size model at seal time — shared by `Arc` so epoch restamps and
+    /// state swaps never copy row data. `None` only for tables reopened from
+    /// the legacy single-blob format, which carried no rows.
+    pub(crate) store: Option<Arc<RowStore>>,
+    /// Serialized size of `store` (O(columns) accounting, see
+    /// [`RowStore::packed_bytes`]).
     pub(crate) store_bytes: usize,
 }
 
 impl Segment {
-    pub(crate) fn new(engine: PairwiseHist, store: Option<Arc<GdStore>>) -> Self {
+    pub(crate) fn new(engine: PairwiseHist, store: Option<Arc<RowStore>>) -> Self {
         let store_bytes = store.as_ref().map_or(0, |s| s.packed_bytes());
         Self { engine, store, store_bytes }
     }
@@ -173,22 +194,31 @@ pub(crate) fn registration_segment(
     let mut build_cfg = cfg.clone();
     build_cfg.ns = build_cfg.ns.min(data.n_rows().max(1));
     let engine = PairwiseHist::build_with_preprocessor(data, pre.clone(), &build_cfg);
-    let store = GdCompressor::new().compress(&pre.encode(data));
-    Segment::new(engine, Some(Arc::new(store)))
+    let matrix = pre.encode(data);
+    let gd = GdCompressor::new().compress(&matrix);
+    Segment::new(engine, Some(Arc::new(choose_store(&matrix, gd))))
 }
 
 /// Seals delta rows into a fresh segment: GD-compress, then refine a synopsis
 /// *from the compressed store* (Algorithm 1's base-seeded construction), stamped
-/// with the table epoch.
+/// with the table epoch. The GD store is always built — the synopsis seeds its
+/// bin edges from the deduplicated bases, keeping estimates bit-identical no
+/// matter which row store is retained — and then the per-column codec cascade
+/// competes with it for residency ([`choose_store`]). Encode buffers come from
+/// `scratch` so repeated seals don't re-allocate (the ingest-p99 fix).
 pub(crate) fn seal_segment(
     rows: &Dataset,
     pre: &Arc<Preprocessor>,
     cfg: &PairwiseHistConfig,
     epoch: u64,
+    scratch: &mut EncodeScratch,
 ) -> Segment {
-    let store = GdCompressor::new().compress(&pre.encode(rows));
-    let mut engine = PairwiseHist::build_from_gd(&store, pre.clone(), cfg);
+    let matrix = pre.encode_with(rows, scratch);
+    let gd = GdCompressor::new().compress(&matrix);
+    let mut engine = PairwiseHist::build_from_gd(&gd, pre.clone(), cfg);
     engine.plan_epoch = epoch;
+    let store = choose_store(&matrix, gd);
+    scratch.reclaim(matrix);
     Segment::new(engine, Some(Arc::new(store)))
 }
 
@@ -220,10 +250,10 @@ pub(crate) fn merge_segments(
     let matrices: Vec<EncodedMatrix> =
         parts.iter().map(|s| s.store.as_ref().map(|st| st.decompress())).collect::<Option<_>>()?;
     let combined = concat_matrices(matrices)?;
-    let store = GdCompressor::new().compress(&combined);
-    let mut engine = PairwiseHist::build_from_gd(&store, pre.clone(), cfg);
+    let gd = GdCompressor::new().compress(&combined);
+    let mut engine = PairwiseHist::build_from_gd(&gd, pre.clone(), cfg);
     engine.plan_epoch = epoch;
-    Some(Segment::new(engine, Some(Arc::new(store))))
+    Some(Segment::new(engine, Some(Arc::new(choose_store(&combined, gd)))))
 }
 
 /// Concatenates encoded matrices row-wise (same schema by construction).
@@ -242,13 +272,25 @@ fn concat_matrices(mats: Vec<EncodedMatrix>) -> Option<EncodedMatrix> {
 /// `name` — the source material for refit rebuilds (novel categorical values or
 /// NULLs that the fitted transforms cannot encode) and the reason a reopened
 /// catalog is no longer an ingest dead-end: the compressed rows round-trip.
-pub(crate) fn decode_store(name: &str, pre: &Preprocessor, store: &GdStore) -> Dataset {
+///
+/// Fallible: a store deserialized from a damaged or version-skewed blob can
+/// hold codes with no preimage; those surface as [`PhError::Corrupt`] for the
+/// session layer to quarantine on, never a panic.
+pub(crate) fn decode_store(
+    name: &str,
+    pre: &Preprocessor,
+    store: &RowStore,
+) -> Result<Dataset, PhError> {
     decode_matrix(name, pre, &store.decompress())
 }
 
 /// Decodes an encoded matrix back to the original value domain, column by
 /// column, reversing the fitted transforms (null codes → NULL).
-pub(crate) fn decode_matrix(name: &str, pre: &Preprocessor, m: &EncodedMatrix) -> Dataset {
+pub(crate) fn decode_matrix(
+    name: &str,
+    pre: &Preprocessor,
+    m: &EncodedMatrix,
+) -> Result<Dataset, PhError> {
     let mut builder = Dataset::builder(name);
     for c in 0..pre.n_columns() {
         let col_name = pre.names()[c].clone();
@@ -257,11 +299,13 @@ pub(crate) fn decode_matrix(name: &str, pre: &Preprocessor, m: &EncodedMatrix) -
             ColumnType::Int | ColumnType::Timestamp => {
                 let ints: Vec<Option<i64>> = values
                     .iter()
-                    .map(|&v| match pre.decode_value(c, v) {
-                        Value::Int(i) => Some(i),
-                        _ => None,
+                    .map(|&v| {
+                        Ok(match pre.decode_value(c, v)? {
+                            Value::Int(i) => Some(i),
+                            _ => None,
+                        })
                     })
-                    .collect();
+                    .collect::<Result<_, GdError>>()?;
                 if pre.column_type(c) == ColumnType::Timestamp {
                     Column::from_timestamps(col_name, ints)
                 } else {
@@ -272,27 +316,31 @@ pub(crate) fn decode_matrix(name: &str, pre: &Preprocessor, m: &EncodedMatrix) -
                 col_name,
                 values
                     .iter()
-                    .map(|&v| match pre.decode_value(c, v) {
-                        Value::Float(f) => Some(f),
-                        _ => None,
+                    .map(|&v| {
+                        Ok(match pre.decode_value(c, v)? {
+                            Value::Float(f) => Some(f),
+                            _ => None,
+                        })
                     })
-                    .collect(),
+                    .collect::<Result<Vec<_>, GdError>>()?,
                 scale,
             ),
             ColumnType::Categorical => {
                 let strings: Vec<Option<String>> = values
                     .iter()
-                    .map(|&v| match pre.decode_value(c, v) {
-                        Value::Str(s) => Some(s),
-                        _ => None,
+                    .map(|&v| {
+                        Ok(match pre.decode_value(c, v)? {
+                            Value::Str(s) => Some(s),
+                            _ => None,
+                        })
                     })
-                    .collect();
+                    .collect::<Result<_, GdError>>()?;
                 Column::from_strings(col_name, strings.iter().map(|s| s.as_deref()).collect())
             }
         };
         builder = builder.column(column).expect("preprocessor schema is consistent");
     }
-    builder.build()
+    Ok(builder.build())
 }
 
 /// Per-table storage breakdown, as returned by `Session::footprint_report`: what
@@ -347,8 +395,10 @@ mod tests {
     fn store_decode_roundtrips_all_column_types() {
         let data = sample();
         let pre = Preprocessor::fit(&data);
-        let store = GdCompressor::new().compress(&pre.encode(&data));
-        let back = decode_store("t", &pre, &store);
+        let matrix = pre.encode(&data);
+        let gd = GdCompressor::new().compress(&matrix);
+        let store = choose_store(&matrix, gd);
+        let back = decode_store("t", &pre, &store).expect("fitted codes all decode");
         assert_eq!(back.n_rows(), data.n_rows());
         for r in 0..data.n_rows() {
             for c in 0..data.n_columns() {

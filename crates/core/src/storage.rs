@@ -457,10 +457,16 @@ impl PairwiseHist {
 //                                  | u64 gen | u64 wal_seq        (v3 only)
 //                                  | u32 crc32 of all prior bytes (v3 only)
 // segment  (<name>-<hash>.g<gen>.seg<i>.phseg):
-//                                  "PSG2" | u8 version | u64 syn_len | synopsis
-//                                  | u8 has_store | u64 store_len | GdStore bytes
-//                                  | u32 crc32 of all prior bytes (v3 only)
+//                                  "PSG3" | u8 version | u64 syn_len | synopsis
+//                                  | u8 store_kind | u64 store_len | store bytes
+//                                  | u32 crc32 of all prior bytes
 // ```
+//
+// `store_kind` names the row-store representation: 0 = no retained rows,
+// 1 = GreedyGD ([`ph_gd::GdStore`]), 2 = per-column codec cascade
+// ([`ph_gd::ColumnarStore`]). Older `PSG2` blobs (where that byte was a
+// has_store flag and the payload always GreedyGD) are still read; writes
+// always emit `PSG3`.
 //
 // Version 3 adds the durability fields: `gen` is the snapshot generation
 // (segment files are generation-numbered so a crashed save can never tear the
@@ -478,8 +484,10 @@ impl PairwiseHist {
 
 /// Magic of the table manifest (versions 2 and 3).
 pub(crate) const TABLE_MAGIC: &[u8; 4] = b"PWT2";
-/// Magic of a segment blob (versions 2 and 3).
-pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"PSG2";
+/// Magic of a segment blob carrying a tagged row store (always CRC-trailed).
+pub(crate) const SEGMENT_MAGIC: &[u8; 4] = b"PSG3";
+/// Magic of legacy segment blobs whose row store is implicitly GreedyGD.
+pub(crate) const SEGMENT_MAGIC_V2: &[u8; 4] = b"PSG2";
 const V2_VERSION: u8 = 2;
 const V3_VERSION: u8 = 3;
 
@@ -574,11 +582,11 @@ pub(crate) fn table_manifest_from_bytes(data: &[u8]) -> Option<TableManifest> {
     Some(TableManifest { name, pre, n_segments, gen, wal_seq })
 }
 
-/// Serializes one segment (version 3, CRC32 trailer): its synopsis and (when
-/// present) its compressed rows.
+/// Serializes one segment (`PSG3`, CRC32 trailer): its synopsis and (when
+/// present) its compressed rows under a tagged row-store representation.
 pub(crate) fn segment_to_bytes(
     engine: &PairwiseHist,
-    store: Option<&ph_gd::GdStore>,
+    store: Option<&ph_gd::RowStore>,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(SEGMENT_MAGIC);
@@ -586,8 +594,12 @@ pub(crate) fn segment_to_bytes(
     let syn = engine.to_bytes();
     out.extend_from_slice(&(syn.len() as u64).to_le_bytes());
     out.extend_from_slice(&syn);
-    out.push(store.is_some() as u8);
-    let store_bytes = store.map(|s| s.to_bytes()).unwrap_or_default();
+    let (kind, store_bytes): (u8, Vec<u8>) = match store {
+        None => (0, Vec::new()),
+        Some(ph_gd::RowStore::Gd(s)) => (1, s.to_bytes()),
+        Some(ph_gd::RowStore::Columnar(s)) => (2, s.to_bytes()),
+    };
+    out.push(kind);
     out.extend_from_slice(&(store_bytes.len() as u64).to_le_bytes());
     out.extend_from_slice(&store_bytes);
     let crc = ph_encoding::crc32(&out);
@@ -595,21 +607,26 @@ pub(crate) fn segment_to_bytes(
     out
 }
 
-/// Restores a v2 or v3 segment blob against the table's shared preprocessor,
-/// verifying the v3 CRC trailer. Returns `None` on malformed or corrupted
-/// input.
+/// Restores a segment blob (`PSG3`, or legacy `PSG2` v2/v3) against the
+/// table's shared preprocessor, verifying the CRC trailer where the format
+/// carries one. Returns `None` on malformed or corrupted input.
 pub(crate) fn segment_from_bytes(
     data: &[u8],
     pre: Arc<Preprocessor>,
-) -> Option<(PairwiseHist, Option<ph_gd::GdStore>)> {
-    let mut pos = 0usize;
-    if data.get(..4)? != SEGMENT_MAGIC {
+) -> Option<(PairwiseHist, Option<ph_gd::RowStore>)> {
+    let magic = data.get(..4)?;
+    let legacy = if magic == SEGMENT_MAGIC {
+        false
+    } else if magic == SEGMENT_MAGIC_V2 {
+        true
+    } else {
         return None;
-    }
-    pos += 4;
+    };
+    let mut pos = 4usize;
     let version = *data.get(pos)?;
     let data = match version {
-        V2_VERSION => data,
+        // PSG2 v2 predates the CRC trailer; everything later carries one.
+        V2_VERSION if legacy => data,
         V3_VERSION => {
             let body_len = data.len().checked_sub(4)?;
             let stored = u32::from_le_bytes(data.get(body_len..)?.try_into().ok()?);
@@ -627,7 +644,9 @@ pub(crate) fn segment_from_bytes(
     let end = pos.checked_add(syn_len)?;
     let engine = PairwiseHist::from_bytes(data.get(pos..end)?, pre)?;
     pos = end;
-    let has_store = *data.get(pos)? != 0;
+    // PSG2's byte here was a has_store flag over an implicit GdStore payload;
+    // PSG3 widens it to a store-kind tag. Flag values coincide with kinds 0/1.
+    let kind = *data.get(pos)?;
     pos += 1;
     let store_len = u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?) as usize;
     pos += 8;
@@ -636,12 +655,18 @@ pub(crate) fn segment_from_bytes(
     if end != data.len() {
         return None; // trailing bytes: not a clean blob
     }
-    let store = if has_store {
-        Some(ph_gd::GdStore::from_bytes(store_slice)?)
-    } else if store_len != 0 {
-        return None;
-    } else {
-        None
+    let store = match kind {
+        0 => {
+            if store_len != 0 {
+                return None;
+            }
+            None
+        }
+        1 => Some(ph_gd::RowStore::Gd(ph_gd::GdStore::from_bytes(store_slice)?)),
+        2 if !legacy => {
+            Some(ph_gd::RowStore::Columnar(ph_gd::ColumnarStore::from_bytes(store_slice)?))
+        }
+        _ => return None,
     };
     Some((engine, store))
 }
@@ -971,5 +996,91 @@ mod tests {
         let cells = ph.total_2d_cells();
         assert!(bytes.len() < cells * 8, "{} bytes for {} cells", bytes.len(), cells);
         assert!(PairwiseHist::from_bytes(&bytes, ph.preprocessor().clone()).is_some());
+    }
+
+    /// Every row-store representation survives the PSG3 blob round trip with
+    /// its kind tag intact, and the CRC trailer catches a flipped bit.
+    #[test]
+    fn psg3_roundtrips_every_store_kind() {
+        let data = dataset(4_000, 7);
+        let ph = build(4_000, 7);
+        let pre = ph.preprocessor().clone();
+        let matrix = pre.encode(&data);
+        let gd = ph_gd::GdCompressor::new().compress(&matrix);
+        let columnar = ph_gd::ColumnarStore::encode(&matrix);
+        let stores = [
+            None,
+            Some(ph_gd::RowStore::Gd(gd)),
+            Some(ph_gd::RowStore::Columnar(columnar)),
+        ];
+        for store in &stores {
+            let bytes = segment_to_bytes(&ph, store.as_ref());
+            assert_eq!(&bytes[..4], SEGMENT_MAGIC);
+            let (engine, back) =
+                segment_from_bytes(&bytes, pre.clone()).expect("clean blob decodes");
+            assert_eq!(engine.params, ph.params);
+            match (store, &back) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        std::mem::discriminant(a),
+                        std::mem::discriminant(b),
+                        "store kind survives"
+                    );
+                    assert_eq!(a.decompress().columns, b.decompress().columns);
+                }
+                _ => panic!("store presence changed across the round trip"),
+            }
+            // Any flipped payload bit must fail the CRC, not decode garbage.
+            let mut bad = bytes.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x40;
+            assert!(segment_from_bytes(&bad, pre.clone()).is_none());
+        }
+    }
+
+    /// Pre-cascade `PSG2` blobs — where the kind byte was a has_store flag and
+    /// the payload implicitly GreedyGD — still load, with and without the v3
+    /// CRC trailer. A PSG2 blob claiming the columnar kind is rejected: no
+    /// legacy writer ever produced one.
+    #[test]
+    fn legacy_psg2_blobs_still_load() {
+        let data = dataset(3_000, 9);
+        let ph = build(3_000, 9);
+        let pre = ph.preprocessor().clone();
+        let gd = ph_gd::GdCompressor::new().compress(&pre.encode(&data));
+        let syn = ph.to_bytes();
+        let store_bytes = gd.to_bytes();
+        let body = |version: u8, kind: u8| -> Vec<u8> {
+            let mut out = Vec::new();
+            out.extend_from_slice(b"PSG2");
+            out.push(version);
+            out.extend_from_slice(&(syn.len() as u64).to_le_bytes());
+            out.extend_from_slice(&syn);
+            out.push(kind);
+            out.extend_from_slice(&(store_bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&store_bytes);
+            out
+        };
+        // v2: no trailer. v3: CRC-trailed.
+        let v2 = body(2, 1);
+        let mut v3 = body(3, 1);
+        let crc = ph_encoding::crc32(&v3);
+        v3.extend_from_slice(&crc.to_le_bytes());
+        for blob in [v2, v3] {
+            let (engine, store) =
+                segment_from_bytes(&blob, pre.clone()).expect("legacy blob decodes");
+            assert_eq!(engine.params, ph.params);
+            match store {
+                Some(ph_gd::RowStore::Gd(s)) => {
+                    assert_eq!(s.decompress().columns, gd.decompress().columns)
+                }
+                _ => panic!("legacy store must load as GreedyGD"),
+            }
+        }
+        let mut bad_kind = body(3, 2);
+        let crc = ph_encoding::crc32(&bad_kind);
+        bad_kind.extend_from_slice(&crc.to_le_bytes());
+        assert!(segment_from_bytes(&bad_kind, pre.clone()).is_none());
     }
 }

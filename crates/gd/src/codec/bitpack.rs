@@ -1,0 +1,174 @@
+//! Frame-of-reference bit packing: subtract the column minimum, store residuals
+//! at the fixed width of the largest residual. Constant columns cost 0 bits/row.
+
+use ph_encoding::{read_uvarint, write_uvarint, BitReader, BitWriter};
+
+use super::{uvarint_len, width_for, Codec, EncodedPred, MAX_CODEC_ROWS};
+
+/// Minimum-subtracted fixed-width column store.
+///
+/// Wire layout: `uvarint n_rows | uvarint min | u8 width | packed residuals`
+/// (`n_rows * width` bits, zero-padded to a byte boundary).
+#[derive(Debug, Clone)]
+pub struct BitPackCodec {
+    n_rows: usize,
+    min: u64,
+    width: u32,
+    packed: Vec<u8>,
+}
+
+impl BitPackCodec {
+    /// Encodes a column slice. Residual reconstruction uses wrapping addition,
+    /// so even `min > 0` with width-64 residuals round-trips.
+    pub fn encode(values: &[u64]) -> Self {
+        let min = values.iter().copied().min().unwrap_or(0);
+        let max = values.iter().copied().max().unwrap_or(0);
+        let width = width_for(max - min);
+        let mut w = BitWriter::new();
+        if width > 0 {
+            for &v in values {
+                w.write_bits(v - min, width);
+            }
+        }
+        Self { n_rows: values.len(), min, width, packed: w.finish() }
+    }
+
+    /// Exact serialized size for a column with the given stats — lets
+    /// [`choose_codec`](super::choose_codec) cost this codec without encoding.
+    pub fn size_for(n_rows: usize, min: u64, max: u64) -> usize {
+        let width = width_for(max - min) as usize;
+        uvarint_len(n_rows as u64) + uvarint_len(min) + 1 + (n_rows * width).div_ceil(8)
+    }
+}
+
+impl Codec for BitPackCodec {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn get(&self, row: usize) -> Option<u64> {
+        if row >= self.n_rows {
+            return None;
+        }
+        if self.width == 0 {
+            return Some(self.min);
+        }
+        let mut r = BitReader::new(&self.packed);
+        r.seek(row as u64 * self.width as u64);
+        let residual = r.read_bits(self.width)?;
+        Some(self.min.wrapping_add(residual))
+    }
+
+    fn decode(&self) -> Vec<u64> {
+        if self.width == 0 {
+            return vec![self.min; self.n_rows];
+        }
+        let mut out = Vec::with_capacity(self.n_rows);
+        let mut r = BitReader::new(&self.packed);
+        for _ in 0..self.n_rows {
+            // from_bytes validated payload length, encode wrote every row.
+            let residual = r.read_bits(self.width).unwrap_or(0);
+            out.push(self.min.wrapping_add(residual));
+        }
+        out
+    }
+
+    fn packed_bytes(&self) -> usize {
+        uvarint_len(self.n_rows as u64) + uvarint_len(self.min) + 1 + self.packed.len()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.packed_bytes());
+        write_uvarint(&mut out, self.n_rows as u64);
+        write_uvarint(&mut out, self.min);
+        out.push(self.width as u8);
+        out.extend_from_slice(&self.packed);
+        out
+    }
+
+    fn from_bytes(data: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let n_rows = read_uvarint(data, &mut pos)? as usize;
+        if n_rows > MAX_CODEC_ROWS {
+            return None;
+        }
+        let min = read_uvarint(data, &mut pos)?;
+        let width = *data.get(pos)? as u32;
+        pos += 1;
+        if width > 64 {
+            return None;
+        }
+        let payload = data.get(pos..)?;
+        if payload.len() != (n_rows * width as usize).div_ceil(8) {
+            return None;
+        }
+        Some(Self { n_rows, min, width, packed: payload.to_vec() })
+    }
+
+    fn count_matching(&self, pred: &EncodedPred) -> u64 {
+        if self.width == 0 {
+            return if pred.matches(self.min) { self.n_rows as u64 } else { 0 };
+        }
+        let mut r = BitReader::new(&self.packed);
+        let mut count = 0u64;
+        for _ in 0..self.n_rows {
+            let residual = r.read_bits(self.width).unwrap_or(0);
+            if pred.matches(self.min.wrapping_add(residual)) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_column_is_header_only() {
+        let c = BitPackCodec::encode(&[42; 1000]);
+        assert_eq!(c.packed_bytes(), c.to_bytes().len());
+        // uvarint(1000)=2 + uvarint(42)=1 + width byte: no per-row cost.
+        assert_eq!(c.packed_bytes(), 4);
+        assert_eq!(c.decode(), vec![42; 1000]);
+        assert_eq!(c.get(999), Some(42));
+        assert_eq!(c.get(1000), None);
+    }
+
+    #[test]
+    fn roundtrip_with_extremes() {
+        let vals = vec![5, u64::MAX, 5, 1 << 52, 77];
+        let c = BitPackCodec::encode(&vals);
+        let restored = BitPackCodec::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(restored.decode(), vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(restored.get(i), Some(v));
+        }
+        assert_eq!(c.packed_bytes(), c.to_bytes().len());
+        assert_eq!(
+            BitPackCodec::size_for(vals.len(), 5, u64::MAX),
+            c.to_bytes().len()
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_payload_length() {
+        let c = BitPackCodec::encode(&[1, 2, 3, 4]);
+        let mut bytes = c.to_bytes();
+        bytes.push(0);
+        assert!(BitPackCodec::from_bytes(&bytes).is_none());
+        bytes.truncate(bytes.len() - 2);
+        assert!(BitPackCodec::from_bytes(&bytes).is_none());
+        assert!(BitPackCodec::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn count_matching_agrees_with_scan() {
+        let vals: Vec<u64> = (0..500).map(|i| (i * 7) % 40).collect();
+        let c = BitPackCodec::encode(&vals);
+        let pred = EncodedPred::Range { lo: Some(10), hi: Some(20) };
+        let want = vals.iter().filter(|&&v| pred.matches(v)).count() as u64;
+        assert_eq!(c.count_matching(&pred), want);
+    }
+}

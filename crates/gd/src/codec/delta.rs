@@ -1,0 +1,255 @@
+//! Zigzag-delta encoding with periodic absolute anchors.
+//!
+//! Machine-generated numeric columns (timestamps above all) advance by a nearly
+//! constant step, so consecutive differences span a tiny range even when the
+//! absolute values need 40+ bits. Deltas are zigzag-mapped to unsigned, then
+//! frame-of-reference packed; every [`DELTA_BLOCK`]'th row stores the absolute
+//! value instead so `get` costs one block, not the whole column. A fixed-step
+//! column needs 0 bits per non-anchor row.
+
+use ph_encoding::{read_uvarint, write_uvarint, BitReader, BitWriter};
+
+use super::{uvarint_len, width_for, Codec, EncodedPred, MAX_CODEC_ROWS};
+
+/// Rows per block: one absolute anchor, then `DELTA_BLOCK - 1` deltas.
+pub(crate) const DELTA_BLOCK: usize = 256;
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Blocked zigzag-delta column store.
+///
+/// Wire layout: `uvarint n_rows | u8 anchor_width | u8 delta_width |
+/// uvarint min_zz | packed` where each block is an absolute anchor at
+/// `anchor_width` bits followed by `min_zz`-subtracted zigzag deltas at
+/// `delta_width` bits. All blocks except the last are full, so block `b`
+/// starts at bit `b * (anchor_width + (DELTA_BLOCK-1) * delta_width)`.
+#[derive(Debug, Clone)]
+pub struct DeltaCodec {
+    n_rows: usize,
+    anchor_width: u32,
+    delta_width: u32,
+    min_zz: u64,
+    packed: Vec<u8>,
+}
+
+impl DeltaCodec {
+    /// Encodes a column slice. Deltas use wrapping subtraction so arbitrary
+    /// u64 sequences (including wrap-around) round-trip exactly.
+    pub fn encode(values: &[u64]) -> Self {
+        let (anchor_width, delta_width, min_zz) = Self::widths(values);
+        let mut w = BitWriter::new();
+        for (r, &v) in values.iter().enumerate() {
+            if r % DELTA_BLOCK == 0 {
+                w.write_bits(v, anchor_width);
+            } else if delta_width > 0 {
+                let zz = zigzag(v.wrapping_sub(values[r - 1]) as i64);
+                w.write_bits(zz - min_zz, delta_width);
+            }
+        }
+        Self { n_rows: values.len(), anchor_width, delta_width, min_zz, packed: w.finish() }
+    }
+
+    fn widths(values: &[u64]) -> (u32, u32, u64) {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let mut min_zz = u64::MAX;
+        let mut max_zz = 0u64;
+        let mut any = false;
+        for r in 1..values.len() {
+            if r % DELTA_BLOCK == 0 {
+                continue;
+            }
+            let zz = zigzag(values[r].wrapping_sub(values[r - 1]) as i64);
+            min_zz = min_zz.min(zz);
+            max_zz = max_zz.max(zz);
+            any = true;
+        }
+        if !any {
+            min_zz = 0;
+        }
+        (width_for(max), width_for(max_zz - min_zz), min_zz)
+    }
+
+    /// Exact serialized size given precomputed column stats (max value plus
+    /// the zigzag-delta range over non-anchor rows).
+    pub fn size_for(n_rows: usize, max: u64, min_zz: u64, max_zz: u64) -> usize {
+        let aw = width_for(max) as usize;
+        let dw = width_for(max_zz.saturating_sub(min_zz)) as usize;
+        let n_anchors = n_rows.div_ceil(DELTA_BLOCK);
+        let bits = n_anchors * aw + (n_rows - n_anchors) * dw;
+        uvarint_len(n_rows as u64) + 2 + uvarint_len(min_zz) + bits.div_ceil(8)
+    }
+
+    #[inline]
+    fn block_bits(&self) -> usize {
+        self.anchor_width as usize + (DELTA_BLOCK - 1) * self.delta_width as usize
+    }
+
+    /// Decodes block `b` into `out` (cleared first), up to `n_rows`.
+    fn decode_block(&self, b: usize, out: &mut Vec<u64>) {
+        out.clear();
+        let start = b * DELTA_BLOCK;
+        let len = DELTA_BLOCK.min(self.n_rows - start);
+        let mut r = BitReader::new(&self.packed);
+        r.seek((b * self.block_bits()) as u64);
+        let mut v = r.read_bits(self.anchor_width).unwrap_or(0);
+        out.push(v);
+        for _ in 1..len {
+            let zz = if self.delta_width == 0 {
+                self.min_zz
+            } else {
+                self.min_zz
+                    .wrapping_add(r.read_bits(self.delta_width).unwrap_or(0))
+            };
+            v = v.wrapping_add(unzigzag(zz) as u64);
+            out.push(v);
+        }
+    }
+}
+
+impl Codec for DeltaCodec {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn get(&self, row: usize) -> Option<u64> {
+        if row >= self.n_rows {
+            return None;
+        }
+        let mut block = Vec::with_capacity(DELTA_BLOCK);
+        self.decode_block(row / DELTA_BLOCK, &mut block);
+        block.get(row % DELTA_BLOCK).copied()
+    }
+
+    fn decode(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.n_rows);
+        let mut block = Vec::with_capacity(DELTA_BLOCK);
+        for b in 0..self.n_rows.div_ceil(DELTA_BLOCK) {
+            self.decode_block(b, &mut block);
+            out.extend_from_slice(&block);
+        }
+        out
+    }
+
+    fn packed_bytes(&self) -> usize {
+        uvarint_len(self.n_rows as u64) + 2 + uvarint_len(self.min_zz) + self.packed.len()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.packed_bytes());
+        write_uvarint(&mut out, self.n_rows as u64);
+        out.push(self.anchor_width as u8);
+        out.push(self.delta_width as u8);
+        write_uvarint(&mut out, self.min_zz);
+        out.extend_from_slice(&self.packed);
+        out
+    }
+
+    fn from_bytes(data: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let n_rows = read_uvarint(data, &mut pos)? as usize;
+        if n_rows > MAX_CODEC_ROWS {
+            return None;
+        }
+        let anchor_width = *data.get(pos)? as u32;
+        let delta_width = *data.get(pos + 1)? as u32;
+        pos += 2;
+        if anchor_width > 64 || delta_width > 64 {
+            return None;
+        }
+        let min_zz = read_uvarint(data, &mut pos)?;
+        let payload = data.get(pos..)?;
+        let n_anchors = n_rows.div_ceil(DELTA_BLOCK);
+        let bits =
+            n_anchors * anchor_width as usize + (n_rows - n_anchors) * delta_width as usize;
+        if payload.len() != bits.div_ceil(8) {
+            return None;
+        }
+        Some(Self { n_rows, anchor_width, delta_width, min_zz, packed: payload.to_vec() })
+    }
+
+    fn count_matching(&self, pred: &EncodedPred) -> u64 {
+        let mut count = 0u64;
+        let mut block = Vec::with_capacity(DELTA_BLOCK);
+        for b in 0..self.n_rows.div_ceil(DELTA_BLOCK) {
+            self.decode_block(b, &mut block);
+            count += block.iter().filter(|&&v| pred.matches(v)).count() as u64;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for d in [0i64, 1, -1, i64::MAX, i64::MIN, -123456] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+
+    #[test]
+    fn fixed_step_column_costs_no_delta_bits() {
+        let vals: Vec<u64> = (0..1000u64).map(|i| 1_600_000_000 + i * 60).collect();
+        let c = DeltaCodec::encode(&vals);
+        assert_eq!(c.delta_width, 0);
+        assert_eq!(c.decode(), vals);
+        assert_eq!(c.packed_bytes(), c.to_bytes().len());
+        let restored = DeltaCodec::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(restored.decode(), vals);
+        assert_eq!(restored.get(777), Some(vals[777]));
+    }
+
+    #[test]
+    fn wrapping_sequences_roundtrip() {
+        let vals = vec![u64::MAX, 0, u64::MAX - 3, 17, 1 << 63, 0];
+        let c = DeltaCodec::encode(&vals);
+        let restored = DeltaCodec::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(restored.decode(), vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(restored.get(i), Some(v));
+        }
+    }
+
+    #[test]
+    fn multi_block_get_crosses_anchors() {
+        let vals: Vec<u64> = (0..700u64).map(|i| i * i % 9973).collect();
+        let c = DeltaCodec::encode(&vals);
+        for &row in &[0usize, 1, 255, 256, 257, 511, 512, 699] {
+            assert_eq!(c.get(row), Some(vals[row]), "row {row}");
+        }
+        assert_eq!(c.get(700), None);
+        let (_, _, min_zz) = DeltaCodec::widths(&vals);
+        let max = *vals.iter().max().unwrap();
+        let max_zz = (1..vals.len())
+            .filter(|r| r % DELTA_BLOCK != 0)
+            .map(|r| zigzag(vals[r].wrapping_sub(vals[r - 1]) as i64))
+            .max()
+            .unwrap();
+        assert_eq!(
+            DeltaCodec::size_for(vals.len(), max, min_zz, max_zz),
+            c.to_bytes().len()
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let vals: Vec<u64> = (0..300u64).collect();
+        let bytes = DeltaCodec::encode(&vals).to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(DeltaCodec::from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(DeltaCodec::from_bytes(&extra).is_none());
+    }
+}

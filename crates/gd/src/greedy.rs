@@ -99,6 +99,13 @@ impl GdCompressor {
         // evaluated; the accepted move is whichever strictly shrinks the size model
         // the most.
         const STEPS: [u32; 4] = [1, 2, 4, 8];
+        // Candidate-hash, trial-widths and distinct-set buffers are hoisted out
+        // of the loop: the seal path runs this search on every batch, and a
+        // fresh (n)-sized allocation per (column × step) per iteration was the
+        // dominant source of ingest tail latency.
+        let mut cand: Vec<u64> = Vec::with_capacity(n);
+        let mut trial = vec![0u32; d];
+        let mut seen = std::collections::HashSet::with_capacity(n);
         loop {
             let mut best: Option<(usize, u32, u64, usize)> = None; // (col, step, size, bases)
             for c in 0..d {
@@ -108,7 +115,7 @@ impl GdCompressor {
                     }
                     let shift = dev_bits[c];
                     let col = &fit.columns[c];
-                    let mut cand: Vec<u64> = Vec::with_capacity(n);
+                    cand.clear();
                     for (r, h) in hashes.iter().enumerate() {
                         let old_part = col[r] >> shift;
                         let new_part = col[r] >> (shift + step);
@@ -116,8 +123,8 @@ impl GdCompressor {
                             h.wrapping_sub(mix(c, old_part)).wrapping_add(mix(c, new_part)),
                         );
                     }
-                    let nb = distinct(&cand);
-                    let mut trial = dev_bits.clone();
+                    let nb = distinct_with(&cand, &mut seen);
+                    trial.copy_from_slice(&dev_bits);
                     trial[c] += step;
                     let sz = size_bits(n, nb, widths, &trial);
                     if sz < best.map_or(best_size, |(_, _, s, _)| s) {
@@ -178,6 +185,13 @@ fn mix(col: usize, part: u64) -> u64 {
 
 fn distinct(hashes: &[u64]) -> usize {
     let mut set = std::collections::HashSet::with_capacity(hashes.len());
+    distinct_with(hashes, &mut set)
+}
+
+/// [`distinct`] with a caller-owned set, so the greedy loop's inner candidate
+/// evaluation reuses one allocation across all (column × step) trials.
+fn distinct_with(hashes: &[u64], set: &mut std::collections::HashSet<u64>) -> usize {
+    set.clear();
     for &h in hashes {
         set.insert(h);
     }

@@ -26,12 +26,17 @@
 // clippy denies catch the printing/scaffolding ones.
 #![deny(clippy::dbg_macro, clippy::todo, clippy::unimplemented)]
 #![deny(clippy::print_stdout, clippy::print_stderr)]
+mod codec;
 mod greedy;
 mod matrix;
 mod preprocess;
 mod store;
 
+pub use codec::{
+    choose_codec, choose_store, BitPackCodec, Codec, ColumnCodec, ColumnarStore, DeltaCodec,
+    DictCodec, EncodedPred, RowStore, RunEndCodec, SymbolTable,
+};
 pub use greedy::{GdCompressor, GdConfig};
 pub use matrix::EncodedMatrix;
-pub use preprocess::{ColumnTransform, EncodedLiteral, Preprocessor};
+pub use preprocess::{ColumnTransform, EncodeScratch, EncodedLiteral, GdError, Preprocessor};
 pub use store::{CompressionStats, GdStore};

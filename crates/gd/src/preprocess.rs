@@ -15,9 +15,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use ph_encoding::{read_uvarint, write_uvarint};
 use ph_types::{Column, ColumnData, ColumnType, Dataset, Value};
 
-use crate::EncodedMatrix;
+use crate::{EncodedMatrix, SymbolTable};
 
 /// Largest permitted encoded value: everything must stay exactly representable in an
 /// `f64` (bin-edge arithmetic in the synopsis is done in doubles).
@@ -35,6 +36,14 @@ pub enum GdError {
     },
     /// Column index out of range.
     BadColumn(usize),
+    /// An encoded value with no preimage under the fitted transform — a
+    /// corrupted or version-skewed store, never valid data.
+    CorruptCode {
+        /// Column name.
+        column: String,
+        /// The offending encoded value.
+        code: u64,
+    },
 }
 
 impl fmt::Display for GdError {
@@ -44,6 +53,9 @@ impl fmt::Display for GdError {
                 write!(f, "literal type mismatch on column '{column}': {detail}")
             }
             GdError::BadColumn(i) => write!(f, "column index {i} out of range"),
+            GdError::CorruptCode { column, code } => {
+                write!(f, "encoded value {code} on column '{column}' has no decoding")
+            }
         }
     }
 }
@@ -52,7 +64,12 @@ impl std::error::Error for GdError {}
 
 impl From<GdError> for ph_types::PhError {
     fn from(e: GdError) -> Self {
-        ph_types::PhError::InvalidQuery(e.to_string())
+        match e {
+            // A code with no preimage means the store bytes are damaged, not
+            // that the caller's query was malformed.
+            GdError::CorruptCode { .. } => ph_types::PhError::Corrupt(e.to_string()),
+            _ => ph_types::PhError::InvalidQuery(e.to_string()),
+        }
     }
 }
 
@@ -202,12 +219,23 @@ impl Preprocessor {
     /// falls outside the fitted range (encode only data the transform was fitted on,
     /// or refit).
     pub fn encode(&self, data: &Dataset) -> EncodedMatrix {
+        self.encode_with(data, &mut EncodeScratch::new())
+    }
+
+    /// [`Preprocessor::encode`] with recycled column buffers: repeated seals
+    /// reuse `scratch`'s allocations instead of growing fresh vectors each
+    /// time. Same panics and output as `encode`.
+    pub fn encode_with(&self, data: &Dataset, scratch: &mut EncodeScratch) -> EncodedMatrix {
         assert_eq!(data.n_columns(), self.transforms.len(), "schema mismatch");
         let columns = data
             .columns()
             .iter()
             .zip(&self.transforms)
-            .map(|(col, tr)| encode_column(col, tr))
+            .map(|(col, tr)| {
+                let mut out = scratch.take();
+                encode_column_into(col, tr, &mut out);
+                out
+            })
             .collect();
         EncodedMatrix::new(columns)
     }
@@ -237,24 +265,38 @@ impl Preprocessor {
     }
 
     /// Decodes one encoded cell back to a [`Value`] (null codes → `Value::Null`).
-    pub fn decode_value(&self, col: usize, enc: u64) -> Value {
-        let tr = &self.transforms[col];
+    ///
+    /// Total: an encoded value with no preimage — an out-of-dictionary
+    /// categorical rank, or a numeric code past the representable range — is a
+    /// [`GdError::CorruptCode`], never a panic. Stores reach this path after
+    /// deserialization from disk, so a damaged or version-skewed blob must
+    /// surface as an error the session layer can quarantine on (ph-lint R2).
+    pub fn decode_value(&self, col: usize, enc: u64) -> Result<Value, GdError> {
+        let tr = self.transforms.get(col).ok_or(GdError::BadColumn(col))?;
+        let name = || self.names.get(col).cloned().unwrap_or_default();
         if tr.null_code() == Some(enc) {
-            return Value::Null;
+            return Ok(Value::Null);
         }
         match tr {
             ColumnTransform::Numeric { min_scaled, scale, .. } => {
+                // Codes above the fitted max are legitimate (incremental
+                // ingestion extends the outer bins); codes past MAX_ENC are
+                // not representable and cannot have come from encode.
+                if enc > MAX_ENC {
+                    return Err(GdError::CorruptCode { column: name(), code: enc });
+                }
                 let raw = enc as i64 + min_scaled;
-                match self.types[col] {
-                    ColumnType::Float { .. } => {
+                Ok(match self.types.get(col) {
+                    Some(ColumnType::Float { .. }) => {
                         Value::Float(raw as f64 / 10f64.powi(*scale as i32))
                     }
                     _ => Value::Int(raw),
-                }
+                })
             }
-            ColumnTransform::Categorical { by_rank, .. } => {
-                Value::Str(by_rank[enc as usize].clone())
-            }
+            ColumnTransform::Categorical { by_rank, .. } => by_rank
+                .get(enc as usize)
+                .map(|s| Value::Str(s.clone()))
+                .ok_or_else(|| GdError::CorruptCode { column: name(), code: enc }),
         }
     }
 
@@ -262,10 +304,15 @@ impl Preprocessor {
     /// and categorical dictionaries — so a synopsis can travel *with* the
     /// preprocessing it was built under (the persistence path of a `Session`
     /// catalog). Inverse of [`Preprocessor::from_bytes`].
+    ///
+    /// Writes the `PRE2` format: every string is uvarint-framed (the `PRE1`
+    /// u16 length field silently truncated >64 KiB strings in release builds),
+    /// and each categorical dictionary may be FSST-compressed when the static
+    /// symbol table pays for itself. `PRE1` blobs still load.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(b"PRE1");
-        out.extend_from_slice(&(self.names.len() as u16).to_le_bytes());
+        out.extend_from_slice(b"PRE2");
+        write_uvarint(&mut out, self.names.len() as u64);
         for c in 0..self.names.len() {
             write_str(&mut out, &self.names[c]);
             match (&self.types[c], &self.transforms[c]) {
@@ -283,10 +330,8 @@ impl Preprocessor {
                 }
                 (_, ColumnTransform::Categorical { by_rank, null_code }) => {
                     out.push(3);
-                    out.extend_from_slice(&(by_rank.len() as u32).to_le_bytes());
-                    for s in by_rank {
-                        write_str(&mut out, s);
-                    }
+                    write_uvarint(&mut out, by_rank.len() as u64);
+                    write_dict(&mut out, by_rank);
                     out.push(null_code.is_some() as u8);
                 }
             }
@@ -294,21 +339,89 @@ impl Preprocessor {
         out
     }
 
-    /// Restores a [`Preprocessor`] from [`Preprocessor::to_bytes`] output.
-    /// Returns `None` on malformed input.
+    /// Restores a [`Preprocessor`] from [`Preprocessor::to_bytes`] output —
+    /// current `PRE2` or legacy `PRE1`. Returns `None` on malformed input.
     pub fn from_bytes(data: &[u8]) -> Option<Self> {
-        let mut pos = 0usize;
-        if data.get(..4)? != b"PRE1" {
+        match data.get(..4)? {
+            b"PRE2" => Self::from_bytes_v2(data),
+            b"PRE1" => Self::from_bytes_v1(data),
+            _ => None,
+        }
+    }
+
+    fn from_bytes_v2(data: &[u8]) -> Option<Self> {
+        let mut pos = 4usize;
+        let d = read_uvarint(data, &mut pos)? as usize;
+        if d > 1 << 16 {
             return None;
         }
-        pos += 4;
+        let mut names = Vec::with_capacity(d);
+        let mut types = Vec::with_capacity(d);
+        let mut transforms = Vec::with_capacity(d);
+        for _ in 0..d {
+            names.push(read_str(data, &mut pos)?);
+            let tag = *data.get(pos)?;
+            pos += 1;
+            match tag {
+                0..=2 => {
+                    let scale = *data.get(pos)?;
+                    pos += 1;
+                    let min_scaled =
+                        i64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    let max_enc =
+                        u64::from_le_bytes(data.get(pos..pos + 8)?.try_into().ok()?);
+                    pos += 8;
+                    if max_enc >= MAX_ENC {
+                        return None;
+                    }
+                    let has_null = *data.get(pos)? != 0;
+                    pos += 1;
+                    types.push(match tag {
+                        0 => ColumnType::Int,
+                        1 => ColumnType::Float { scale },
+                        _ => ColumnType::Timestamp,
+                    });
+                    transforms.push(ColumnTransform::Numeric {
+                        min_scaled,
+                        scale,
+                        max_enc,
+                        null_code: has_null.then_some(max_enc + 1),
+                    });
+                }
+                3 => {
+                    let n = read_uvarint(data, &mut pos)? as usize;
+                    if n > 1 << 24 {
+                        return None;
+                    }
+                    let by_rank = read_dict(data, &mut pos, n)?;
+                    let has_null = *data.get(pos)? != 0;
+                    pos += 1;
+                    types.push(ColumnType::Categorical);
+                    transforms.push(ColumnTransform::Categorical {
+                        null_code: has_null.then_some(by_rank.len() as u64),
+                        by_rank,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        if pos != data.len() {
+            return None; // trailing bytes: not ours
+        }
+        Some(Self { transforms, names, types })
+    }
+
+    /// Legacy `PRE1` reader: u16-framed strings, u32 dictionary counts.
+    fn from_bytes_v1(data: &[u8]) -> Option<Self> {
+        let mut pos = 4usize;
         let d = u16::from_le_bytes(data.get(pos..pos + 2)?.try_into().ok()?) as usize;
         pos += 2;
         let mut names = Vec::with_capacity(d);
         let mut types = Vec::with_capacity(d);
         let mut transforms = Vec::with_capacity(d);
         for _ in 0..d {
-            names.push(read_str(data, &mut pos)?);
+            names.push(read_str_v1(data, &mut pos)?);
             let tag = *data.get(pos)?;
             pos += 1;
             match tag {
@@ -347,7 +460,7 @@ impl Preprocessor {
                     }
                     let mut by_rank = Vec::with_capacity(n);
                     for _ in 0..n {
-                        by_rank.push(read_str(data, &mut pos)?);
+                        by_rank.push(read_str_v1(data, &mut pos)?);
                     }
                     let has_null = *data.get(pos)? != 0;
                     pos += 1;
@@ -368,31 +481,133 @@ impl Preprocessor {
 
     /// Serialized footprint of the transforms (constants + dictionaries) in bytes;
     /// counted as part of the compressed-store size in storage experiments.
+    /// Exact: the actual `PRE2` blob length, including FSST-compressed
+    /// dictionaries, rather than the old per-field approximation.
     pub fn metadata_bytes(&self) -> usize {
-        self.transforms
-            .iter()
-            .map(|t| match t {
-                ColumnTransform::Numeric { .. } => 8 + 1 + 8 + 9,
-                ColumnTransform::Categorical { by_rank, .. } => {
-                    9 + by_rank.iter().map(|s| s.len() + 2).sum::<usize>()
-                }
-            })
-            .sum()
+        self.to_bytes().len()
     }
 }
 
+/// Reusable buffers for [`Preprocessor::encode_with`].
+///
+/// Sealing re-encodes every batch of rows; with fresh allocations per seal the
+/// ingest tail latency was dominated by allocator churn (p99 ≈ 40× p50). A
+/// session keeps one of these per table and recycles the column buffers
+/// through [`EncodeScratch::reclaim`].
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    pool: Vec<Vec<u64>>,
+}
+
+impl EncodeScratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take(&mut self) -> Vec<u64> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a matrix's column buffers to the pool for the next seal.
+    pub fn reclaim(&mut self, matrix: EncodedMatrix) {
+        self.pool.extend(matrix.columns);
+    }
+}
+
+/// Uvarint-framed string (PRE2). Unlike the PRE1 u16 frame, this cannot
+/// truncate: any length serializes exactly, so a >64 KiB categorical value
+/// round-trips instead of silently corrupting the blob in release builds.
 fn write_str(out: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize, "string too long for the wire format");
-    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    write_uvarint(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
 fn read_str(data: &[u8], pos: &mut usize) -> Option<String> {
+    let len = read_uvarint(data, pos)? as usize;
+    if len > data.len().saturating_sub(*pos) {
+        return None;
+    }
+    let s = std::str::from_utf8(data.get(*pos..*pos + len)?).ok()?;
+    *pos += len;
+    Some(s.to_string())
+}
+
+/// Legacy PRE1 string frame: u16 length prefix.
+fn read_str_v1(data: &[u8], pos: &mut usize) -> Option<String> {
     let len = u16::from_le_bytes(data.get(*pos..*pos + 2)?.try_into().ok()?) as usize;
     *pos += 2;
     let s = std::str::from_utf8(data.get(*pos..*pos + len)?).ok()?;
     *pos += len;
     Some(s.to_string())
+}
+
+/// PRE2 categorical dictionary block: `u8 mode` then either plain
+/// uvarint-framed strings (mode 0) or an FSST symbol table followed by
+/// uvarint-framed compressed strings (mode 1). FSST wins whenever the shared
+/// symbol table amortizes across redundant entries; the choice is by exact
+/// size, so plain dictionaries never regress.
+fn write_dict(out: &mut Vec<u8>, by_rank: &[String]) {
+    let plain_len: usize =
+        by_rank.iter().map(|s| crate::codec::uvarint_len(s.len() as u64) + s.len()).sum();
+    let table = SymbolTable::build(by_rank);
+    let compressed = table.compress_all(by_rank);
+    let fsst_len: usize = crate::codec::uvarint_len(table.table_bytes() as u64)
+        + table.table_bytes()
+        + compressed
+            .iter()
+            .map(|c| crate::codec::uvarint_len(c.len() as u64) + c.len())
+            .sum::<usize>();
+    if fsst_len < plain_len {
+        out.push(1);
+        write_uvarint(out, table.table_bytes() as u64);
+        out.extend_from_slice(&table.to_bytes());
+        for c in &compressed {
+            write_uvarint(out, c.len() as u64);
+            out.extend_from_slice(c);
+        }
+    } else {
+        out.push(0);
+        for s in by_rank {
+            write_str(out, s);
+        }
+    }
+}
+
+fn read_dict(data: &[u8], pos: &mut usize, n: usize) -> Option<Vec<String>> {
+    let mode = *data.get(*pos)?;
+    *pos += 1;
+    match mode {
+        0 => {
+            let mut by_rank = Vec::with_capacity(n);
+            for _ in 0..n {
+                by_rank.push(read_str(data, pos)?);
+            }
+            Some(by_rank)
+        }
+        1 => {
+            let table_len = read_uvarint(data, pos)? as usize;
+            if table_len > data.len().saturating_sub(*pos) {
+                return None;
+            }
+            let table = SymbolTable::from_bytes(data.get(*pos..*pos + table_len)?)?;
+            *pos += table_len;
+            let mut by_rank = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = read_uvarint(data, pos)? as usize;
+                if len > data.len().saturating_sub(*pos) {
+                    return None;
+                }
+                let raw = table.decompress(data.get(*pos..*pos + len)?)?;
+                *pos += len;
+                by_rank.push(String::from_utf8(raw).ok()?);
+            }
+            Some(by_rank)
+        }
+        _ => None,
+    }
 }
 
 fn fit_column(col: &Column) -> ColumnTransform {
@@ -454,8 +669,8 @@ fn fit_categorical(col: &Column) -> ColumnTransform {
     }
 }
 
-fn encode_column(col: &Column, tr: &ColumnTransform) -> Vec<u64> {
-    let mut out = Vec::with_capacity(col.len());
+fn encode_column_into(col: &Column, tr: &ColumnTransform, out: &mut Vec<u64>) {
+    out.reserve(col.len());
     match tr {
         ColumnTransform::Numeric { min_scaled, scale, max_enc, null_code } => {
             let factor = 10f64.powi(*scale as i32);
@@ -504,7 +719,6 @@ fn encode_column(col: &Column, tr: &ColumnTransform) -> Vec<u64> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -607,7 +821,7 @@ mod tests {
         let enc = pre.encode(&d);
         for col in 0..d.n_columns() {
             for row in 0..d.n_rows() {
-                let decoded = pre.decode_value(col, enc.get(row, col));
+                let decoded = pre.decode_value(col, enc.get(row, col)).expect("valid code");
                 match (d.column(col).value(row), decoded) {
                     (Value::Float(a), Value::Float(b)) => {
                         assert!((a - b).abs() < 1e-9, "col {col} row {row}")
@@ -663,6 +877,131 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert!(Preprocessor::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn decode_out_of_range_code_is_an_error_not_a_panic() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        // Column 2 is categorical with 2 categories + no null: rank 7 is from
+        // a corrupted or version-skewed store.
+        match pre.decode_value(2, 7) {
+            Err(GdError::CorruptCode { column, code }) => {
+                assert_eq!(column, "c");
+                assert_eq!(code, 7);
+            }
+            other => panic!("expected CorruptCode, got {other:?}"),
+        }
+        // And it maps to PhError::Corrupt, not InvalidQuery.
+        let ph: ph_types::PhError = pre.decode_value(2, 7).unwrap_err().into();
+        assert!(matches!(ph, ph_types::PhError::Corrupt(_)));
+        // Numeric codes beyond 2^52 are unrepresentable.
+        assert!(matches!(
+            pre.decode_value(0, (1 << 52) + 1),
+            Err(GdError::CorruptCode { .. })
+        ));
+        // Out-of-range column index is a typed error too.
+        assert!(matches!(pre.decode_value(99, 0), Err(GdError::BadColumn(99))));
+    }
+
+    #[test]
+    fn giant_string_survives_serialization() {
+        // Regression: PRE1 framed strings with a u16 length, and release
+        // builds silently truncated a >64 KiB string, corrupting the blob.
+        let big = "x".repeat(70 * 1024);
+        let d = Dataset::builder("t")
+            .column(Column::from_strings("s", vec![Some(big.as_str()), Some("tiny")]))
+            .unwrap()
+            .build();
+        let pre = Preprocessor::fit(&d);
+        let bytes = pre.to_bytes();
+        let back = Preprocessor::from_bytes(&bytes).expect("deserialize");
+        assert_eq!(back, pre);
+        assert_eq!(back.transform(0).category(0), Some(big.as_str()));
+    }
+
+    #[test]
+    fn legacy_pre1_blobs_still_load() {
+        // A PRE1 blob written by the previous format version: u16 column
+        // count, u16-framed strings, u32 dictionary counts.
+        fn put_str_v1(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"PRE1");
+        v1.extend_from_slice(&2u16.to_le_bytes());
+        put_str_v1(&mut v1, "x");
+        v1.push(0); // Int
+        v1.push(0); // scale
+        v1.extend_from_slice(&(-5i64).to_le_bytes());
+        v1.extend_from_slice(&15u64.to_le_bytes());
+        v1.push(1); // has_null
+        put_str_v1(&mut v1, "c");
+        v1.push(3); // Categorical
+        v1.extend_from_slice(&2u32.to_le_bytes());
+        put_str_v1(&mut v1, "common");
+        put_str_v1(&mut v1, "rare");
+        v1.push(0); // no null
+        let pre = Preprocessor::from_bytes(&v1).expect("PRE1 must still load");
+        assert_eq!(pre.names(), &["x".to_string(), "c".to_string()]);
+        assert_eq!(
+            pre.transform(0),
+            &ColumnTransform::Numeric {
+                min_scaled: -5,
+                scale: 0,
+                max_enc: 15,
+                null_code: Some(16)
+            }
+        );
+        assert_eq!(pre.transform(1).category(0), Some("common"));
+        assert_eq!(pre.transform(1).category(1), Some("rare"));
+        // Re-serializing upgrades to PRE2, which round-trips bit-stably.
+        let v2 = pre.to_bytes();
+        assert_eq!(&v2[..4], b"PRE2");
+        assert_eq!(Preprocessor::from_bytes(&v2).unwrap(), pre);
+    }
+
+    #[test]
+    fn redundant_dictionaries_compress_with_fsst() {
+        // 300 URL-shaped categories sharing long affixes: the FSST dictionary
+        // block (mode 1) must beat plain framing and round-trip exactly.
+        let cats: Vec<String> = (0..300)
+            .map(|i| format!("https://telemetry.plant-{:02}.example.com/sensor/{i}", i % 7))
+            .collect();
+        let refs: Vec<Option<&str>> = cats.iter().map(|s| Some(s.as_str())).collect();
+        let d = Dataset::builder("t")
+            .column(Column::from_strings("url", refs))
+            .unwrap()
+            .build();
+        let pre = Preprocessor::fit(&d);
+        let bytes = pre.to_bytes();
+        let plain_total: usize = cats.iter().map(|s| s.len() + 1).sum();
+        assert!(
+            bytes.len() < plain_total,
+            "FSST dict should shrink the blob: {} vs plain {plain_total}",
+            bytes.len()
+        );
+        let back = Preprocessor::from_bytes(&bytes).expect("deserialize");
+        assert_eq!(back, pre);
+        assert_eq!(back.to_bytes(), bytes, "round-trip must be bit-stable");
+    }
+
+    #[test]
+    fn encode_with_reuses_scratch_buffers() {
+        let d = sample();
+        let pre = Preprocessor::fit(&d);
+        let mut scratch = EncodeScratch::new();
+        let first = pre.encode_with(&d, &mut scratch);
+        let want = first.columns.clone();
+        let ptrs: Vec<*const u64> = first.columns.iter().map(|c| c.as_ptr()).collect();
+        scratch.reclaim(first);
+        let second = pre.encode_with(&d, &mut scratch);
+        assert_eq!(second.columns, want);
+        // Every buffer came back out of the pool — no fresh allocations.
+        for col in &second.columns {
+            assert!(ptrs.contains(&col.as_ptr()));
+        }
     }
 
     #[test]

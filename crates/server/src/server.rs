@@ -663,6 +663,14 @@ fn stats_json(shared: &Shared) -> Json {
                     ])
                 })
                 .unwrap_or(Json::Null);
+            // Codec mix of the sealed row stores: column counts keyed by the
+            // winning codec, so operators can see what the cascade picked.
+            let codec_mix = Json::Obj(
+                t.codec_mix
+                    .iter()
+                    .map(|(name, cols)| (name.clone(), Json::Num(*cols as f64)))
+                    .collect(),
+            );
             obj(vec![
                 ("name", Json::Str(t.name.clone())),
                 ("epoch", Json::Num(t.epoch as f64)),
@@ -670,6 +678,7 @@ fn stats_json(shared: &Shared) -> Json {
                 ("sealed_rows", Json::Num(t.sealed_rows as f64)),
                 ("delta_rows", Json::Num(t.delta_rows as f64)),
                 ("staleness", Json::Num(t.staleness)),
+                ("codec_mix", codec_mix),
                 ("footprint", footprint),
             ])
         })

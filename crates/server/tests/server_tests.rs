@@ -198,6 +198,18 @@ fn endpoints_and_methods_are_routed() {
     client.query("SELECT COUNT(y) FROM demo WHERE x > 10;").unwrap();
     let stats = client.stats().unwrap();
     assert!(stats.get("plan_cache").is_some());
+    // Every registered table reports the row-store codec mix the seal-time
+    // cascade picked; the column counts must cover the table's four columns.
+    let tables = match stats.get("tables") {
+        Some(Json::Arr(tables)) => tables,
+        other => panic!("tables should be an array, got {other:?}"),
+    };
+    let mix = tables[0].get("codec_mix").unwrap();
+    let total: f64 = match mix {
+        Json::Obj(entries) => entries.iter().filter_map(|(_, v)| v.as_f64()).sum(),
+        other => panic!("codec_mix should be an object, got {other:?}"),
+    };
+    assert!(total > 0.0, "codec mix covers at least one column: {mix:?}");
     let endpoints = stats.get("server").and_then(|s| s.get("endpoints")).unwrap();
     let q = endpoints.get("query").unwrap();
     assert_eq!(q.get("requests").and_then(Json::as_f64), Some(1.0));

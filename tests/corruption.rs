@@ -255,3 +255,42 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+proptest! {
+    /// Decode is total on arbitrary codes: a corrupted or version-skewed store
+    /// can hand the preprocessor any `u64` — every out-of-range categorical
+    /// rank or over-wide numeric code must surface as a typed error (mapping
+    /// to `PhError::Corrupt`), never a panic or silent garbage.
+    #[test]
+    fn decode_value_is_total_on_arbitrary_codes(
+        codes in proptest::collection::vec(any::<u64>(), 48),
+    ) {
+        let data = dataset("t", 300, 11);
+        let pre = pairwisehist::gd::Preprocessor::fit(&data);
+        // One past the real column count: out-of-range columns are errors too.
+        for c in 0..=pre.n_columns() {
+            for &v in &codes {
+                if let Err(e) = pre.decode_value(c, v) {
+                    let as_ph: PhError = e.into();
+                    let text = as_ph.to_string();
+                    prop_assert!(!text.is_empty());
+                }
+            }
+        }
+        // Every code the preprocessor itself produced still decodes cleanly.
+        let matrix = pre.encode(&data);
+        for (c, col) in matrix.columns.iter().enumerate() {
+            for &v in col.iter().take(64) {
+                prop_assert!(pre.decode_value(c, v).is_ok());
+            }
+        }
+        // An out-of-range categorical rank is specifically the corruption
+        // error, which quarantine-on-open keys off.
+        let cat = pre.n_columns() - 1; // 'c' column in `dataset`
+        let bad = pre.decode_value(cat, 1 << 40);
+        prop_assert!(matches!(
+            bad.map_err(PhError::from),
+            Err(PhError::Corrupt(_))
+        ));
+    }
+}
