@@ -70,6 +70,6 @@ pub use engine::{AqpAnswer, AqpError};
 pub use prepared::{AqpEngine, Prepared};
 pub use segment::{CompactReport, FootprintReport};
 pub use session::{
-    CacheStats, IngestReport, Session, SessionStats, TableSnapshot, TableStats,
+    BatchSession, CacheStats, IngestReport, Session, SessionStats, TableSnapshot, TableStats,
 };
 pub use storage::SynopsisSize;

@@ -262,6 +262,67 @@ impl TableSnapshot {
     }
 }
 
+/// A short-lived executor for one drained batch of queries, created by
+/// [`Session::batch`]: every query in the batch against the same table shares
+/// **one** pinned snapshot (one read-lock acquisition and `Arc` bump per table
+/// per batch) instead of one per request. Built for batched serving loops that
+/// drain many parsed queries at once — the per-request snapshot cost was pure
+/// overhead when the whole batch answers from the same version anyway.
+///
+/// Answers are bit-identical to [`Session::sql`] against the version pinned
+/// when the table was first touched by this batch. A concurrent seal or
+/// rebuild surfaces internally as [`PhError::StalePlan`] exactly like the
+/// unbatched path; the batch transparently re-pins the table and replans, with
+/// the same bounded-retry contract, falling back to [`Session::sql`] under a
+/// writer storm. Dropping the batch releases its pinned snapshots.
+pub struct BatchSession<'a> {
+    session: &'a Session,
+    /// Tables this batch has touched, each pinned at first touch. Batches are
+    /// small and almost always single-table, so a linear scan beats a map.
+    snaps: Vec<(String, Arc<TableState>)>,
+}
+
+impl BatchSession<'_> {
+    /// Parses, plans (through the session's shared plan cache) and executes
+    /// one query against this batch's pinned snapshot of its table.
+    pub fn sql(&mut self, sql: &str) -> Result<AqpAnswer, PhError> {
+        let mut prepared = self.session.prepare(sql)?;
+        for _ in 0..=STALE_RETRIES {
+            let state = self.snap(&prepared.query().table)?;
+            match state.execute_prepared(&prepared) {
+                Err(PhError::StalePlan(_)) => {
+                    // The pinned snapshot (and possibly the plan) lost a race
+                    // with a seal or rebuild: unpin, purge the table's cached
+                    // plans, and replan against the live state.
+                    let table = prepared.query().table.clone();
+                    self.evict(&table);
+                    self.session.cache.invalidate_table(&table);
+                    prepared = self.session.prepare_internal(sql)?;
+                }
+                other => return other,
+            }
+        }
+        // Writer storm: every re-pin raced a fresh seal. Fall back to the
+        // unbatched path, which pins a fresh snapshot per attempt.
+        self.session.sql(sql)
+    }
+
+    /// The pinned snapshot for `table`, pinning the current version on first
+    /// touch.
+    fn snap(&mut self, table: &str) -> Result<Arc<TableState>, PhError> {
+        if let Some((_, state)) = self.snaps.iter().find(|(name, _)| name == table) {
+            return Ok(state.clone());
+        }
+        let state = self.session.cell(table)?.snapshot();
+        self.snaps.push((table.to_string(), state.clone()));
+        Ok(state)
+    }
+
+    fn evict(&mut self, table: &str) {
+        self.snaps.retain(|(name, _)| name != table);
+    }
+}
+
 impl Deref for TableSnapshot {
     type Target = PairwiseHist;
 
@@ -695,6 +756,21 @@ impl Session {
             }
         }
         self.execute(&last)
+    }
+
+    /// Starts a batch: returns a [`BatchSession`] whose queries share one
+    /// pinned snapshot per table for the lifetime of the batch. Serving loops
+    /// that drain N parsed queries at once pay one read-lock + `Arc` bump per
+    /// table instead of N.
+    pub fn batch(&self) -> BatchSession<'_> {
+        BatchSession { session: self, snaps: Vec::new() }
+    }
+
+    /// Convenience: runs a slice of queries through one [`Session::batch`],
+    /// returning per-query results in order.
+    pub fn sql_batch(&self, sqls: &[&str]) -> Vec<Result<AqpAnswer, PhError>> {
+        let mut batch = self.batch();
+        sqls.iter().map(|sql| batch.sql(sql)).collect()
     }
 
     /// Parses and plans one query, returning the cached plan handle. Repeated calls

@@ -1,7 +1,7 @@
 //! R4 `error-convention`: one error type flows through the stack.
 //!
 //! The workspace's contract since PR 2: every layer's error converts into
-//! [`ph_types::PhError`] via a `From` impl living next to the source type, so
+//! `ph_types::PhError` via a `From` impl living next to the source type, so
 //! the `Session` facade — and anything built on `AqpEngine` — propagates a
 //! single type with `?`. A public library function returning `Result<_, E>`
 //! for an `E` outside that family (a bare `String`, an ad-hoc enum without a

@@ -18,8 +18,12 @@
 //! (`x.lock().….clone()`) are *not* bindings and are fine: they drop at the
 //! statement's end. A live guard ends at `drop(guard)` or its block's close
 //! brace. While one is live, calls into `faultfs::…`, `wal::…`,
-//! `write_atomic(…)`, `std::net`, `TcpStream::…`, `.sync_all()`,
-//! `.write_all(…)` and `.flush()` are flagged.
+//! `write_atomic(…)`, `std::net`, `TcpStream::…`, `polling::…`, `Poller::…`,
+//! `.sync_all()`, `.write_all(…)`, `.flush()` and `.notify()` are flagged —
+//! the last being the poll shim's self-pipe write: waking the event loop
+//! while holding its completion-queue lock hands the loop a lock convoy.
+//! (`.notify_one()`/`.notify_all()` are *not* flagged: a `Condvar` signal
+//! under its own mutex is the condvar protocol, not I/O.)
 //!
 //! The deliberate exceptions — the WAL append that *must* happen under the
 //! table writer lock (write-ahead ordering), the query-log mutex that exists
@@ -236,6 +240,22 @@ fn io_call_at(ctx: &FileCtx, i: usize) -> Option<&'static str> {
     if toks[i].is_ident("TcpStream") && ctx.punct(i + 1, ':') && ctx.punct(i + 2, ':') {
         return Some("TcpStream call");
     }
+    if (toks[i].is_ident("polling") || toks[i].is_ident("Poller"))
+        && ctx.punct(i + 1, ':')
+        && ctx.punct(i + 2, ':')
+        // Not already inside a longer path (`polling::Poller::` fires once).
+        && !(i > 0 && toks[i - 1].is_punct(':'))
+    {
+        return Some("poll-shim call (readiness I/O)");
+    }
+    if i > 0
+        && toks[i - 1].is_punct('.')
+        && ctx.ident(i) == Some("notify")
+        && ctx.punct(i + 1, '(')
+        && ctx.punct(i + 2, ')')
+    {
+        return Some("event-loop wakeup (self-pipe write)");
+    }
     if i > 0
         && toks[i - 1].is_punct('.')
         && matches!(ctx.ident(i), Some("sync_all") | Some("write_all") | Some("flush"))
@@ -296,5 +316,33 @@ mod tests {
         let src = "fn f() { let mut g = cell.write()?; out.write_all(b); }";
         let d = run(src);
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn poller_notify_under_guard_fires() {
+        let src = "fn f() { let mut q = done.lock().unwrap(); q.push(x); poller.notify(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("wakeup"), "{d:?}");
+    }
+
+    #[test]
+    fn poll_shim_path_under_guard_fires() {
+        let src = "fn f() { let g = m.lock().unwrap(); polling::Poller::new(); }";
+        let d = run(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("poll-shim"), "{d:?}");
+    }
+
+    #[test]
+    fn condvar_notify_one_under_guard_is_the_protocol_not_io() {
+        let src = "fn f() { let mut g = m.lock().unwrap(); g.closed = true; cv.notify_one(); cv.notify_all(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn notify_after_guard_scope_is_fine() {
+        let src = "fn f() { { let mut q = done.lock().unwrap(); q.push(x); } poller.notify(); }";
+        assert!(run(src).is_empty());
     }
 }

@@ -1,0 +1,19 @@
+// Fixture (linted as crates/server/src/server.rs): the event-loop failure
+// modes R2 and R3 exist to catch — panicking slab access, and poll-shim I/O
+// performed while the completion-queue guard is still live.
+pub fn apply_done(conns: &mut Vec<Option<Conn>>, done: Done) {
+    let conn = conns[done.key].as_mut().unwrap(); // line 5: indexing + unwrap
+    conn.fill(done.seq, done.bytes);
+}
+
+pub fn publish(shared: &Shared, batch: Vec<Done>) {
+    let mut pending = shared.done.lock().unwrap_or_else(|p| p.into_inner());
+    pending.extend(batch);
+    shared.poller.notify(); // line 12: self-pipe write under the queue guard
+}
+
+pub fn register(shared: &Shared, stream: &TcpStream, key: usize) {
+    let slots = shared.slots.lock().unwrap_or_else(|p| p.into_inner());
+    polling::Poller::new(); // line 17: poll-shim call under the slab guard
+    drop(slots);
+}

@@ -1,0 +1,35 @@
+// Fixture (linted as crates/server/src/server.rs): the compliant event-loop
+// idioms — slab access via get_mut, completions drained with a temporary
+// guard, and the loop woken only after the queue guard's scope has closed.
+pub fn apply_done(conns: &mut Vec<Option<Conn>>, done: Done) {
+    let Some(conn) = conns.get_mut(done.key).and_then(|s| s.as_mut()) else {
+        return; // stale completion for a retired slot: dropped, not a panic
+    };
+    conn.fill(done.seq, done.bytes);
+}
+
+pub fn publish(shared: &Shared, mut batch: Vec<Done>) {
+    {
+        let mut pending = shared.done.lock().unwrap_or_else(|p| p.into_inner());
+        pending.append(&mut batch);
+    }
+    // The self-pipe write happens after the guard's block closes: a loop
+    // thread woken here can take the queue lock immediately.
+    shared.poller.notify();
+}
+
+pub fn drain(shared: &Shared) -> Vec<Done> {
+    // Temporary guard: consumed within the statement, no binding survives
+    // to overlap the wakeup below.
+    let finished = std::mem::take(&mut *shared.done.lock().unwrap_or_else(|p| p.into_inner()));
+    shared.poller.notify();
+    finished
+}
+
+pub fn signal_workers(queue: &WorkQueue) {
+    let mut inner = queue.inner.lock().unwrap_or_else(|p| p.into_inner());
+    inner.closed = true;
+    // Condvar signalling under its own mutex is the condvar protocol, not
+    // I/O — R3 deliberately does not flag notify_one/notify_all.
+    queue.ready.notify_all();
+}

@@ -101,6 +101,27 @@ fn lock_across_io_fires_on_bad_and_not_on_good() {
     assert!(good.is_empty(), "{good:?}");
 }
 
+/// Event-loop serving code is double-covered: R2 catches the panicking slab
+/// idioms, R3 catches poll-shim I/O (including the self-pipe `notify()`)
+/// performed while a queue/slab guard is live. The good fixture shows the
+/// sanctioned shapes: `get_mut` slab access, scoped guards, notify-after-drop,
+/// and condvar signalling (which R3 must NOT confuse with the poller wakeup).
+#[test]
+fn event_loop_fixtures_cover_no_panic_and_lock_across_io() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("event_loop_bad.rs", "crates/server/src/server.rs", &ws);
+    let r2_lines: Vec<u32> =
+        bad.iter().filter(|d| d.rule == "no-panic-serving").map(|d| d.line).collect();
+    assert_eq!(r2_lines, [5, 5], "indexing + unwrap on the slab line: {bad:?}");
+    let r3: Vec<_> = bad.iter().filter(|d| d.rule == "lock-across-io").collect();
+    assert_eq!(r3.iter().map(|d| d.line).collect::<Vec<_>>(), [12, 17], "{bad:?}");
+    assert!(r3[0].message.contains("self-pipe"), "{bad:?}");
+    assert!(r3[1].message.contains("poll-shim"), "{bad:?}");
+
+    let good = lint_fixture("event_loop_good.rs", "crates/server/src/server.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
 #[test]
 fn error_convention_fires_on_bad_and_not_on_good() {
     let ws = fixture_ws();

@@ -1,8 +1,9 @@
 //! `ph-serve`: the serving process.
 //!
 //! ```text
-//! ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--qlog PATH]
-//!          [--data-dir DIR | --demo ROWS]
+//! ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N]
+//!          [--read-timeout SECS] [--idle-timeout SECS] [--serve-seconds S]
+//!          [--qlog PATH] [--data-dir DIR | --demo ROWS]
 //! ```
 //!
 //! With `--data-dir` the catalog is reopened from a `Session::save_dir`
@@ -15,8 +16,16 @@
 //!      -d 'SELECT COUNT(global_active_power) FROM Power WHERE voltage > 238;'
 //! ```
 //!
-//! Runs until killed. The query log (if any) is flushed on every append, so a
-//! `SIGKILL` loses at most the in-flight record.
+//! Runs until killed — or, with `--serve-seconds S`, shuts down gracefully
+//! after `S` seconds (draining in-flight responses and flushing the query
+//! log), which is what the CI smoke jobs use for a clean bounded run. The
+//! query log (if any) is flushed on every append, so a `SIGKILL` loses at
+//! most the in-flight record.
+//!
+//! As a standalone process the default connection cap is 10 000 (the
+//! event loop holds idle keep-alive sockets for a slab slot each; raise it
+//! to the fd budget with `--max-conns`). Embedded `Server`s default to the
+//! legacy `workers + queue_depth` derivation instead.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -29,11 +38,13 @@ struct Args {
     cfg: ServerConfig,
     data_dir: Option<String>,
     demo_rows: usize,
+    serve_seconds: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--qlog PATH] \
+        "usage: ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N] \
+         [--read-timeout SECS] [--idle-timeout SECS] [--serve-seconds S] [--qlog PATH] \
          [--data-dir DIR | --demo ROWS]"
     );
     exit(2);
@@ -42,9 +53,15 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7871".into(),
-        cfg: ServerConfig::default(),
+        cfg: ServerConfig {
+            // The standalone process is the 10k-connection deployment shape;
+            // the legacy workers+queue derivation only suits embedded tests.
+            max_connections: 10_000,
+            ..ServerConfig::default()
+        },
         data_dir: None,
         demo_rows: 50_000,
+        serve_seconds: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -59,6 +76,22 @@ fn parse_args() -> Args {
             }
             "--queue" => {
                 args.cfg.queue_depth = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-conns" => {
+                args.cfg.max_connections =
+                    value("--max-conns").parse().unwrap_or_else(|_| usage())
+            }
+            "--read-timeout" => {
+                let secs: f64 = value("--read-timeout").parse().unwrap_or_else(|_| usage());
+                args.cfg.read_timeout = std::time::Duration::from_secs_f64(secs.max(0.001));
+            }
+            "--idle-timeout" => {
+                let secs: f64 = value("--idle-timeout").parse().unwrap_or_else(|_| usage());
+                args.cfg.idle_timeout = std::time::Duration::from_secs_f64(secs.max(0.001));
+            }
+            "--serve-seconds" => {
+                args.serve_seconds =
+                    Some(value("--serve-seconds").parse().unwrap_or_else(|_| usage()))
             }
             "--qlog" => args.cfg.query_log = Some(value("--qlog").into()),
             "--data-dir" => args.data_dir = Some(value("--data-dir")),
@@ -111,13 +144,32 @@ fn main() {
     // Stdout so scripts can scrape the resolved (possibly ephemeral) port.
     println!("ph-serve listening on {}", server.local_addr());
     eprintln!(
-        "workers={} queue={} qlog={}",
+        "workers={} queue={} max_conns={} qlog={}",
         args.cfg.workers,
         args.cfg.queue_depth,
+        args.cfg.effective_max_connections(),
         args.cfg.query_log.as_deref().map(|p| p.display().to_string()).unwrap_or_else(|| "off".into()),
     );
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
+    match args.serve_seconds {
+        // Bounded run (CI smoke): serve, then shut down gracefully — drain
+        // in-flight responses, flush the qlog, join every thread — and print
+        // the serving counters so the harness can assert on them.
+        Some(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+            let stats = server.stats();
+            server.shutdown();
+            println!(
+                "ph-serve done: accepted={} open_at_stop={} rejected_503={} pipelined={} queue_hwm={}",
+                stats.accepted_connections,
+                stats.open_connections,
+                stats.rejected_503,
+                stats.pipelined_requests,
+                stats.executor_queue_hwm,
+            );
+        }
+        // Serve until the process is killed.
+        None => loop {
+            std::thread::park();
+        },
     }
 }

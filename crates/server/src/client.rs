@@ -58,7 +58,7 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// Lets callers `?` client calls through code that speaks [`PhError`] — e.g.
+/// Lets callers `?` client calls through code that speaks [`PhError`](ph_types::PhError) — e.g.
 /// replay/verification tools comparing a served answer against a local
 /// session. Server-reported errors keep their status and kind in the message.
 impl From<ClientError> for ph_types::PhError {
@@ -332,6 +332,53 @@ impl Client {
                     .collect()
             })
             .ok_or_else(|| ClientError::Protocol("missing \"tables\" array".into()))
+    }
+
+    /// Executes a batch of queries **pipelined** on the keep-alive
+    /// connection: every request is written back-to-back before the first
+    /// response is read, so the batch costs one round-trip plus server time
+    /// instead of one round-trip *per query*. The server answers in request
+    /// order; element `i` of the result is query `i`'s answer or its
+    /// structured server error.
+    ///
+    /// A transport failure mid-batch fails the whole call (the connection is
+    /// dropped): with responses already possibly in flight there is no safe
+    /// per-query retry, so unlike [`Client::query`] this does not retry.
+    pub fn query_pipelined(
+        &mut self,
+        sqls: &[&str],
+    ) -> Result<Vec<Result<AqpAnswer, ClientError>>, ClientError> {
+        if sqls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let outcome = (|| {
+            let conn = self.connect()?;
+            for sql in sqls {
+                let body = obj(vec![("sql", Json::Str(sql.to_string()))]).to_string();
+                conn.write_request("POST", "/query", "application/json", body.as_bytes())
+                    .map_err(|e| ClientError::Transport(format!("pipelined write: {e}")))?;
+            }
+            let mut answers = Vec::with_capacity(sqls.len());
+            for _ in sqls {
+                let (status, _headers, body) = conn
+                    .read_response(MAX_RESPONSE_BYTES)
+                    .map_err(|e| ClientError::Transport(format!("pipelined read: {e}")))?;
+                let text = String::from_utf8(body)
+                    .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+                let doc = Json::parse(&text).map_err(|e| {
+                    ClientError::Protocol(format!("response is not JSON: {e} in {text:?}"))
+                })?;
+                answers.push(Self::ok_or_server_error(status, doc).and_then(|doc| {
+                    answer_from_json(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
+                }));
+            }
+            Ok(answers)
+        })();
+        if outcome.is_err() {
+            // The stream position is unknowable after a mid-batch failure.
+            self.conn = None;
+        }
+        outcome
     }
 
     /// Grouped convenience: the scalar estimate of one query, erroring on

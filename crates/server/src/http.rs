@@ -45,7 +45,7 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Lets callers `?` HTTP exchanges through code that speaks [`PhError`]:
+/// Lets callers `?` HTTP exchanges through code that speaks [`PhError`](ph_types::PhError):
 /// socket failures are I/O, everything else is bytes that don't decode as the
 /// protocol claims.
 impl From<HttpError> for ph_types::PhError {
@@ -230,6 +230,64 @@ fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
     }
 }
 
+/// Incremental, resumable request parsing for readiness-driven loops: attempts
+/// to parse one complete request (head + `Content-Length` body) from the front
+/// of `buf`, consuming its bytes on success.
+///
+/// - `Ok(Some(req))` — one request was parsed and drained from `buf`; call
+///   again, the buffer may hold further pipelined requests.
+/// - `Ok(None)` — the bytes so far are a valid prefix; keep them and call back
+///   when more arrive. `buf` is untouched.
+/// - `Err(..)` — the prefix can never become a valid request (malformed head,
+///   head over [`MAX_HEAD_BYTES`], declared body over `max_body`). The
+///   connection is unrecoverable: byte boundaries are lost.
+///
+/// Oversized bodies are rejected from the `Content-Length` header alone —
+/// before the body arrives — so a hostile declaration never makes the loop
+/// buffer it.
+pub fn try_parse_request(
+    buf: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(sep) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!("head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        return Ok(None);
+    };
+    let head = buf.get(..sep.start).unwrap_or(buf);
+    let mut req = parse_request_head(head)?;
+    let len = content_length(&req.headers)?;
+    if len > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {len} bytes exceeds the {max_body}-byte cap"
+        )));
+    }
+    let total = sep.end.saturating_add(len);
+    if buf.len() < total {
+        return Ok(None);
+    }
+    req.body = buf.get(sep.end..total).unwrap_or(&[]).to_vec();
+    buf.drain(..total.min(buf.len()));
+    Ok(Some(req))
+}
+
+/// Serializes a response with a JSON body to wire bytes — the exact bytes
+/// [`HttpConn::write_response`] emits, for loops that stage responses in a
+/// per-connection write backlog instead of writing through a stream.
+pub fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason_phrase(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
 /// A buffered HTTP connection over any `Read + Write` stream (a `TcpStream` in
 /// production, an in-memory pipe in tests). Reads whole messages; writes are
 /// passed through.
@@ -332,21 +390,15 @@ impl<S: Read + Write> HttpConn<S> {
         Ok((status, headers, body))
     }
 
-    /// Writes a response with a JSON body.
+    /// Writes a response with a JSON body (the bytes of [`response_bytes`]).
     pub fn write_response(
         &mut self,
         status: u16,
         body: &str,
         keep_alive: bool,
     ) -> Result<(), HttpError> {
-        let head = format!(
-            "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            reason_phrase(status),
-            body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
-        );
-        self.stream.write_all(head.as_bytes()).map_err(io_error)?;
-        self.stream.write_all(body.as_bytes()).map_err(io_error)?;
+        let bytes = response_bytes(status, body, keep_alive);
+        self.stream.write_all(&bytes).map_err(io_error)?;
         self.stream.flush().map_err(io_error)
     }
 
@@ -485,6 +537,63 @@ mod tests {
         assert_eq!(status, 404);
         assert_eq!(body, b"{\"error\":\"x\"}");
         assert!(headers.iter().any(|(n, v)| n == "content-type" && v == "application/json"));
+    }
+
+    #[test]
+    fn try_parse_is_resumable_byte_by_byte() {
+        let wire = b"POST /query HTTP/1.1\r\nContent-Length: 8\r\n\r\nSELECT 1";
+        let mut buf = Vec::new();
+        let mut parsed = None;
+        for (i, &b) in wire.iter().enumerate() {
+            buf.push(b);
+            match try_parse_request(&mut buf, 1024).unwrap() {
+                Some(req) => {
+                    assert_eq!(i, wire.len() - 1, "complete only at the last byte");
+                    parsed = Some(req);
+                }
+                None => assert!(i < wire.len() - 1),
+            }
+        }
+        let req = parsed.unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"SELECT 1");
+        assert!(buf.is_empty(), "consumed exactly one message");
+    }
+
+    #[test]
+    fn try_parse_drains_pipelined_requests_in_order() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        buf.extend_from_slice(b"POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\nok");
+        buf.extend_from_slice(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let a = try_parse_request(&mut buf, 1024).unwrap().unwrap();
+        let b = try_parse_request(&mut buf, 1024).unwrap().unwrap();
+        let c = try_parse_request(&mut buf, 1024).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str(), c.path.as_str()), ("/healthz", "/query", "/stats"));
+        assert_eq!(b.body, b"ok");
+        assert!(!c.keep_alive());
+        assert_eq!(try_parse_request(&mut buf, 1024).unwrap(), None);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn try_parse_rejects_oversized_declarations_before_body_arrives() {
+        let mut buf = b"POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".to_vec();
+        assert!(matches!(try_parse_request(&mut buf, 1024), Err(HttpError::TooLarge(_))));
+        let mut runaway = vec![b'x'; MAX_HEAD_BYTES + 1];
+        runaway.splice(..0, b"GET / HTTP/1.1\r\n".iter().copied());
+        assert!(matches!(try_parse_request(&mut runaway, 1024), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn response_bytes_match_write_response() {
+        for (status, body, ka) in [(200, "{\"x\":1}", true), (503, "overload", false)] {
+            let mut wire = Vec::new();
+            HttpConn::new(std::io::Cursor::new(&mut wire))
+                .write_response(status, body, ka)
+                .unwrap();
+            assert_eq!(wire, response_bytes(status, body, ka));
+        }
     }
 
     #[test]

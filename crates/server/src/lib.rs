@@ -2,7 +2,9 @@
 //!
 //! Everything below this crate answers queries *in process*; this crate puts
 //! the system on a socket. A [`Server`] is a dependency-free HTTP/1.1 process
-//! component on `std::net` — a fixed worker pool over one shared
+//! component on `std::net`: a readiness-driven event loop (epoll/`poll(2)`
+//! via the offline `polling` shim) holding thousands of non-blocking
+//! keep-alive connections, with a batched executor pool over one shared
 //! [`Session`](ph_core::Session) — serving:
 //!
 //! | endpoint        | what it does |
@@ -15,9 +17,13 @@
 //!
 //! Three serving-layer guarantees the in-process library cannot give:
 //!
-//! * **Admission control.** Accepted connections queue in a *bounded* handoff;
-//!   when the queue is full the server answers `503` at the door instead of
-//!   accumulating unbounded connections. Overload stays fast and explicit.
+//! * **Admission control.** A connection past the cap is answered `503` at
+//!   the door; a parsed request that doesn't fit the bounded executor queue
+//!   is answered `503` in-stream. Either way the server sheds load fast and
+//!   explicitly instead of accumulating unbounded work. Connection *capacity*
+//!   is an fd budget, not a thread count: the event loop holds 10k+ idle
+//!   keep-alive sockets for a slab slot each, and pipelined requests on one
+//!   connection are answered strictly in request order.
 //! * **Structured failure.** Every [`PhError`](ph_types::PhError) maps to an
 //!   HTTP status ([`status_for`]) and a JSON error body with a machine-readable
 //!   `kind` — parse errors even carry the byte offset of the syntax error.
@@ -54,7 +60,8 @@
 //! ```
 //!
 //! Binaries: `ph-serve` (the server process) and `ph-bench-client` (a
-//! closed-loop load generator over [`load::run_closed_loop`]).
+//! closed-loop load generator over [`load::run_load`] — active closed loops,
+//! optional pipelining, and an optional held-idle keep-alive population).
 
 // Debug/scaffolding egress is banned in library code: a stray println corrupts
 // bin protocols (ph-serve speaks HTTP on stdout-adjacent fds) and dbg!/todo!
@@ -73,7 +80,7 @@ pub mod wire;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
-pub use load::{run_closed_loop, LoadReport};
+pub use load::{run_closed_loop, run_load, LoadProfile, LoadReport};
 pub use querylog::{read_query_log, read_query_log_lossy, QueryLogWriter};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerStats};
 pub use wire::{answer_from_json, answer_to_json, error_body, status_for};

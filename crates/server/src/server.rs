@@ -1,34 +1,58 @@
-//! The serving process: a fixed worker pool draining a **bounded** accept
-//! queue, all workers sharing one `Arc<Session>`.
+//! The serving process: a readiness-driven event loop holding thousands of
+//! keep-alive connections, feeding a small batched executor pool that shares
+//! one `Session` snapshot per drained batch.
 //!
 //! # Architecture
 //!
 //! ```text
-//!            ┌────────────┐   bounded queue    ┌──────────┐
-//!  accept ──▶│  acceptor  │──▶ (cap = depth) ──▶│ worker 0 │──▶ Session (shared)
-//!            │   thread   │        │            │    …     │
-//!            └────────────┘        │ full?      │ worker N │
-//!                                  ▼            └──────────┘
-//!                            503 + close
+//!                    ┌──────────────────────────────┐  job queue   ┌────────┐
+//!  accept ──▶ 503?──▶│          event loop          │─▶ (bounded) ─▶│ exec 0 │─┐
+//!  (conn cap)        │  epoll/poll · non-blocking   │      │503?   │   …    │ │ one snapshot
+//!                    │  per-conn HTTP state machine │      ▼       │ exec N │ │ per batch
+//!                    │  pipelining · timer wheel    │◀─ completions └────────┘─┘
+//!                    └──────────────────────────────┘   + notify
 //! ```
 //!
-//! * **Admission control.** The acceptor never blocks on a slow worker: a
-//!   connection that does not fit in the queue is answered `503` immediately
-//!   and closed. Under overload the server sheds load at the door instead of
-//!   accumulating unbounded connections — the failure mode stays *fast and
-//!   explicit* (clients see 503 and back off) rather than slow and silent.
-//! * **Connection-per-worker.** A worker owns a connection for its whole
-//!   keep-alive lifetime (requests on one connection are sequential anyway).
-//!   Size `workers` at or above the expected concurrent connection count; the
-//!   queue absorbs bursts beyond it.
-//! * **Graceful shutdown.** [`Server::shutdown`] stops the acceptor, lets every
-//!   worker finish its in-flight request, flushes the query log, and joins all
-//!   threads. In-flight requests are answered, new ones are not.
+//! * **Readiness, not threads.** One loop thread owns every socket
+//!   (non-blocking `std::net`, registered with the `polling` shim — epoll on
+//!   Linux, `poll(2)` anywhere POSIX). Connection capacity is an fd budget
+//!   ([`ServerConfig::max_connections`]), not a thread count: tens of
+//!   thousands of mostly-idle keep-alive sockets cost a slab slot each.
+//! * **Admission control, twice.** A connection over the cap is answered
+//!   `503` at the door and closed. A parsed request that does not fit the
+//!   bounded executor queue is answered `503` in-stream. Either way overload
+//!   sheds *fast and explicit* (clients see 503 and back off) rather than
+//!   slow and silent. With [`ServerConfig::max_connections`]` == 0` the cap
+//!   derives as `workers + queue_depth` — the exact capacity of the old
+//!   thread-per-connection pool, so its overload contract is preserved.
+//! * **Pipelining.** The loop parses *every* complete request buffered on a
+//!   readable socket (incremental, resumable parsing — `try_parse_request`).
+//!   Each request takes an ordered response slot; out-of-order completions
+//!   wait in their slot so responses always leave in request order.
+//! * **Batched execution.** Executor workers drain jobs in batches and run
+//!   each batch through [`ph_core::Session::batch`]: one table-state snapshot
+//!   (one read-lock hit + `Arc` bump) serves the whole batch instead of one
+//!   per request. `workers == 0` selects **inline mode**: the loop executes
+//!   queries itself, one shared snapshot per poll drain and zero cross-thread
+//!   handoffs — the fastest shape on a single-core box.
+//! * **Deadlines by timer wheel.** A hashed wheel (lazy re-validation, so a
+//!   moved deadline never needs cancellation) enforces three clocks per
+//!   connection: a *read* deadline armed at the first byte of a partial
+//!   request and **never extended by trickle** (slowloris is closed at
+//!   `read_timeout` no matter how diligently it drips), a *write* deadline on
+//!   an undrained response backlog, and a long *idle* deadline for keep-alive
+//!   sockets between requests.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops accepting, parses no
+//!   new requests, answers everything already parsed (responses flip to
+//!   `Connection: close`), flushes the query log, and joins every thread.
 //!
-//! Reads are bounded in space (head/body caps) and time (read timeout), so a
-//! stalled or hostile client cannot pin a worker forever.
+//! Answers are bit-identical to the old pool (`tests/server_e2e.rs` runs
+//! unmodified): the wire bytes come from the same `response_bytes` /
+//! `answer_to_json` path, and batching only changes *when* a snapshot is
+//! taken, never what it contains.
 
 use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,32 +60,64 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ph_core::Session;
+use ph_core::{BatchSession, Session};
 use ph_types::PhError;
+use polling::{Event, Poller};
 
-use crate::http::{HttpConn, HttpError, Request};
+use crate::http::{response_bytes, try_parse_request, HttpError, Request};
 use crate::ingest::dataset_from_body;
 use crate::json::{obj, Json};
 use crate::querylog::QueryLogWriter;
 use crate::wire::{answer_to_json, error_body, status_for};
 
+/// Poller key of the listening socket (connection keys are slab indices,
+/// which stay far below this).
+const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// Timer-wheel granularity. Deadlines fire within one tick of their instant.
+const WHEEL_TICK: Duration = Duration::from_millis(25);
+
+/// Timer-wheel slots. Deadlines further out than `WHEEL_TICK × SLOTS` wrap
+/// and fire early; the lazy re-validation on fire reschedules them, so a
+/// small table stays correct for arbitrarily long deadlines.
+const WHEEL_SLOTS: usize = 256;
+
+/// Most jobs one executor worker drains per wakeup — the batch that shares
+/// one snapshot.
+const EXEC_BATCH: usize = 64;
+
+/// Read size per `read` call on a readable socket.
+const READ_CHUNK: usize = 16 * 1024;
+
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads; each owns one connection at a time, so size this at or
-    /// above the expected concurrent (keep-alive) connection count.
+    /// Executor worker threads draining the query queue in snapshot-sharing
+    /// batches. `0` = inline mode: the event loop executes queries itself
+    /// (no handoffs; best on one core, but a slow ingest then stalls the
+    /// loop).
     pub workers: usize,
-    /// Accepted connections that may wait for a worker before the server
-    /// starts answering `503`.
+    /// Parsed requests that may wait in the executor queue before the server
+    /// answers `503` in-stream. Also feeds the legacy connection-cap
+    /// derivation (see [`ServerConfig::max_connections`]).
     pub queue_depth: usize,
     /// Largest request body accepted (bigger → `413`).
     pub max_body_bytes: usize,
-    /// Per-read socket timeout; a connection idle (or stalled mid-request)
-    /// longer than this is closed.
+    /// Deadline for receiving one complete request, armed at its first byte
+    /// and never extended by partial progress — a client trickling a head
+    /// byte-by-byte is closed at this deadline.
     pub read_timeout: Duration,
-    /// Per-write socket timeout: a client that stops draining its receive
-    /// window can no longer pin a worker forever mid-response.
+    /// Deadline for the peer to drain a pending response backlog.
     pub write_timeout: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests.
+    /// Deliberately separate from `read_timeout`: holding mostly-idle
+    /// sockets is the point of the event loop, stalling mid-request is not.
+    pub idle_timeout: Duration,
+    /// Concurrent-connection cap; over it, new connections get `503` at the
+    /// door. `0` derives `workers + queue_depth` — the capacity (held +
+    /// queued) of the retired thread-per-connection pool, preserving its
+    /// admission contract for existing configs and tests.
+    pub max_connections: usize,
     /// Where to append the query log (`None` → no log).
     pub query_log: Option<PathBuf>,
 }
@@ -74,7 +130,20 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            max_connections: 0,
             query_log: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The effective connection cap (resolving the `0` legacy derivation).
+    pub fn effective_max_connections(&self) -> usize {
+        if self.max_connections == 0 {
+            self.workers.saturating_add(self.queue_depth).max(1)
+        } else {
+            self.max_connections
         }
     }
 }
@@ -192,8 +261,16 @@ impl EndpointMetrics {
 
 pub(crate) struct Metrics {
     endpoints: [EndpointMetrics; 6],
-    /// Connections shed at the door (queue full).
+    /// Admission `503`s: connections shed at the door plus requests shed at
+    /// the executor queue.
     rejected: AtomicU64,
+    /// Connections admitted past the cap since start.
+    accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    open: AtomicU64,
+    /// Requests parsed while an earlier request on the same connection was
+    /// still unanswered — the pipelining win counter.
+    pipelined: AtomicU64,
 }
 
 impl Metrics {
@@ -201,6 +278,9 @@ impl Metrics {
         Self {
             endpoints: std::array::from_fn(|_| EndpointMetrics::new()),
             rejected: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            open: AtomicU64::new(0),
+            pipelined: AtomicU64::new(0),
         }
     }
 
@@ -231,52 +311,98 @@ impl Metrics {
     }
 }
 
-/// The bounded handoff between the acceptor and the workers.
-struct ConnQueue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
-    cap: usize,
+/// Connection- and queue-level serving counters, as reported under
+/// `server.connections` in `GET /stats` and by [`Server::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Currently open connections.
+    pub open_connections: u64,
+    /// Connections admitted since start.
+    pub accepted_connections: u64,
+    /// Admission `503`s (door + executor queue).
+    pub rejected_503: u64,
+    /// Requests parsed behind an unanswered request on the same connection.
+    pub pipelined_requests: u64,
+    /// High-water mark of the executor queue depth.
+    pub executor_queue_hwm: u64,
 }
 
-struct QueueInner {
-    q: VecDeque<TcpStream>,
+/// One parsed request handed to the executor.
+struct Job {
+    key: usize,
+    gen: u64,
+    seq: u64,
+    keep_alive: bool,
+    req: Request,
+}
+
+/// One finished response headed back to the loop.
+struct Done {
+    key: usize,
+    gen: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// The bounded handoff between the event loop and the executor workers.
+struct WorkQueue {
+    inner: Mutex<WorkInner>,
+    ready: Condvar,
+    cap: usize,
+    /// Deepest the queue has been — the backlog signal operators watch.
+    hwm: AtomicU64,
+}
+
+struct WorkInner {
+    q: VecDeque<Job>,
     closed: bool,
 }
 
-impl ConnQueue {
+impl WorkQueue {
     fn new(cap: usize) -> Self {
         Self {
-            inner: Mutex::new(QueueInner { q: VecDeque::new(), closed: false }),
+            inner: Mutex::new(WorkInner { q: VecDeque::new(), closed: false }),
             ready: Condvar::new(),
             cap: cap.max(1),
+            hwm: AtomicU64::new(0),
         }
     }
 
-    /// Admits `conn` if there is room; hands it back (for the 503) otherwise.
+    /// Admits `job` if there is room; hands it back (for the in-stream 503)
+    /// otherwise.
     ///
-    /// Poison policy: the queue mutex is only held for these few lines, so a
-    /// poisoned lock means some thread panicked mid-queue-op. That is treated
-    /// as shutdown — the acceptor sheds new connections (503) instead of
-    /// propagating the panic and taking the whole server down with it.
-    fn try_push(&self, conn: TcpStream) -> Result<(), TcpStream> {
-        let Ok(mut inner) = self.inner.lock() else { return Err(conn) };
+    /// Poison policy: the mutex is only held for these few lines, so a
+    /// poisoned lock means a thread panicked mid-queue-op. That is treated as
+    /// shutdown — the loop sheds requests (503) instead of propagating the
+    /// panic and taking the whole server down with it.
+    // The Err variant carries the whole Job back on purpose: the caller still
+    // owns the parsed request and must fill its pipeline slot with the 503.
+    // Boxing it would put an allocation on the admission path to move 152
+    // bytes that the success path moves anyway.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let Ok(mut inner) = self.inner.lock() else { return Err(job) };
         if inner.closed || inner.q.len() >= self.cap {
-            return Err(conn);
+            return Err(job);
         }
-        inner.q.push_back(conn);
+        inner.q.push_back(job);
+        self.hwm.fetch_max(inner.q.len() as u64, Ordering::Relaxed);
         drop(inner);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next connection; `None` once closed and drained — or if
-    /// the lock is poisoned (see [`ConnQueue::try_push`]): the surviving
-    /// workers drain out exactly as on a normal shutdown.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Blocks for the next batch (up to `max` jobs in one lock hold); `None`
+    /// once closed and drained — or if the lock is poisoned (see
+    /// [`WorkQueue::try_push`]): surviving workers drain out exactly as on a
+    /// normal shutdown.
+    fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
         let mut inner = self.inner.lock().ok()?;
         loop {
-            if let Some(conn) = inner.q.pop_front() {
-                return Some(conn);
+            if !inner.q.is_empty() {
+                let n = inner.q.len().min(max.max(1));
+                return Some(inner.q.drain(..n).collect());
             }
             if inner.closed {
                 return None;
@@ -293,20 +419,17 @@ impl ConnQueue {
     }
 }
 
-/// State shared by the acceptor, the workers and the handle.
+/// State shared by the loop, the executor workers and the handle.
 pub(crate) struct Shared {
     pub(crate) session: Arc<Session>,
     cfg: ServerConfig,
     pub(crate) metrics: Metrics,
     qlog: Option<QueryLogWriter>,
-    queue: ConnQueue,
+    poller: Poller,
+    work: WorkQueue,
+    done: Mutex<Vec<Done>>,
     stop: AtomicBool,
     started: Instant,
-    /// One slot per worker holding a clone of its in-flight connection.
-    /// Shutdown closes the *read* half of each, so a worker blocked in a
-    /// keep-alive read returns immediately instead of waiting out the read
-    /// timeout — while a response being written still goes out.
-    active: Vec<Mutex<Option<TcpStream>>>,
 }
 
 /// A running server. Dropping the handle **without** calling
@@ -315,52 +438,64 @@ pub(crate) struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts the acceptor
-    /// and worker threads, serving `session`.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the event
+    /// loop and executor threads, serving `session`.
     pub fn bind(
         session: Arc<Session>,
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> Result<Server, PhError> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        // std's bind hardcodes a listen backlog of 128, which a local connect
+        // burst overflows in milliseconds whenever the loop thread loses the
+        // CPU — every overflowed SYN then stalls that client ~1 s on a
+        // retransmit. Resize the queue to cover the connection budget (the
+        // kernel clamps to net.core.somaxconn); best-effort, since serving
+        // still works at the default depth.
+        let backlog = cfg.effective_max_connections().clamp(128, 4096) as i32;
+        let _ = polling::set_listen_backlog(&listener, backlog);
         let local_addr = listener.local_addr()?;
         let qlog = match &cfg.query_log {
             Some(path) => Some(QueryLogWriter::create(path)?),
             None => None,
         };
-        let workers_n = cfg.workers.max(1);
+        let poller = Poller::new()?;
+        poller.add(&listener, Event::readable(LISTENER_KEY))?;
+        let exec_n = cfg.workers;
         let shared = Arc::new(Shared {
             session,
-            queue: ConnQueue::new(cfg.queue_depth),
+            work: WorkQueue::new(cfg.queue_depth),
             cfg,
             metrics: Metrics::new(),
             qlog,
+            poller,
+            done: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             started: Instant::now(),
-            active: (0..workers_n).map(|_| Mutex::new(None)).collect(),
         });
-        let acceptor = {
+        let event_loop = {
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("ph-accept".into())
-                .spawn(move || accept_loop(&shared, listener))
+                .name("ph-loop".into())
+                .spawn(move || EventLoop::new(&shared, listener).run())
                 .map_err(|e| PhError::Io(e.to_string()))?
         };
-        let workers = (0..workers_n)
+        let workers = (0..exec_n)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
-                    .name(format!("ph-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .name(format!("ph-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
                     .map_err(|e| PhError::Io(e.to_string()))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers })
+        Ok(Server { shared, local_addr, event_loop: Some(event_loop), workers })
     }
 
     /// The bound address (with the resolved port).
@@ -368,31 +503,32 @@ impl Server {
         self.local_addr
     }
 
-    /// Connections answered `503` at the door so far.
+    /// Admission `503`s so far (door + executor queue).
     pub fn rejected(&self) -> u64 {
         self.shared.metrics.rejected.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, finishes in-flight requests, flushes the query log and
-    /// joins every thread.
+    /// Connection- and queue-level counters.
+    pub fn stats(&self) -> ServerStats {
+        let m = &self.shared.metrics;
+        ServerStats {
+            open_connections: m.open.load(Ordering::Relaxed),
+            accepted_connections: m.accepted.load(Ordering::Relaxed),
+            rejected_503: m.rejected.load(Ordering::Relaxed),
+            pipelined_requests: m.pipelined.load(Ordering::Relaxed),
+            executor_queue_hwm: self.shared.work.hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, answers every request already parsed, flushes the
+    /// query log and joins every thread.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::Release);
-        // Unblock the acceptor's blocking `accept` with a no-op connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.acceptor.take() {
+        let _ = self.shared.poller.notify();
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
-        self.shared.queue.close();
-        // Unblock workers parked in keep-alive reads: closing the read half
-        // makes their blocked `read` return EOF now instead of at the read
-        // timeout; a response mid-write still completes.
-        for slot in &self.shared.active {
-            // A worker that panicked with its slot locked left at most one
-            // stale clone behind; recover the guard and sweep it anyway.
-            if let Some(conn) = slot.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
-                let _ = conn.shutdown(std::net::Shutdown::Read);
-            }
-        }
+        self.shared.work.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -402,105 +538,709 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: TcpListener) {
-    loop {
-        let conn = match listener.accept() {
-            Ok((conn, _)) => conn,
-            Err(_) => {
-                if shared.stop.load(Ordering::Acquire) {
-                    break;
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+fn executor_loop(shared: &Shared) {
+    while let Some(jobs) = shared.work.pop_batch(EXEC_BATCH) {
+        // One snapshot pin per table for the whole batch — the point of
+        // draining in batches.
+        let mut batch = shared.session.batch();
+        let mut done = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let t0 = Instant::now();
+            let (endpoint, status, body) = execute_request(shared, &mut batch, &job.req);
+            let micros = t0.elapsed().as_micros() as u64;
+            shared.metrics.endpoint(endpoint).record(status, micros);
+            if endpoint == Endpoint::Query {
+                if let Some(qlog) = &shared.qlog {
+                    qlog.append(status, micros, &query_text(&job.req).unwrap_or_default());
                 }
-                // Transient accept failures (EMFILE under fd exhaustion,
-                // ECONNABORTED) must not busy-spin the acceptor at 100% CPU
-                // exactly when the box is already overloaded.
-                std::thread::sleep(Duration::from_millis(10));
+            }
+            done.push(Done {
+                key: job.key,
+                gen: job.gen,
+                seq: job.seq,
+                bytes: response_bytes(status, &body.to_string(), job.keep_alive),
+                keep_alive: job.keep_alive,
+            });
+        }
+        {
+            let mut pending = shared.done.lock().unwrap_or_else(|p| p.into_inner());
+            pending.append(&mut done);
+        }
+        let _ = shared.poller.notify();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// Hashed timer wheel with lazy re-validation: entries are `(key, gen)`
+/// hints, not authoritative deadlines. On fire the loop re-reads the
+/// connection's *current* deadlines — an entry for a dead connection (gen
+/// mismatch) is dropped, one for a moved deadline reschedules itself. So
+/// arming is O(1), cancellation is free, and deadlines past one wheel
+/// rotation merely fire a few cheap revalidations early.
+struct TimerWheel {
+    slots: Vec<Vec<(usize, u64)>>,
+    origin: Instant,
+    /// Ticks fully drained so far.
+    cursor: u64,
+}
+
+impl TimerWheel {
+    fn new(origin: Instant) -> Self {
+        Self { slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(), origin, cursor: 0 }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.origin).as_millis() / WHEEL_TICK.as_millis().max(1))
+            as u64
+    }
+
+    fn schedule(&mut self, key: usize, gen: u64, deadline: Instant) {
+        // +1 so the entry fires at-or-after the deadline, never a tick short;
+        // never behind the cursor or it would sit un-drained for a rotation.
+        let tick = (self.tick_of(deadline) + 1).max(self.cursor + 1);
+        if let Some(slot) = self.slots.get_mut((tick % WHEEL_SLOTS as u64) as usize) {
+            slot.push((key, gen));
+        }
+    }
+
+    /// All entries whose tick has passed. Bounded: a loop stalled longer than
+    /// one rotation drains every slot exactly once.
+    fn drain_expired(&mut self, now: Instant) -> Vec<(usize, u64)> {
+        let target = self.tick_of(now);
+        if target <= self.cursor {
+            return Vec::new();
+        }
+        let steps = (target - self.cursor).min(WHEEL_SLOTS as u64);
+        let mut out = Vec::new();
+        for _ in 0..steps {
+            self.cursor += 1;
+            if let Some(slot) = self.slots.get_mut((self.cursor % WHEEL_SLOTS as u64) as usize) {
+                out.append(slot);
+            }
+        }
+        self.cursor = target;
+        out
+    }
+
+    /// Time until the next non-empty slot fires, if any entry is armed.
+    fn next_wakeup(&self, now: Instant) -> Option<Duration> {
+        let mut nearest: Option<u64> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.is_empty() {
                 continue;
             }
-        };
-        if shared.stop.load(Ordering::Acquire) {
-            break;
+            // The slot's next firing tick at or after cursor+1.
+            let base = self.cursor + 1;
+            let phase = (i as u64 + WHEEL_SLOTS as u64 - base % WHEEL_SLOTS as u64)
+                % WHEEL_SLOTS as u64;
+            let tick = base + phase;
+            nearest = Some(nearest.map_or(tick, |n| n.min(tick)));
         }
-        if let Err(conn) = shared.queue.try_push(conn) {
-            // Admission control: shed at the door, explicitly.
-            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            let mut http = HttpConn::new(conn);
-            let body = obj(vec![(
-                "error",
-                obj(vec![
-                    ("kind", Json::Str("overload".into())),
-                    ("status", Json::Num(503.0)),
-                    (
-                        "message",
-                        Json::Str(
-                            "server at capacity (accept queue full); retry with backoff".into(),
-                        ),
-                    ),
-                ]),
-            )]);
-            let _ = http.write_response(503, &body.to_string(), false);
-        }
-    }
-    shared.queue.close();
-}
-
-fn worker_loop(shared: &Shared, slot: usize) {
-    // One slot per spawned worker; resolve it once instead of indexing (and
-    // potentially panicking) on every connection. Slot-lock poison is benign:
-    // the slot holds only a disposable clone of an in-flight connection.
-    let Some(me) = shared.active.get(slot) else { return };
-    let publish = |conn: Option<TcpStream>| {
-        *me.lock().unwrap_or_else(|p| p.into_inner()) = conn;
-    };
-    while let Some(conn) = shared.queue.pop() {
-        publish(conn.try_clone().ok());
-        // Re-check after publishing the clone: a shutdown racing the lines
-        // above might have swept the slots before ours was visible.
-        if shared.stop.load(Ordering::Acquire) {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-            publish(None);
-            continue;
-        }
-        let mut http = HttpConn::new(conn);
-        if http.configure(shared.cfg.read_timeout, shared.cfg.write_timeout).is_ok() {
-            handle_connection(shared, &mut http);
-        }
-        publish(None);
+        let tick = nearest?;
+        let due = self.origin + WHEEL_TICK.saturating_mul(tick as u32).max(WHEEL_TICK);
+        Some(due.saturating_duration_since(now).max(Duration::from_millis(1)))
     }
 }
 
-/// Serves one connection until close, error, timeout or shutdown.
-fn handle_connection(shared: &Shared, http: &mut HttpConn<TcpStream>) {
-    loop {
-        let req = match http.read_request(shared.cfg.max_body_bytes) {
-            Ok(Some(req)) => req,
-            Ok(None) => return, // clean close between requests
-            Err(HttpError::Malformed(m)) => {
-                let body = error_body(400, "bad_request", &m, None);
-                let _ = http.write_response(400, &body.to_string(), false);
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Generation stamp: completions and wheel entries carry it, so a slot
+    /// reused after a close never receives a stale delivery.
+    gen: u64,
+    /// Unparsed received bytes (at most one partial request: complete
+    /// requests are drained eagerly).
+    buf: Vec<u8>,
+    /// Serialized responses not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Ordered response slots: index `seq - base_seq`. A request takes a
+    /// `None` slot at parse time; its response fills it; the front drains to
+    /// `out` in order.
+    inflight: VecDeque<Option<(Vec<u8>, bool)>>,
+    base_seq: u64,
+    next_seq: u64,
+    /// No more requests will be parsed; close once every slot has flushed.
+    closing: bool,
+    /// Peer sent EOF (half-close): serve what's buffered, then close.
+    peer_closed: bool,
+    /// Armed at the first byte of a partial request; never extended.
+    read_deadline: Option<Instant>,
+    /// Armed when a response backlog stalls in `out`.
+    write_deadline: Option<Instant>,
+    /// Rolling keep-alive deadline between requests.
+    idle_deadline: Instant,
+    /// Whether the poller registration currently includes write interest.
+    interest_w: bool,
+}
+
+struct EventLoop<'a> {
+    shared: &'a Shared,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    gen_counter: u64,
+    wheel: TimerWheel,
+    open: usize,
+    max_conns: usize,
+    /// Set once `stop` is observed: accepting has ceased, idle connections
+    /// are swept, the loop drains in-flight work then exits.
+    stopping: bool,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(shared: &'a Shared, listener: TcpListener) -> Self {
+        let max_conns = shared.cfg.effective_max_connections();
+        EventLoop {
+            shared,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            gen_counter: 0,
+            wheel: TimerWheel::new(Instant::now()),
+            open: 0,
+            max_conns,
+            stopping: false,
+        }
+    }
+
+    fn run(mut self) {
+        let shared = self.shared;
+        let inline = shared.cfg.workers == 0;
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if !self.stopping && shared.stop.load(Ordering::Acquire) {
+                self.begin_shutdown();
+            }
+            if self.stopping && self.open == 0 {
                 return;
             }
-            Err(HttpError::TooLarge(m)) => {
-                let body = error_body(413, "too_large", &m, None);
-                let _ = http.write_response(413, &body.to_string(), false);
-                return;
+            let now = Instant::now();
+            let timeout = match self.wheel.next_wakeup(now) {
+                Some(d) => Some(d.min(Duration::from_secs(1))),
+                None => Some(Duration::from_secs(1)),
+            };
+            if shared.poller.wait(&mut events, timeout).is_err() {
+                // A failing poller cannot serve; back off instead of spinning.
+                std::thread::sleep(Duration::from_millis(5));
             }
-            // Timeout, reset, or close mid-request: nothing to answer.
-            Err(HttpError::Incomplete | HttpError::Io(_)) => return,
+            // Responses finished by the executor first: they free slots and
+            // may retire connections before new bytes are read.
+            let finished: Vec<Done> =
+                std::mem::take(&mut *shared.done.lock().unwrap_or_else(|p| p.into_inner()));
+            for done in finished {
+                self.apply_done(done);
+            }
+            // One pinned snapshot per poll drain in inline mode.
+            let mut batch = if inline { Some(shared.session.batch()) } else { None };
+            for i in 0..events.len() {
+                let Some(ev) = events.get(i).copied() else { break };
+                if ev.key == LISTENER_KEY {
+                    if !self.stopping {
+                        self.accept_ready();
+                    }
+                    continue;
+                }
+                if ev.writable {
+                    self.write_out(ev.key);
+                }
+                if ev.readable {
+                    self.conn_readable(ev.key, &mut batch);
+                }
+            }
+            drop(batch);
+            let now = Instant::now();
+            for (key, gen) in self.wheel.drain_expired(now) {
+                self.check_deadlines(key, gen, now);
+            }
+        }
+    }
+
+    /// Stop accepting and sweep connections that owe nothing.
+    fn begin_shutdown(&mut self) {
+        self.stopping = true;
+        let _ = self.shared.poller.delete(&self.listener);
+        for key in 0..self.conns.len() {
+            let idle = match self.conns.get_mut(key).and_then(|s| s.as_mut()) {
+                Some(conn) => {
+                    conn.closing = true;
+                    conn.buf.clear();
+                    conn.inflight.is_empty() && conn.out_pos >= conn.out.len()
+                }
+                None => false,
+            };
+            if idle {
+                self.close(key);
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                // Transient accept failures (ECONNABORTED, EMFILE under fd
+                // exhaustion): stop this drain; the next readiness retries.
+                Err(_) => return,
+            };
+            if self.shared.stop.load(Ordering::Acquire) {
+                continue;
+            }
+            if self.open >= self.max_conns {
+                // Admission control: shed at the door, explicitly.
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                reject_at_door(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let now = Instant::now();
+            self.gen_counter += 1;
+            let conn = Conn {
+                stream,
+                gen: self.gen_counter,
+                buf: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                inflight: VecDeque::new(),
+                base_seq: 0,
+                next_seq: 0,
+                closing: false,
+                peer_closed: false,
+                read_deadline: None,
+                write_deadline: None,
+                idle_deadline: now + self.shared.cfg.idle_timeout,
+                interest_w: false,
+            };
+            let key = match self.free.pop() {
+                Some(k) => k,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
+                }
+            };
+            let registered = self
+                .shared
+                .poller
+                .add(&conn.stream, Event::readable(key))
+                .is_ok();
+            if !registered {
+                self.free.push(key);
+                continue;
+            }
+            let gen = conn.gen;
+            let deadline = conn.idle_deadline;
+            if let Some(slot) = self.conns.get_mut(key) {
+                *slot = Some(conn);
+            }
+            self.wheel.schedule(key, gen, deadline);
+            self.open += 1;
+            self.shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.open.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn conn_readable(&mut self, key: usize, batch: &mut Option<BatchSession<'_>>) {
+        let mut fatal = false;
+        {
+            let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else { return };
+            if conn.closing {
+                // Drain the socket so level-triggered readiness quiesces, but
+                // parse nothing further.
+                let mut chunk = [0u8; READ_CHUNK];
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.peer_closed = true;
+                            break;
+                        }
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            fatal = true;
+                            break;
+                        }
+                    }
+                }
+            } else {
+                let mut chunk = [0u8; READ_CHUNK];
+                loop {
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            conn.peer_closed = true;
+                            break;
+                        }
+                        // Read's contract bounds n by the buffer length.
+                        Ok(n) => conn.buf.extend_from_slice(chunk.get(..n).unwrap_or(&chunk)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            fatal = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if fatal {
+            return self.close(key);
+        }
+        self.parse_requests(key, batch);
+        self.after_read(key);
+    }
+
+    /// Drain every complete pipelined request buffered on `key`.
+    fn parse_requests(&mut self, key: usize, batch: &mut Option<BatchSession<'_>>) {
+        let max_body = self.shared.cfg.max_body_bytes;
+        loop {
+            enum Parsed {
+                Req { seq: u64, keep: bool, req: Request },
+                Fatal { seq: u64, status: u16, kind: &'static str, message: String },
+                Silent,
+                Idle,
+            }
+            let parsed = {
+                let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else {
+                    return;
+                };
+                if conn.closing {
+                    conn.buf.clear();
+                    return;
+                }
+                match try_parse_request(&mut conn.buf, max_body) {
+                    Ok(Some(req)) => {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.inflight.push_back(None);
+                        if conn.inflight.len() > 1 {
+                            self.shared.metrics.pipelined.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let keep =
+                            req.keep_alive() && !self.shared.stop.load(Ordering::Acquire);
+                        if !keep {
+                            // The response will say `Connection: close`; later
+                            // pipelined bytes are dead.
+                            conn.closing = true;
+                            conn.buf.clear();
+                        }
+                        conn.idle_deadline = Instant::now() + self.shared.cfg.idle_timeout;
+                        Parsed::Req { seq, keep, req }
+                    }
+                    Ok(None) => Parsed::Idle,
+                    Err(HttpError::Malformed(m)) => {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.inflight.push_back(None);
+                        conn.closing = true;
+                        conn.buf.clear();
+                        Parsed::Fatal { seq, status: 400, kind: "bad_request", message: m }
+                    }
+                    Err(HttpError::TooLarge(m)) => {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        conn.inflight.push_back(None);
+                        conn.closing = true;
+                        conn.buf.clear();
+                        Parsed::Fatal { seq, status: 413, kind: "too_large", message: m }
+                    }
+                    Err(_) => Parsed::Silent,
+                }
+            };
+            match parsed {
+                Parsed::Req { seq, keep, req } => self.route(key, seq, keep, req, batch),
+                Parsed::Fatal { seq, status, kind, message } => {
+                    let body = error_body(status, kind, &message, None);
+                    self.fill(key, seq, response_bytes(status, &body.to_string(), false), false);
+                    return;
+                }
+                Parsed::Silent => return self.close(key),
+                Parsed::Idle => return,
+            }
+        }
+    }
+
+    /// Dispatch one parsed request: loop-served endpoints answer inline;
+    /// query/ingest go to the executor (or run on the inline batch).
+    fn route(
+        &mut self,
+        key: usize,
+        seq: u64,
+        keep: bool,
+        req: Request,
+        batch: &mut Option<BatchSession<'_>>,
+    ) {
+        let shared = self.shared;
+        let gen = match self.conns.get(key).and_then(|s| s.as_ref()) {
+            Some(conn) => conn.gen,
+            None => return,
         };
-        let keep_alive = req.keep_alive() && !shared.stop.load(Ordering::Acquire);
         let t0 = Instant::now();
-        let (endpoint, status, body) = handle_request(shared, &req);
-        let micros = t0.elapsed().as_micros() as u64;
-        shared.metrics.endpoint(endpoint).record(status, micros);
-        if endpoint == Endpoint::Query {
-            if let Some(qlog) = &shared.qlog {
-                qlog.append(status, micros, &query_text(&req).unwrap_or_default());
-            }
-        }
-        if http.write_response(status, &body.to_string(), keep_alive).is_err() || !keep_alive {
+        if let Some((endpoint, status, body)) = route_inline(shared, &req) {
+            let micros = t0.elapsed().as_micros() as u64;
+            shared.metrics.endpoint(endpoint).record(status, micros);
+            self.fill(key, seq, response_bytes(status, &body.to_string(), keep), keep);
             return;
         }
+        if let Some(b) = batch.as_mut() {
+            let (endpoint, status, body) = execute_request(shared, b, &req);
+            let micros = t0.elapsed().as_micros() as u64;
+            shared.metrics.endpoint(endpoint).record(status, micros);
+            if endpoint == Endpoint::Query {
+                if let Some(qlog) = &shared.qlog {
+                    qlog.append(status, micros, &query_text(&req).unwrap_or_default());
+                }
+            }
+            self.fill(key, seq, response_bytes(status, &body.to_string(), keep), keep);
+            return;
+        }
+        let job = Job { key, gen, seq, keep_alive: keep, req };
+        if shared.work.try_push(job).is_err() {
+            // Admission control, stage two: the executor queue is full.
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(
+                503,
+                "overload",
+                "server at capacity (executor queue full); retry with backoff",
+                None,
+            );
+            self.fill(key, seq, response_bytes(503, &body.to_string(), keep), keep);
+        }
     }
+
+    /// A finished executor response; dropped if the connection died or the
+    /// slot was reused (generation mismatch).
+    fn apply_done(&mut self, done: Done) {
+        let live = self
+            .conns
+            .get(done.key)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|c| c.gen == done.gen);
+        if live {
+            self.fill(done.key, done.seq, done.bytes, done.keep_alive);
+        }
+    }
+
+    /// Deliver a response into its ordered slot and flush whatever is ready.
+    fn fill(&mut self, key: usize, seq: u64, bytes: Vec<u8>, keep: bool) {
+        {
+            let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else { return };
+            let Some(idx) = seq.checked_sub(conn.base_seq) else { return };
+            match conn.inflight.get_mut(idx as usize) {
+                Some(slot) => *slot = Some((bytes, keep)),
+                None => return,
+            }
+            // Drain the in-order prefix of filled slots into the write buffer.
+            while matches!(conn.inflight.front(), Some(Some(_))) {
+                if let Some(Some((bytes, keep))) = conn.inflight.pop_front() {
+                    conn.base_seq += 1;
+                    conn.out.extend_from_slice(&bytes);
+                    if !keep {
+                        // This response closes the connection: everything
+                        // behind it is dead. base_seq jumps so stale
+                        // completions fall out of range.
+                        conn.closing = true;
+                        conn.buf.clear();
+                        conn.inflight.clear();
+                        conn.base_seq = conn.next_seq;
+                        break;
+                    }
+                }
+            }
+        }
+        self.write_out(key);
+    }
+
+    /// Push the write buffer into the socket as far as it will go.
+    fn write_out(&mut self, key: usize) {
+        enum Outcome {
+            Close,
+            Drained { close: bool },
+            Stalled { arm: Option<(u64, Instant)> },
+        }
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else { return };
+            let mut failed = false;
+            while conn.out_pos < conn.out.len() {
+                let pending = conn.out.get(conn.out_pos..).unwrap_or(&[]);
+                match conn.stream.write(pending) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                Outcome::Close
+            } else if conn.out_pos >= conn.out.len() {
+                conn.out.clear();
+                conn.out_pos = 0;
+                conn.write_deadline = None;
+                conn.idle_deadline = Instant::now() + self.shared.cfg.idle_timeout;
+                Outcome::Drained {
+                    close: (conn.closing || conn.peer_closed) && conn.inflight.is_empty(),
+                }
+            } else {
+                let arm = if conn.write_deadline.is_none() {
+                    let deadline = Instant::now() + self.shared.cfg.write_timeout;
+                    conn.write_deadline = Some(deadline);
+                    Some((conn.gen, deadline))
+                } else {
+                    None
+                };
+                Outcome::Stalled { arm }
+            }
+        };
+        match outcome {
+            Outcome::Close => self.close(key),
+            Outcome::Drained { close: true } => self.close(key),
+            Outcome::Drained { close: false } => self.update_interest(key),
+            Outcome::Stalled { arm } => {
+                if let Some((gen, deadline)) = arm {
+                    self.wheel.schedule(key, gen, deadline);
+                }
+                self.update_interest(key);
+            }
+        }
+    }
+
+    /// Post-read bookkeeping: arm/clear the read deadline for a partial
+    /// request, honor a half-close, retire a finished connection.
+    fn after_read(&mut self, key: usize) {
+        let mut arm: Option<(u64, Instant)> = None;
+        let close_now;
+        {
+            let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else { return };
+            if conn.peer_closed {
+                // Whatever was buffered has been parsed; nothing more can
+                // arrive. Finish what is owed, then close.
+                conn.closing = true;
+                conn.buf.clear();
+            }
+            if conn.buf.is_empty() || conn.closing {
+                conn.read_deadline = None;
+            } else if conn.read_deadline.is_none() {
+                // First byte of a partial request: the whole message must
+                // arrive within read_timeout. Deliberately never extended —
+                // trickling bytes (slowloris) does not push it back.
+                let deadline = Instant::now() + self.shared.cfg.read_timeout;
+                conn.read_deadline = Some(deadline);
+                arm = Some((conn.gen, deadline));
+            }
+            close_now =
+                conn.closing && conn.inflight.is_empty() && conn.out_pos >= conn.out.len();
+        }
+        if let Some((gen, deadline)) = arm {
+            self.wheel.schedule(key, gen, deadline);
+        }
+        if close_now {
+            self.close(key);
+        }
+    }
+
+    /// A wheel entry fired: re-validate against the connection's current
+    /// deadlines — close if one truly expired, reschedule otherwise.
+    fn check_deadlines(&mut self, key: usize, gen: u64, now: Instant) {
+        enum Verdict {
+            Dead,
+            Expired,
+            Reschedule(Instant),
+        }
+        let verdict = {
+            let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else {
+                return;
+            };
+            if conn.gen != gen {
+                Verdict::Dead
+            } else {
+                let busy = !conn.inflight.is_empty() || conn.out_pos < conn.out.len();
+                let expired = conn.read_deadline.is_some_and(|d| d <= now)
+                    || conn.write_deadline.is_some_and(|d| d <= now)
+                    || (!busy && conn.buf.is_empty() && conn.idle_deadline <= now);
+                if expired {
+                    Verdict::Expired
+                } else {
+                    if busy && conn.idle_deadline <= now {
+                        // Still working on its behalf: keep-alive clock
+                        // restarts rather than killing an active connection.
+                        conn.idle_deadline = now + self.shared.cfg.idle_timeout;
+                    }
+                    let mut next = conn.idle_deadline;
+                    if let Some(d) = conn.read_deadline {
+                        next = next.min(d);
+                    }
+                    if let Some(d) = conn.write_deadline {
+                        next = next.min(d);
+                    }
+                    Verdict::Reschedule(next)
+                }
+            }
+        };
+        match verdict {
+            Verdict::Dead => {}
+            // Timeouts close silently, exactly like the blocking pool's
+            // socket-timeout path: a stalled peer gets no farewell body.
+            Verdict::Expired => self.close(key),
+            Verdict::Reschedule(next) => self.wheel.schedule(key, gen, next),
+        }
+    }
+
+    fn update_interest(&mut self, key: usize) {
+        let Some(conn) = self.conns.get_mut(key).and_then(|s| s.as_mut()) else { return };
+        let want_w = conn.out_pos < conn.out.len();
+        if want_w != conn.interest_w {
+            conn.interest_w = want_w;
+            let interest =
+                if want_w { Event::all(key) } else { Event::readable(key) };
+            let _ = self.shared.poller.modify(&conn.stream, interest);
+        }
+    }
+
+    fn close(&mut self, key: usize) {
+        if let Some(conn) = self.conns.get_mut(key).and_then(|s| s.take()) {
+            let _ = self.shared.poller.delete(&conn.stream);
+            self.open = self.open.saturating_sub(1);
+            self.shared.metrics.open.fetch_sub(1, Ordering::Relaxed);
+            self.free.push(key);
+        }
+    }
+}
+
+/// Best-effort `503` to a just-accepted connection over the cap. One
+/// non-blocking write: the ~190 bytes always fit an empty send buffer, and
+/// the loop must never block on a stranger's socket.
+fn reject_at_door(stream: TcpStream) {
+    let _ = stream.set_nonblocking(true);
+    let body = error_body(
+        503,
+        "overload",
+        "server at capacity (connection limit reached); retry with backoff",
+        None,
+    );
+    let bytes = response_bytes(503, &body.to_string(), false);
+    let mut stream = stream;
+    let _ = stream.write(&bytes);
 }
 
 /// The SQL text of a `/query` request: a JSON body's `"sql"` member, or the
@@ -514,20 +1254,15 @@ fn query_text(req: &Request) -> Option<String> {
     Some(text.to_string())
 }
 
-/// Routes one request. Returns `(metrics endpoint, status, body)`.
-fn handle_request(shared: &Shared, req: &Request) -> (Endpoint, u16, Json) {
+/// Endpoints the loop answers without involving the executor: cheap reads of
+/// shared state plus routing errors. `/healthz` in particular stays
+/// responsive even when every executor is busy. `None` → executor work.
+fn route_inline(shared: &Shared, req: &Request) -> Option<(Endpoint, u16, Json)> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/query") => {
-            let (status, body) = handle_query(shared, req);
-            (Endpoint::Query, status, body)
-        }
-        ("POST", "/ingest") => {
-            let (status, body) = handle_ingest(shared, req);
-            (Endpoint::Ingest, status, body)
-        }
-        ("GET", "/tables") => (Endpoint::Tables, 200, tables_json(shared)),
-        ("GET", "/stats") => (Endpoint::Stats, 200, stats_json(shared)),
-        ("GET", "/healthz") => (
+        ("POST", "/query") | ("POST", "/ingest") => None,
+        ("GET", "/tables") => Some((Endpoint::Tables, 200, tables_json(shared))),
+        ("GET", "/stats") => Some((Endpoint::Stats, 200, stats_json(shared))),
+        ("GET", "/healthz") => Some((
             Endpoint::Healthz,
             200,
             obj(vec![
@@ -535,7 +1270,7 @@ fn handle_request(shared: &Shared, req: &Request) -> (Endpoint, u16, Json) {
                 ("tables", Json::Num(shared.session.tables().len() as f64)),
                 ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
             ]),
-        ),
+        )),
         (_, "/query" | "/ingest" | "/tables" | "/stats" | "/healthz") => {
             let body = error_body(
                 405,
@@ -543,7 +1278,7 @@ fn handle_request(shared: &Shared, req: &Request) -> (Endpoint, u16, Json) {
                 &format!("{} is not supported on {}", req.method, req.path),
                 None,
             );
-            (Endpoint::Other, 405, body)
+            Some((Endpoint::Other, 405, body))
         }
         _ => {
             let body = error_body(
@@ -556,12 +1291,36 @@ fn handle_request(shared: &Shared, req: &Request) -> (Endpoint, u16, Json) {
                 ),
                 None,
             );
+            Some((Endpoint::Other, 404, body))
+        }
+    }
+}
+
+/// Executor-side routing: the two stateful endpoints. Everything else was
+/// answered inline and never reaches here.
+fn execute_request(
+    shared: &Shared,
+    batch: &mut BatchSession<'_>,
+    req: &Request,
+) -> (Endpoint, u16, Json) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => {
+            let (status, body) = handle_query(batch, req);
+            (Endpoint::Query, status, body)
+        }
+        ("POST", "/ingest") => {
+            let (status, body) = handle_ingest(shared, req);
+            (Endpoint::Ingest, status, body)
+        }
+        _ => {
+            let body =
+                error_body(404, "no_such_endpoint", &format!("{:?}", req.path), None);
             (Endpoint::Other, 404, body)
         }
     }
 }
 
-fn handle_query(shared: &Shared, req: &Request) -> (u16, Json) {
+fn handle_query(batch: &mut BatchSession<'_>, req: &Request) -> (u16, Json) {
     let Some(sql) = query_text(req) else {
         return (
             400,
@@ -574,7 +1333,7 @@ fn handle_query(shared: &Shared, req: &Request) -> (u16, Json) {
         );
     };
     let t0 = Instant::now();
-    match shared.session.sql(&sql) {
+    match batch.sql(&sql) {
         Ok(answer) => {
             let mut body = answer_to_json(&answer);
             if let Json::Obj(members) = &mut body {
@@ -694,6 +1453,7 @@ fn stats_json(shared: &Shared) -> Json {
             obj(vec![("table", Json::Str(table)), ("reason", Json::Str(reason))])
         })
         .collect();
+    let m = &shared.metrics;
     obj(vec![
         ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
         (
@@ -712,10 +1472,30 @@ fn stats_json(shared: &Shared) -> Json {
                 ("workers", Json::Num(shared.cfg.workers as f64)),
                 ("queue_depth", Json::Num(shared.cfg.queue_depth as f64)),
                 (
-                    "rejected_503",
-                    Json::Num(shared.metrics.rejected.load(Ordering::Relaxed) as f64),
+                    "max_connections",
+                    Json::Num(shared.cfg.effective_max_connections() as f64),
                 ),
-                ("endpoints", shared.metrics.to_json()),
+                (
+                    "rejected_503",
+                    Json::Num(m.rejected.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "connections",
+                    obj(vec![
+                        ("open", Json::Num(m.open.load(Ordering::Relaxed) as f64)),
+                        ("accepted", Json::Num(m.accepted.load(Ordering::Relaxed) as f64)),
+                        ("rejected", Json::Num(m.rejected.load(Ordering::Relaxed) as f64)),
+                        (
+                            "pipelined_requests",
+                            Json::Num(m.pipelined.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "executor_queue_hwm",
+                            Json::Num(shared.work.hwm.load(Ordering::Relaxed) as f64),
+                        ),
+                    ]),
+                ),
+                ("endpoints", m.to_json()),
             ]),
         ),
     ])
@@ -741,8 +1521,24 @@ pub(crate) fn kind_of(e: &PhError) -> &'static str {
 mod tests {
     use super::*;
 
+    fn job(seq: u64) -> Job {
+        Job {
+            key: 0,
+            gen: 1,
+            seq,
+            keep_alive: true,
+            req: Request {
+                method: "POST".into(),
+                path: "/query".into(),
+                params: Vec::new(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+        }
+    }
+
     /// Poisons `queue`'s mutex by locking it on a thread that then panics.
-    fn poison(queue: &Arc<ConnQueue>) {
+    fn poison(queue: &Arc<WorkQueue>) {
         let q = Arc::clone(queue);
         let h = std::thread::spawn(move || {
             let _guard = q.inner.lock().unwrap();
@@ -752,39 +1548,34 @@ mod tests {
         assert!(queue.inner.lock().is_err(), "mutex is poisoned");
     }
 
-    fn loopback_pair() -> (TcpStream, TcpStream) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let a = TcpStream::connect(addr).unwrap();
-        let (b, _) = listener.accept().unwrap();
-        (a, b)
-    }
-
     /// The regression this module exists for: a worker panicking while it
     /// holds the queue lock must not wedge or crash the rest of the server.
     /// Poison degrades to shutdown semantics — push sheds, pop drains out,
     /// close still closes — instead of cascading the panic.
     #[test]
-    fn poisoned_conn_queue_degrades_to_shutdown() {
-        let queue = Arc::new(ConnQueue::new(4));
+    fn poisoned_work_queue_degrades_to_shutdown() {
+        let queue = Arc::new(WorkQueue::new(4));
         poison(&queue);
-        let (conn, _peer) = loopback_pair();
-        assert!(queue.try_push(conn).is_err(), "push sheds instead of panicking");
-        assert!(queue.pop().is_none(), "pop drains out instead of panicking");
+        assert!(queue.try_push(job(0)).is_err(), "push sheds instead of panicking");
+        assert!(queue.pop_batch(8).is_none(), "pop drains out instead of panicking");
         queue.close(); // must not panic, and must still mark the queue closed
         assert!(queue.inner.lock().unwrap_or_else(|p| p.into_inner()).closed);
     }
 
-    /// Without poison the queue behaves as a queue: a pushed connection comes
-    /// back out, and close() wakes a parked consumer.
+    /// Without poison the queue behaves as a bounded batch queue: jobs come
+    /// back in order and in one batch, the cap sheds, close wakes a parked
+    /// consumer, and the high-water mark records the deepest backlog.
     #[test]
-    fn conn_queue_delivers_then_closes() {
-        let queue = Arc::new(ConnQueue::new(4));
-        let (conn, _peer) = loopback_pair();
-        assert!(queue.try_push(conn).is_ok());
-        assert!(queue.pop().is_some());
+    fn work_queue_batches_caps_and_closes() {
+        let queue = Arc::new(WorkQueue::new(2));
+        assert!(queue.try_push(job(0)).is_ok());
+        assert!(queue.try_push(job(1)).is_ok());
+        assert!(queue.try_push(job(2)).is_err(), "cap of 2 sheds the third");
+        assert_eq!(queue.hwm.load(Ordering::Relaxed), 2);
+        let batch = queue.pop_batch(8).unwrap();
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), vec![0, 1]);
         let q = Arc::clone(&queue);
-        let waiter = std::thread::spawn(move || q.pop());
+        let waiter = std::thread::spawn(move || q.pop_batch(8));
         std::thread::sleep(Duration::from_millis(20));
         queue.close();
         assert!(waiter.join().unwrap().is_none(), "parked pop wakes with None on close");
@@ -802,5 +1593,39 @@ mod tests {
             hist.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
         assert_eq!(total, 3, "every sample landed in some bucket");
         assert!(hist.quantile_us(0.99).is_finite());
+    }
+
+    /// Wheel entries fire at-or-after their deadline, stale generations are
+    /// the caller's problem (the wheel just hands back hints), and deadlines
+    /// beyond one rotation still fire (early, via wrap) rather than never.
+    #[test]
+    fn timer_wheel_fires_at_or_after_deadline() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.schedule(7, 1, t0 + Duration::from_millis(60));
+        assert!(wheel.drain_expired(t0 + Duration::from_millis(10)).is_empty());
+        assert!(wheel.next_wakeup(t0 + Duration::from_millis(10)).is_some());
+        let fired = wheel.drain_expired(t0 + Duration::from_millis(200));
+        assert_eq!(fired, vec![(7, 1)]);
+        assert!(wheel.next_wakeup(t0 + Duration::from_millis(200)).is_none());
+        // Far beyond one rotation: wraps, fires early at some point ≤ deadline.
+        let far = t0 + WHEEL_TICK.saturating_mul(WHEEL_SLOTS as u32 * 3);
+        wheel.schedule(9, 2, far);
+        let fired = wheel.drain_expired(far);
+        assert!(fired.contains(&(9, 2)), "wrapped entry eventually drains");
+    }
+
+    /// The legacy cap derivation: `max_connections == 0` reproduces the old
+    /// pool's capacity (held + queued), explicit values win as-is.
+    #[test]
+    fn connection_cap_derivation_matches_legacy_pool() {
+        let legacy = ServerConfig { workers: 1, queue_depth: 1, ..Default::default() };
+        assert_eq!(legacy.effective_max_connections(), 2);
+        let explicit = ServerConfig {
+            max_connections: 10_000,
+            workers: 2,
+            ..Default::default()
+        };
+        assert_eq!(explicit.effective_max_connections(), 10_000);
     }
 }

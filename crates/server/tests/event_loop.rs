@@ -1,0 +1,259 @@
+//! Event-loop serving tests: the behaviors the readiness-driven architecture
+//! exists for, over real loopback sockets — pipelining with strict response
+//! ordering and bit-identical answers, the connection-cap `503` door, a
+//! slowloris client closed at the read deadline without hurting neighbors,
+//! a 1000-strong idle keep-alive population held while traffic flows, and
+//! the zero-worker inline-execution mode.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ph_core::Session;
+use ph_server::{Client, Json, Server, ServerConfig};
+use ph_types::{Column, Dataset};
+
+fn demo_dataset(name: &str, n: usize) -> Dataset {
+    let x: Vec<Option<i64>> = (0..n).map(|i| Some((i as i64 * 7) % 1000)).collect();
+    let y: Vec<Option<f64>> = (0..n)
+        .map(|i| if i % 29 == 0 { None } else { Some(((i as i64 * 13) % 500) as f64 / 10.0) })
+        .collect();
+    Dataset::builder(name)
+        .column(Column::from_ints("x", x))
+        .unwrap()
+        .column(Column::from_floats("y", y, 1))
+        .unwrap()
+        .build()
+}
+
+fn serve(cfg: ServerConfig, rows: usize) -> (Arc<Session>, Server) {
+    let session = Arc::new(Session::new());
+    session.register(demo_dataset("demo", rows)).unwrap();
+    let server = Server::bind(session.clone(), "127.0.0.1:0", cfg).expect("bind ephemeral port");
+    (session, server)
+}
+
+/// Pipelined queries are answered strictly in request order, each answer
+/// bit-identical to the in-process session — out-of-order executor completion
+/// (several workers race on the batch) must never reorder the wire.
+#[test]
+fn pipelined_responses_are_in_order_and_bit_identical() {
+    let cfg = ServerConfig { workers: 4, ..Default::default() };
+    let (session, server) = serve(cfg, 9_000);
+    let sqls = [
+        "SELECT COUNT(y) FROM demo WHERE x > 500;",
+        "SELECT AVG(y) FROM demo WHERE x > 100 AND x < 900;",
+        "SELECT SUM(y) FROM demo WHERE x <= 250;",
+        "SELECT VAR(y) FROM demo WHERE x > 10;",
+        "SELECT MAX(y) FROM demo WHERE x > 700;",
+        "SELECT COUNT(y) FROM demo WHERE x > 900;",
+    ];
+    let mut client = Client::new(server.local_addr().to_string());
+    for _ in 0..5 {
+        let answers = client.query_pipelined(&sqls)
+            .expect("pipelined batch");
+        assert_eq!(answers.len(), sqls.len());
+        for (sql, answer) in sqls.iter().zip(answers) {
+            let direct = session.sql(sql).expect(sql);
+            assert_eq!(answer.expect(sql), direct, "in-order, bit-identical for {sql}");
+        }
+    }
+    // A mid-batch error keeps its slot: the batch stays ordered around it.
+    let mixed = vec![sqls[0], "SELEC broken", sqls[1]];
+    let answers = client.query_pipelined(&mixed).expect("mixed batch");
+    assert!(answers[0].is_ok());
+    assert!(answers[1].is_err(), "the parse error answers in position 1");
+    assert!(answers[2].is_ok());
+    let stats = server.stats();
+    assert!(
+        stats.pipelined_requests > 0,
+        "pipelined batches must register in the counter: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// Over the connection cap the server answers `503` at the door and closes —
+/// it does not silently queue, hang, or accept-and-starve.
+#[test]
+fn connections_over_the_cap_get_503_at_the_door() {
+    let cfg = ServerConfig { max_connections: 4, workers: 1, ..Default::default() };
+    let (_session, server) = serve(cfg, 1_000);
+    let addr = server.local_addr();
+    // Fill the cap with idle keep-alive sockets, confirming each is accepted
+    // (a healthz round-trip proves the server registered it).
+    let mut held = Vec::new();
+    for _ in 0..4 {
+        let mut c = Client::new(addr.to_string());
+        c.healthz().expect("under the cap, the connection serves");
+        held.push(c);
+    }
+    // The next connection is shed with an explicit 503 body, then closed.
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    rejected.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reply = String::new();
+    rejected.read_to_string(&mut reply).expect("503 then EOF");
+    assert!(reply.starts_with("HTTP/1.1 503"), "door reply: {reply:?}");
+    assert!(reply.contains("overload"), "door reply body: {reply:?}");
+    assert!(server.rejected() >= 1);
+    // Freeing a slot restores admission.
+    drop(held.pop());
+    std::thread::sleep(Duration::from_millis(100));
+    let mut fresh = Client::new(addr.to_string());
+    fresh.healthz().expect("slot freed, admission restored");
+    server.shutdown();
+}
+
+/// A slowloris client — trickling a request head byte-by-byte forever — is
+/// closed at the read deadline (which partial progress must NOT extend), and
+/// neighbors' queries keep answering promptly the whole time.
+#[test]
+fn slowloris_is_closed_at_deadline_without_degrading_neighbors() {
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_millis(400),
+        idle_timeout: Duration::from_secs(60),
+        workers: 2,
+        max_connections: 64,
+        ..Default::default()
+    };
+    let (_session, server) = serve(cfg, 4_000);
+    let addr = server.local_addr();
+
+    let attacker = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).ok();
+        let head = b"POST /query HTTP/1.1\r\nContent-Length: 400\r\n";
+        let t0 = Instant::now();
+        // One byte every 25 ms: steady progress, never a complete request.
+        for b in head.iter().cycle() {
+            if s.write_all(std::slice::from_ref(b)).is_err() {
+                break; // server closed us — the defense worked
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            if t0.elapsed() > Duration::from_secs(5) {
+                return None; // never closed: the defense failed
+            }
+        }
+        Some(t0.elapsed())
+    });
+
+    // A neighbor issues queries the whole time the attack runs.
+    let mut neighbor = Client::new(addr.to_string());
+    let mut latencies = Vec::new();
+    let t0 = Instant::now();
+    while t0.elapsed() < Duration::from_millis(900) {
+        let t = Instant::now();
+        neighbor
+            .query("SELECT COUNT(y) FROM demo WHERE x > 500;")
+            .expect("neighbor stays served during the attack");
+        latencies.push(t.elapsed());
+    }
+    let closed_after = attacker
+        .join()
+        .expect("attacker thread")
+        .expect("slowloris connection must be closed, not held forever");
+    // Closed at the deadline: after read_timeout, well before the trickle
+    // could ever finish (cycle() never completes a request).
+    assert!(
+        closed_after >= Duration::from_millis(300),
+        "closed suspiciously early ({closed_after:?}) — before the deadline could expire"
+    );
+    assert!(
+        closed_after < Duration::from_secs(4),
+        "took too long to shed the slowloris connection: {closed_after:?}"
+    );
+    // Neighbor p50 stays interactive — the trickling socket costs the loop a
+    // few wakeups, not a blocked worker.
+    latencies.sort();
+    let p50 = latencies[latencies.len() / 2];
+    assert!(
+        p50 < Duration::from_millis(100),
+        "neighbor p50 degraded to {p50:?} during slowloris"
+    );
+    server.shutdown();
+}
+
+/// The tentpole capacity claim at test scale: 1000 idle keep-alive sockets
+/// held open while query traffic flows, all visible in the stats, and a
+/// graceful shutdown that drains the lot cleanly.
+#[test]
+fn holds_1000_idle_keepalive_connections_while_serving() {
+    let cfg = ServerConfig {
+        max_connections: 1_200,
+        workers: 2,
+        idle_timeout: Duration::from_secs(120),
+        ..Default::default()
+    };
+    let (session, server) = serve(cfg, 6_000);
+    let addr = server.local_addr();
+
+    let held: Vec<TcpStream> =
+        (0..1_000).map(|i| TcpStream::connect(addr).unwrap_or_else(|e| panic!("conn {i}: {e}"))).collect();
+    // The accept loop is readiness-driven; give it a beat to drain the backlog.
+    let t0 = Instant::now();
+    while server.stats().open_connections < 1_000 {
+        assert!(t0.elapsed() < Duration::from_secs(10), "accepting 1000 conns stalled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Traffic still flows at interactive latency with the population held.
+    let mut client = Client::new(addr.to_string());
+    let sql = "SELECT COUNT(y) FROM demo WHERE x > 500;";
+    let direct = session.sql(sql).unwrap();
+    for _ in 0..50 {
+        assert_eq!(client.query(sql).expect("query across held population"), direct);
+    }
+    let stats = server.stats();
+    assert!(stats.open_connections >= 1_001, "1000 held + the client: {stats:?}");
+    assert!(stats.accepted_connections >= 1_001);
+    assert_eq!(stats.rejected_503, 0, "nothing shed below the cap");
+
+    // /stats agrees over the wire.
+    let doc = client.stats().unwrap();
+    let open = doc
+        .get("server")
+        .and_then(|s| s.get("connections"))
+        .and_then(|c| c.get("open"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(open >= 1_001.0);
+
+    // Graceful shutdown drains 1000+ open sockets and joins every thread.
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(t0.elapsed() < Duration::from_secs(10), "shutdown with a held population stalled");
+    // The held sockets observe EOF: the server really closed them.
+    let mut seen_eof = 0;
+    for mut s in held.into_iter().take(32) {
+        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let mut byte = [0u8; 1];
+        if matches!(s.read(&mut byte), Ok(0)) {
+            seen_eof += 1;
+        }
+    }
+    assert!(seen_eof >= 30, "held sockets should see EOF after shutdown, got {seen_eof}/32");
+}
+
+/// `workers: 0` is the inline-execution mode: the event loop runs queries
+/// itself with a per-drain shared snapshot. Same answers, same contracts.
+#[test]
+fn inline_mode_serves_without_executor_threads() {
+    let cfg = ServerConfig { workers: 0, queue_depth: 16, max_connections: 32, ..Default::default() };
+    let (session, server) = serve(cfg, 6_000);
+    let mut client = Client::new(server.local_addr().to_string());
+    for sql in [
+        "SELECT COUNT(y) FROM demo WHERE x > 500;",
+        "SELECT AVG(y) FROM demo WHERE x > 100 AND x < 900;",
+    ] {
+        assert_eq!(client.query(sql).expect(sql), session.sql(sql).expect(sql));
+    }
+    let answers = client
+        .query_pipelined(&[
+            "SELECT COUNT(y) FROM demo WHERE x > 500;",
+            "SELECT SUM(y) FROM demo WHERE x <= 250;",
+        ])
+        .expect("pipelined in inline mode");
+    assert!(answers.iter().all(Result::is_ok));
+    assert!(client.healthz().is_ok());
+    server.shutdown();
+}

@@ -215,6 +215,26 @@ fn endpoints_and_methods_are_routed() {
     assert_eq!(q.get("requests").and_then(Json::as_f64), Some(1.0));
     assert!(q.get("p50_us").and_then(Json::as_f64).unwrap() > 0.0);
 
+    // Connection-level serving counters: this client's keep-alive socket is
+    // open and counted, nothing has been rejected, and the advertised cap
+    // matches the config derivation.
+    let srv = stats.get("server").unwrap();
+    assert!(srv.get("max_connections").and_then(Json::as_f64).unwrap() >= 1.0);
+    let conns = srv.get("connections").expect("server.connections object");
+    assert_eq!(conns.get("open").and_then(Json::as_f64), Some(1.0), "this keep-alive socket");
+    assert!(conns.get("accepted").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert_eq!(conns.get("rejected").and_then(Json::as_f64), Some(0.0));
+    assert!(conns.get("pipelined_requests").and_then(Json::as_f64).is_some());
+    assert!(conns.get("executor_queue_hwm").and_then(Json::as_f64).is_some());
+    // The typed ServerStats mirror agrees with the wire document.
+    let typed = server.stats();
+    assert_eq!(typed.open_connections, 1);
+    assert_eq!(typed.rejected_503, 0);
+    assert_eq!(
+        typed.accepted_connections as f64,
+        conns.get("accepted").and_then(Json::as_f64).unwrap()
+    );
+
     server.shutdown();
 }
 

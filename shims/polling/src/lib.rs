@@ -1,0 +1,617 @@
+//! Offline stand-in for the `polling` crate: portable socket readiness.
+//!
+//! The real ecosystem crate wraps each OS's readiness API behind one small
+//! interface. This shim reproduces exactly the surface `ph_server`'s event
+//! loop consumes, with two backends selected at runtime:
+//!
+//! - **epoll** (Linux, default): level-triggered `epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait` via direct `extern "C"` declarations — the
+//!   container has no `libc` crate, but the symbols come from the same
+//!   glibc `std` already links against.
+//! - **poll(2)** (portable fallback, or `PH_POLL_BACKEND=poll`): a
+//!   registration table snapshotted into a `pollfd` array per wait. Slower
+//!   (O(n) per wake) but works anywhere POSIX does; it exists so the
+//!   readiness model itself stays portable and testable.
+//!
+//! Both backends are level-triggered: a key stays ready until the caller
+//! drains the condition. Cross-thread wakeup uses a self-pipe
+//! (`UnixStream::pair`) registered at the reserved key `NOTIFY_KEY`; the
+//! pipe is drained inside `wait` and never surfaces in caller results.
+//!
+//! All methods take `&self`: epoll is thread-safe by contract, and the
+//! fallback serializes its registry behind a mutex that is **released
+//! before blocking** so `notify()` from another thread can always land.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Key reserved for the internal notify pipe; never returned from `wait`.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// Interest / readiness for one registered socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    pub fn readable(key: usize) -> Self {
+        Event { key, readable: true, writable: false }
+    }
+    pub fn writable(key: usize) -> Self {
+        Event { key, readable: false, writable: true }
+    }
+    pub fn all(key: usize) -> Self {
+        Event { key, readable: true, writable: true }
+    }
+    pub fn none(key: usize) -> Self {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FFI surface (glibc, linked via std). Kept to the minimum both backends use.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod ffi {
+    use std::os::raw::{c_int, c_ulong, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0x80000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    /// Matches the kernel ABI: on x86_64 glibc declares `epoll_event`
+    /// `__attribute__((packed))`; everywhere else natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub type NfdsT = c_ulong;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        pub fn __errno_location() -> *mut c_void;
+    }
+
+    pub fn errno() -> i32 {
+        // SAFETY: __errno_location returns a valid thread-local int pointer
+        // for the lifetime of the thread; we only read it.
+        unsafe { *(__errno_location() as *mut i32) }
+    }
+
+    pub const EINTR: i32 = 4;
+}
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("polling shim: only the Linux backends are implemented in this container");
+
+use ffi::{EpollEvent, PollFd};
+
+fn millis_timeout(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            // Round sub-millisecond timeouts up so `wait(Some(tiny))` still
+            // yields to the OS instead of spinning at timeout 0.
+            let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll backend
+// ---------------------------------------------------------------------------
+
+struct EpollBackend {
+    epfd: RawFd,
+}
+
+impl EpollBackend {
+    fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes a flags int and returns a new fd or -1;
+        // no pointers are involved.
+        let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollBackend { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: Event) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest_bits(interest), data: interest.key as u64 };
+        let evp: *mut EpollEvent =
+            if op == ffi::EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
+        // SAFETY: `evp` is either null (allowed for DEL on post-2.6.9
+        // kernels) or points to a live, properly initialized EpollEvent for
+        // the duration of the call; epfd/fd are plain ints.
+        let rc = unsafe { ffi::epoll_ctl(self.epfd, op, fd, evp) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>, cap: usize) -> io::Result<()> {
+        let mut buf: Vec<EpollEvent> = vec![EpollEvent { events: 0, data: 0 }; cap.max(64)];
+        let n = loop {
+            // SAFETY: `buf` is a live, initialized array of `buf.len()`
+            // EpollEvent entries; the kernel writes at most `maxevents` of
+            // them. The call blocks without holding any Rust borrow rules
+            // hostage because EpollEvent is Copy/plain-old-data.
+            let rc = unsafe {
+                ffi::epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as i32,
+                    millis_timeout(timeout),
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            if ffi::errno() == ffi::EINTR {
+                continue;
+            }
+            return Err(io::Error::last_os_error());
+        };
+        for ev in buf.iter().take(n) {
+            // A packed struct forbids taking references to its fields;
+            // copy them out by value instead.
+            let bits = { ev.events };
+            let key = { ev.data } as usize;
+            out.push(Event {
+                key,
+                // ERR/HUP surface as readable+writable so the caller's next
+                // read/write observes the failure and closes the socket.
+                readable: bits & (ffi::EPOLLIN | ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+                writable: bits & (ffi::EPOLLOUT | ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        // SAFETY: epfd is a valid fd owned exclusively by this backend; it
+        // is closed exactly once, here.
+        unsafe { ffi::close(self.epfd) };
+    }
+}
+
+fn interest_bits(interest: Event) -> u32 {
+    let mut bits = 0;
+    if interest.readable {
+        bits |= ffi::EPOLLIN;
+    }
+    if interest.writable {
+        bits |= ffi::EPOLLOUT;
+    }
+    bits
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) fallback backend
+// ---------------------------------------------------------------------------
+
+struct PollBackend {
+    /// fd -> (key, interest). Snapshotted into a pollfd array per wait; the
+    /// lock is dropped before blocking so add/modify/delete/notify from
+    /// other threads never deadlock against a sleeping waiter.
+    registry: Mutex<Vec<(RawFd, Event)>>,
+}
+
+impl PollBackend {
+    fn new() -> Self {
+        PollBackend { registry: Mutex::new(Vec::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(RawFd, Event)>> {
+        self.registry.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        let mut reg = self.lock();
+        if reg.iter().any(|(f, _)| *f == fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        reg.push((fd, interest));
+        Ok(())
+    }
+
+    fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        let mut reg = self.lock();
+        match reg.iter_mut().find(|(f, _)| *f == fd) {
+            Some(slot) => {
+                slot.1 = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut reg = self.lock();
+        let before = reg.len();
+        reg.retain(|(f, _)| *f != fd);
+        if reg.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let snapshot: Vec<(RawFd, Event)> = self.lock().clone();
+        let mut fds: Vec<PollFd> = snapshot
+            .iter()
+            .map(|(fd, ev)| {
+                let mut events = 0i16;
+                if ev.readable {
+                    events |= ffi::POLLIN;
+                }
+                if ev.writable {
+                    events |= ffi::POLLOUT;
+                }
+                PollFd { fd: *fd, events, revents: 0 }
+            })
+            .collect();
+        let n = loop {
+            // SAFETY: `fds` is a live, initialized array of pollfd matching
+            // `nfds`; the kernel only writes the `revents` fields.
+            let rc = unsafe {
+                ffi::poll(fds.as_mut_ptr(), fds.len() as ffi::NfdsT, millis_timeout(timeout))
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            if ffi::errno() == ffi::EINTR {
+                continue;
+            }
+            return Err(io::Error::last_os_error());
+        };
+        if n == 0 {
+            return Ok(());
+        }
+        for (pfd, (_, ev)) in fds.iter().zip(snapshot.iter()) {
+            let re = pfd.revents;
+            if re == 0 {
+                continue;
+            }
+            out.push(Event {
+                key: ev.key,
+                readable: re & (ffi::POLLIN | ffi::POLLERR | ffi::POLLHUP) != 0,
+                writable: re & (ffi::POLLOUT | ffi::POLLERR | ffi::POLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+enum Backend {
+    Epoll(EpollBackend),
+    Poll(PollBackend),
+}
+
+/// A readiness poller. All methods take `&self` and are safe to call from
+/// any thread; `wait` is intended to be called from one loop thread while
+/// other threads call `notify`/`add`/`modify`/`delete`.
+pub struct Poller {
+    backend: Backend,
+    notify_tx: Mutex<UnixStream>,
+    notify_rx: Mutex<UnixStream>,
+    notified: AtomicBool,
+}
+
+impl Poller {
+    /// Create a poller. Defaults to epoll on Linux; set
+    /// `PH_POLL_BACKEND=poll` to force the portable poll(2) backend.
+    pub fn new() -> io::Result<Self> {
+        let use_poll = std::env::var("PH_POLL_BACKEND").map(|v| v == "poll").unwrap_or(false);
+        let backend = if use_poll {
+            Backend::Poll(PollBackend::new())
+        } else {
+            match EpollBackend::new() {
+                Ok(ep) => Backend::Epoll(ep),
+                Err(_) => Backend::Poll(PollBackend::new()),
+            }
+        };
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        let poller = Poller {
+            backend,
+            notify_tx: Mutex::new(tx),
+            notify_rx: Mutex::new(rx),
+            notified: AtomicBool::new(false),
+        };
+        let rx_fd = poller.lock_rx().as_raw_fd();
+        poller.register_fd(rx_fd, Event::readable(NOTIFY_KEY))?;
+        Ok(poller)
+    }
+
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll(_) => "poll",
+        }
+    }
+
+    fn lock_rx(&self) -> std::sync::MutexGuard<'_, UnixStream> {
+        self.notify_rx.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn register_fd(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        match &self.backend {
+            Backend::Epoll(ep) => ep.ctl(ffi::EPOLL_CTL_ADD, fd, interest),
+            Backend::Poll(pb) => pb.add(fd, interest),
+        }
+    }
+
+    /// Register a socket under `interest.key`. The key must not be
+    /// `NOTIFY_KEY`. Level-triggered: the key is reported on every `wait`
+    /// while the condition holds.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved for notify"));
+        }
+        self.register_fd(source.as_raw_fd(), interest)
+    }
+
+    /// Change the interest set (and/or key) of a registered socket.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "key reserved for notify"));
+        }
+        match &self.backend {
+            Backend::Epoll(ep) => ep.ctl(ffi::EPOLL_CTL_MOD, source.as_raw_fd(), interest),
+            Backend::Poll(pb) => pb.modify(source.as_raw_fd(), interest),
+        }
+    }
+
+    /// Remove a socket from the poller. Must be called before the fd is
+    /// closed when using the poll(2) backend (epoll auto-removes on close).
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &self.backend {
+            Backend::Epoll(ep) => ep.ctl(ffi::EPOLL_CTL_DEL, source.as_raw_fd(), Event::none(0)),
+            Backend::Poll(pb) => pb.delete(source.as_raw_fd()),
+        }
+    }
+
+    /// Block until at least one registered socket is ready, the timeout
+    /// elapses, or `notify` is called. Ready events are appended to `out`
+    /// (which is cleared first). The internal notify key is drained and
+    /// filtered; a pure-notify wakeup yields an empty `out`.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let mut raw = Vec::with_capacity(64);
+        match &self.backend {
+            Backend::Epoll(ep) => ep.wait(&mut raw, timeout, 1024)?,
+            Backend::Poll(pb) => pb.wait(&mut raw, timeout)?,
+        }
+        let mut woke = false;
+        for ev in raw {
+            if ev.key == NOTIFY_KEY {
+                woke = true;
+            } else {
+                out.push(ev);
+            }
+        }
+        if woke {
+            let mut rx = self.lock_rx();
+            let mut sink = [0u8; 64];
+            while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
+            self.notified.store(false, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Wake a concurrent `wait` from any thread. Coalesced: many notifies
+    /// between waits produce one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        if self.notified.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let mut tx = self.notify_tx.lock().unwrap_or_else(|p| p.into_inner());
+        match tx.write(&[1u8]) {
+            Ok(_) => Ok(()),
+            // A full pipe already guarantees a pending wakeup.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Re-sizes the accept backlog of an already-listening socket.
+///
+/// `std::net::TcpListener::bind` hardcodes a backlog of 128, which a burst of
+/// connects from a fast local client overflows in milliseconds whenever the
+/// accepting thread loses the CPU — each overflowed SYN then costs the client
+/// a full retransmission timeout (~1 s). POSIX permits calling `listen(2)`
+/// again on a listening socket to resize the queue (the kernel clamps the
+/// request to `net.core.somaxconn`), which is the only way to raise it without
+/// rebuilding the socket from raw parts.
+pub fn set_listen_backlog(listener: &impl AsRawFd, backlog: i32) -> io::Result<()> {
+    // SAFETY: the fd is a valid listening socket borrowed from the caller for
+    // the duration of the call; listen(2) touches no user memory.
+    let rc = unsafe { ffi::listen(listener.as_raw_fd(), backlog) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn readable_smoke(poller: &Poller) {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        poller.add(&b, Event::readable(7)).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(events.is_empty(), "no data yet -> no events ({})", poller.backend_name());
+        a.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+        // Level-triggered: still ready until drained.
+        poller.wait(&mut events, Some(Duration::from_millis(200))).unwrap();
+        assert_eq!(events.len(), 1, "level-triggered re-report ({})", poller.backend_name());
+        poller.delete(&b).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(events.is_empty(), "deleted fd no longer reported");
+    }
+
+    #[test]
+    fn epoll_readable_and_level_triggered() {
+        let poller = Poller::new().unwrap();
+        assert_eq!(poller.backend_name(), "epoll");
+        readable_smoke(&poller);
+    }
+
+    #[test]
+    fn pollfd_backend_readable_and_level_triggered() {
+        // Build the fallback directly rather than via env (avoids racing
+        // other tests on the process environment).
+        let (tx, rx) = UnixStream::pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        rx.set_nonblocking(true).unwrap();
+        let poller = Poller {
+            backend: Backend::Poll(PollBackend::new()),
+            notify_tx: Mutex::new(tx),
+            notify_rx: Mutex::new(rx),
+            notified: AtomicBool::new(false),
+        };
+        let rx_fd = poller.lock_rx().as_raw_fd();
+        poller.register_fd(rx_fd, Event::readable(NOTIFY_KEY)).unwrap();
+        assert_eq!(poller.backend_name(), "poll");
+        readable_smoke(&poller);
+    }
+
+    #[test]
+    fn notify_wakes_wait_from_other_thread() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = poller.clone();
+        let start = std::time::Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            p2.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(events.is_empty(), "notify wakeup is filtered from results");
+        assert!(start.elapsed() < Duration::from_secs(5), "woke by notify, not timeout");
+        handle.join().unwrap();
+        // Coalesced notifies: double-notify then single drain.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn writable_interest_reports_immediately() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        poller.add(&a, Event::all(3)).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable, "fresh socket with empty send buffer is writable");
+        poller.modify(&a, Event::readable(3)).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(100))).unwrap();
+        assert!(events.is_empty(), "after dropping write interest nothing is ready");
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let poller = Poller::new().unwrap();
+        let (a, _b) = pair();
+        let err = poller.add(&a, Event::readable(NOTIFY_KEY)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn raised_backlog_absorbs_a_connect_burst_nobody_accepts() {
+        // With std's hardcoded backlog of 128, the 300-connect burst below
+        // would wedge on SYN retransmits (nobody accepts). After the raise,
+        // the kernel queues the whole burst and every connect returns fast.
+        let somaxconn: i32 = std::fs::read_to_string("/proc/sys/net/core/somaxconn")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        if somaxconn < 512 {
+            return; // kernel would clamp the raise below the burst size
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        set_listen_backlog(&listener, 512).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t0 = std::time::Instant::now();
+        let held: Vec<TcpStream> = (0..300).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        assert_eq!(held.len(), 300);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "burst took {:?} — backlog raise did not take",
+            t0.elapsed()
+        );
+    }
+}
