@@ -73,3 +73,8 @@ pub use session::{
     BatchSession, CacheStats, IngestReport, Session, SessionStats, TableSnapshot, TableStats,
 };
 pub use storage::SynopsisSize;
+
+/// The observability substrate, re-exported so in-process users can read
+/// [`Session::trace_report`](session::Session::trace_report) breakdowns and
+/// flip tracing without depending on `ph-obs` directly.
+pub use ph_obs as obs;

@@ -24,7 +24,9 @@
 //! same **plan epoch**, so a single compiled plan executes against every
 //! segment; per-segment answers are combined by `crate::merge`.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use ph_obs::{span, Stage};
 
 use ph_gd::{
     choose_store, EncodeScratch, EncodedMatrix, EncodedPred, GdCompressor, GdError, Preprocessor,
@@ -111,6 +113,11 @@ pub(crate) struct TableState {
     /// The *requested* build configuration, re-used for delta builds, seals and
     /// rebuilds (`ns` is clamped to available rows at each use).
     pub(crate) cfg: PairwiseHistConfig,
+    /// Lazily computed `(synopsis_bytes, row_store_bytes)` for this immutable
+    /// version — the state never mutates, so the walk over every engine's
+    /// synopsis happens at most once per version no matter how often a metrics
+    /// scraper asks (a 1 Hz poll must not perturb serving).
+    pub(crate) footprint: OnceLock<(usize, usize)>,
 }
 
 impl TableState {
@@ -138,14 +145,20 @@ impl TableState {
     /// estimates. A single-engine table answers verbatim (bit-identical to the
     /// monolithic path).
     pub(crate) fn execute_prepared(&self, p: &Prepared) -> Result<AqpAnswer, PhError> {
+        let _execute = span(Stage::Execute);
         let engines = self.engines();
         if engines.len() == 1 {
+            let _estimate = span(Stage::Estimate);
             return engines[0].execute_prepared(p);
         }
         let parts: Vec<AqpAnswer> = engines
             .iter()
-            .map(|e| e.execute_prepared(p))
+            .map(|e| {
+                let _estimate = span(Stage::Estimate);
+                e.execute_prepared(p)
+            })
             .collect::<Result<_, _>>()?;
+        let _merge = span(Stage::Merge);
         Ok(merge_answers(p.query().agg, parts))
     }
 
@@ -180,6 +193,13 @@ impl TableState {
     pub(crate) fn row_store_bytes(&self) -> usize {
         self.segments.iter().map(|s| s.store_bytes).sum()
     }
+
+    /// `(synopsis_bytes, row_store_bytes)` computed at most once per version:
+    /// the state is immutable, so the first caller pays the engine walk and
+    /// every later scrape reads the cached pair.
+    pub(crate) fn footprint(&self) -> (usize, usize) {
+        *self.footprint.get_or_init(|| (self.synopsis_bytes(), self.row_store_bytes()))
+    }
 }
 
 /// Builds the registration segment: the synopsis is constructed exactly like the
@@ -213,11 +233,15 @@ pub(crate) fn seal_segment(
     epoch: u64,
     scratch: &mut EncodeScratch,
 ) -> Segment {
+    let _seal = span(Stage::Seal);
     let matrix = pre.encode_with(rows, scratch);
     let gd = GdCompressor::new().compress(&matrix);
     let mut engine = PairwiseHist::build_from_gd(&gd, pre.clone(), cfg);
     engine.plan_epoch = epoch;
-    let store = choose_store(&matrix, gd);
+    let store = {
+        let _codec = span(Stage::Codec);
+        choose_store(&matrix, gd)
+    };
     scratch.reclaim(matrix);
     Segment::new(engine, Some(Arc::new(store)))
 }

@@ -98,8 +98,9 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
+use ph_obs::{span, Stage};
 use ph_sql::parse_query;
 use ph_types::{faultfs, Dataset, PhError};
 
@@ -342,20 +343,21 @@ struct CacheShard {
 }
 
 /// The sharded plan cache. Shard choice is by fingerprint for the canonical
-/// index and by text hash for the spelling index; hit/miss counters are plain
-/// atomics so the hot path never takes a lock for bookkeeping.
+/// index and by text hash for the spelling index; hit/miss counters are
+/// [`ph_obs::Counter`] handles (lock-free) so the hot path never takes a lock
+/// for bookkeeping and a scraper reads the same counters `/metrics` exposes.
 struct PlanCache {
     shards: Vec<RwLock<CacheShard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: ph_obs::Counter,
+    misses: ph_obs::Counter,
 }
 
 impl PlanCache {
     fn new() -> Self {
         Self {
             shards: (0..PLAN_CACHE_SHARDS).map(|_| RwLock::new(CacheShard::default())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: ph_obs::Counter::new(),
+            misses: ph_obs::Counter::new(),
         }
     }
 
@@ -629,6 +631,7 @@ impl Session {
             segments: vec![Arc::new(segment)],
             delta: None,
             cfg: cfg.clone(),
+            footprint: OnceLock::new(),
         };
         let mut map = self.tables.write().unwrap_or_else(PoisonError::into_inner);
         if map.contains_key(&name) {
@@ -700,8 +703,10 @@ impl Session {
     pub fn footprint_report(&self, table: &str) -> Result<FootprintReport, PhError> {
         let cell = self.cell(table)?;
         let state = cell.snapshot();
-        let synopsis_bytes = state.synopsis_bytes();
-        let row_store_bytes = state.row_store_bytes();
+        // Cached on the immutable snapshot: the engine walk runs once per
+        // published version, so a periodic scraper re-reads two integers
+        // instead of re-measuring every synopsis on every poll.
+        let (synopsis_bytes, row_store_bytes) = state.footprint();
         let delta_bytes = cell.delta_bytes.load(Ordering::Relaxed);
         Ok(FootprintReport {
             synopsis_bytes,
@@ -734,10 +739,13 @@ impl Session {
         // epoch check anyway, and the `StalePlan` arm below purges the cache —
         // pre-validating would only double the table lookups on the hot path.
         if let Some(p) = self.cache.get_by_text(sql) {
+            // Zero-duration marker: which of hit/miss appears in a trace is
+            // the signal; the real time lives in the parse/plan spans.
+            drop(span(Stage::PlanCacheHit));
             match self.execute(&p) {
                 Err(PhError::StalePlan(_)) => self.cache.invalidate_table(&p.query().table),
                 other => {
-                    self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    self.cache.hits.inc();
                     return other;
                 }
             }
@@ -756,6 +764,26 @@ impl Session {
             }
         }
         self.execute(&last)
+    }
+
+    /// Runs one query with tracing enabled and returns the answer plus the
+    /// full stage breakdown (parse, plan-cache hit/miss, per-segment
+    /// estimates, merge …) — the in-process counterpart of the server's
+    /// `/debug/slow`. Span offsets are nanoseconds from the call's start.
+    ///
+    /// Installs a fresh trace on the calling thread for the duration (any
+    /// trace already installed is replaced). With tracing disabled
+    /// ([`ph_obs::set_tracing`]) or compiled out (`obs-off`), the answer is
+    /// returned with an empty breakdown.
+    pub fn trace_report(&self, sql: &str) -> Result<(AqpAnswer, Vec<ph_obs::SpanRec>), PhError> {
+        ph_obs::trace::install(ph_obs::Trace::new());
+        let result = {
+            let _root = span(Stage::Query);
+            self.sql(sql)
+        };
+        let spans =
+            ph_obs::trace::take().map(ph_obs::Trace::into_spans).unwrap_or_default();
+        Ok((result?, spans))
     }
 
     /// Starts a batch: returns a [`BatchSession`] whose queries share one
@@ -780,7 +808,8 @@ impl Session {
     /// [`PhError::StalePlan`]; re-`prepare` to get a live one.
     pub fn prepare(&self, sql: &str) -> Result<Arc<Prepared>, PhError> {
         if let Some(p) = self.cached_by_text(sql) {
-            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            self.cache.hits.inc();
+            drop(span(Stage::PlanCacheHit));
             return Ok(p);
         }
         self.prepare_internal(sql)
@@ -828,8 +857,8 @@ impl Session {
     /// Plan-cache totals since the session was created.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.cache.hits.load(Ordering::Relaxed),
-            misses: self.cache.misses.load(Ordering::Relaxed),
+            hits: self.cache.hits.get(),
+            misses: self.cache.misses.get(),
             entries: self.cache.entries(),
         }
     }
@@ -877,20 +906,28 @@ impl Session {
 
     /// Slow path: parse, then fingerprint-level lookup, then plan + insert.
     fn prepare_internal(&self, sql: &str) -> Result<Arc<Prepared>, PhError> {
-        let query = parse_query(sql)?;
+        let query = {
+            let _parse = span(Stage::Parse);
+            parse_query(sql)?
+        };
         let state = self.cell(&query.table)?.snapshot();
         let fp = query.fingerprint();
         if let Some(p) = self.cache.get_by_fp(fp) {
             // New spelling of a known template — but only trust it if it still
             // matches the serving epoch; a stale survivor is replaced below.
             if p.token() == state.epoch {
-                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.cache.hits.inc();
+                drop(span(Stage::PlanCacheHit));
                 self.cache.insert(sql, &p);
                 return Ok(p);
             }
         }
-        let prepared = Arc::new(state.prepare(&query)?.with_session(self.id));
-        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = {
+            let _miss = span(Stage::PlanCacheMiss);
+            let _plan = span(Stage::Plan);
+            Arc::new(state.prepare(&query)?.with_session(self.id))
+        };
+        self.cache.misses.inc();
         self.cache.insert(sql, &prepared);
         Ok(prepared)
     }
@@ -1088,15 +1125,25 @@ impl Session {
             drop(scratch);
             cell.set_delta_bytes(0);
             (
-                TableState { epoch, pre, segments, delta: None, cfg: cur.cfg.clone() },
+                TableState {
+                    epoch,
+                    pre,
+                    segments,
+                    delta: None,
+                    cfg: cur.cfg.clone(),
+                    footprint: OnceLock::new(),
+                },
                 sealed,
             )
         } else {
             // Pure O(batch) path: fold the encoded batch into the delta synopsis
             // (or build it fresh from the first batch), keep the epoch.
-            let delta = match &cur.delta {
-                Some(engine) => engine.with_ingested(&pre.encode(batch)),
-                None => build_delta(delta_data, &pre, &cur.cfg, cur.epoch),
+            let delta = {
+                let _fold = span(Stage::Fold);
+                match &cur.delta {
+                    Some(engine) => engine.with_ingested(&pre.encode(batch)),
+                    None => build_delta(delta_data, &pre, &cur.cfg, cur.epoch),
+                }
             };
             cell.set_delta_bytes(delta_data.heap_size());
             (
@@ -1106,6 +1153,7 @@ impl Session {
                     segments: cur.segments.clone(),
                     delta: Some(delta),
                     cfg: cur.cfg.clone(),
+                    footprint: OnceLock::new(),
                 },
                 0,
             )
@@ -1163,6 +1211,7 @@ impl Session {
             segments: vec![Arc::new(segment)],
             delta: None,
             cfg: cur.cfg.clone(),
+            footprint: OnceLock::new(),
         })
     }
 
@@ -1218,6 +1267,7 @@ impl Session {
             segments,
             delta: cur.delta.clone(),
             cfg: cur.cfg.clone(),
+            footprint: OnceLock::new(),
         });
         Ok(CompactReport {
             segments_before: before,
@@ -1446,7 +1496,15 @@ impl Session {
                             return Err(fail(&name, corrupt("manifest lists no segments".into())));
                         };
                         let cfg = config_from_engine(&first.engine);
-                        Ok((name, TableState { epoch, pre, segments, delta: None, cfg }, m.wal_seq))
+                        let state = TableState {
+                            epoch,
+                            pre,
+                            segments,
+                            delta: None,
+                            cfg,
+                            footprint: OnceLock::new(),
+                        };
+                        Ok((name, state, m.wal_seq))
                     } else {
                         // Legacy single-blob format: one segment, no retained
                         // rows, nothing journaled against it.
@@ -1461,6 +1519,7 @@ impl Session {
                             segments: vec![Arc::new(Segment::new(engine, None))],
                             delta: None,
                             cfg,
+                            footprint: OnceLock::new(),
                         };
                         Ok((name, state, 0))
                     }

@@ -40,6 +40,7 @@
 use std::path::{Path, PathBuf};
 
 use ph_encoding::{crc32, read_uvarint, write_uvarint};
+use ph_obs::{span, Stage};
 use ph_types::{faultfs, Column, ColumnData, ColumnType, Dataset, PhError};
 
 pub(crate) const WAL_MAGIC: &[u8; 5] = b"PHWL1";
@@ -67,7 +68,11 @@ pub(crate) fn append_record(path: &Path, seq: u64, batch: &Dataset) -> Result<()
     write_uvarint(&mut rec, payload.len() as u64);
     rec.extend_from_slice(&crc32(&payload).to_le_bytes());
     rec.extend_from_slice(&payload);
-    faultfs::append(path, &rec)?;
+    {
+        let _append = span(Stage::WalAppend);
+        faultfs::append(path, &rec)?;
+    }
+    let _fsync = span(Stage::WalFsync);
     faultfs::fsync_file(path)?;
     Ok(())
 }

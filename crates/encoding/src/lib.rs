@@ -28,7 +28,7 @@ pub use golomb::{golomb_decode, golomb_encode, golomb_len_bits, optimal_golomb_m
 pub use qlog::{
     read_qlog_body, read_qlog_prefix, read_qlog_record, write_qlog_record, QlogRecord, QLOG_MAGIC,
 };
-pub use varint::{read_uvarint, write_uvarint};
+pub use varint::{read_ivarint, read_uvarint, write_ivarint, write_uvarint};
 
 /// Number of bits needed to represent `v` (0 needs 1 bit).
 #[inline]

@@ -13,6 +13,31 @@ pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Appends `v` as a zigzag-mapped varint: small magnitudes of either sign
+/// encode in one byte, which is what delta streams (trace span starts, qlog
+/// timestamps) need.
+pub fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+    write_uvarint(out, zigzag(v));
+}
+
+/// Reads a zigzag varint written by [`write_ivarint`]; `None` on truncated or
+/// over-long input.
+pub fn read_ivarint(data: &[u8], pos: &mut usize) -> Option<i64> {
+    read_uvarint(data, pos).map(unzigzag)
+}
+
+/// Maps signed to unsigned so small magnitudes stay small: 0, -1, 1, -2 → 0, 1, 2, 3.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 /// Reads a varint from `data` starting at `*pos`, advancing `*pos`; `None` on
 /// truncated or over-long (>10 byte) input.
 pub fn read_uvarint(data: &[u8], pos: &mut usize) -> Option<u64> {
@@ -60,7 +85,27 @@ mod tests {
         assert_eq!(read_uvarint(&buf, &mut pos), None);
     }
 
+    #[test]
+    fn ivarint_small_magnitudes_are_one_byte() {
+        for v in [0i64, 1, -1, 63, -63] {
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v);
+            assert_eq!(buf.len(), 1, "v={v}");
+            let mut pos = 0;
+            assert_eq!(read_ivarint(&buf, &mut pos), Some(v));
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_ivarint_roundtrip(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_ivarint(&mut buf, v);
+            prop_assert!(buf.len() <= 10);
+            let mut pos = 0;
+            prop_assert_eq!(read_ivarint(&buf, &mut pos), Some(v));
+        }
+
         #[test]
         fn prop_roundtrip(v in any::<u64>()) {
             let mut buf = Vec::new();

@@ -1,0 +1,89 @@
+//! R7 `metric-help`: every registered metric must carry non-empty help text.
+//!
+//! A `/metrics` family without a `# HELP` line is a number nobody can act on:
+//! the dashboards and alerts built over the exposition inherit whatever the
+//! registration site wrote, so an empty help string at registration becomes an
+//! unexplained metric fleet-wide. The registry (`ph_obs`) renders whatever it
+//! was given; this rule pins the call sites instead.
+//!
+//! Token-scope approximation: a call to `counter(…)` / `gauge(…)` /
+//! `histogram(…)` / `push_header(…)` whose **second top-level string literal**
+//! is empty is flagged. The second literal is the help text in both shapes —
+//! `registry.counter(name, help, labels)` and
+//! `push_header(out, name, help, kind)` — and label tuples like
+//! `("endpoint", "query")` sit a bracket deeper, so an empty label *value*
+//! never trips the rule. Help passed through a `const` is invisible to a token
+//! scan and deliberately out of scope.
+
+use super::{paths, Diagnostic};
+use crate::lexer::TokKind;
+use crate::scope::FileCtx;
+
+/// Rule name.
+pub const NAME: &str = "metric-help";
+
+/// Registration entry points whose second string argument is the help text.
+const REGISTER_FNS: &[&str] = &["counter", "gauge", "histogram", "push_header"];
+
+/// Library source only; tests and fixtures may register throwaway metrics.
+fn in_scope(rel: &str) -> bool {
+    if paths::is_test_path(rel)
+        || paths::is_example(rel)
+        || paths::is_shim(rel)
+        || paths::is_lint_crate(rel)
+    {
+        return false;
+    }
+    paths::is_crate_src(rel)
+}
+
+/// Scans for metric registrations with an empty help literal.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !in_scope(&ctx.rel) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let Some(name) = ctx.ident(i) else { continue };
+        if !REGISTER_FNS.contains(&name) || !ctx.punct(i + 1, '(') {
+            continue;
+        }
+        // A declaration (`fn counter(…)`) is not a registration.
+        if i > 0 && toks.get(i - 1).is_some_and(|t| t.is_ident("fn")) {
+            continue;
+        }
+        // Walk the argument list, keeping only string literals at the call's
+        // own nesting depth (labels live inside `&[(…)]`, one level down).
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        let mut top_level_strs: Vec<usize> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            if ctx.punct(j, '(') || ctx.punct(j, '[') || ctx.punct(j, '{') {
+                depth += 1;
+            } else if ctx.punct(j, ')') || ctx.punct(j, ']') || ctx.punct(j, '}') {
+                depth -= 1;
+            } else if depth == 1 && toks.get(j).is_some_and(|t| t.kind == TokKind::Str) {
+                top_level_strs.push(j);
+            }
+            j += 1;
+        }
+        // (name, help, …) / (out, name, help, kind): help is the second
+        // top-level literal. Non-literal help (a const) is out of scope.
+        if let Some(&h) = top_level_strs.get(1) {
+            if toks.get(h).is_some_and(|t| t.text.is_empty()) {
+                out.push(Diagnostic {
+                    file: ctx.rel.clone(),
+                    line: toks.get(h).map_or(0, |t| t.line),
+                    rule: NAME,
+                    message: format!(
+                        "metric registered via `{name}(…)` with empty help text — write what \
+                         the metric means; `/metrics` renders it as the family's # HELP line"
+                    ),
+                });
+            }
+        }
+    }
+}

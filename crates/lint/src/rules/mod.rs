@@ -13,6 +13,7 @@
 pub mod durable_io;
 pub mod error_convention;
 pub mod lock_across_io;
+pub mod metric_help;
 pub mod no_panic;
 pub mod safety_comment;
 pub mod wire_float;
@@ -171,6 +172,11 @@ pub const RULES: &[(&str, &str)] = &[
         "every `unsafe` must carry a `// SAFETY:` comment on or directly above its line",
     ),
     (
+        metric_help::NAME,
+        "a metric registered with counter()/gauge()/histogram()/push_header() must carry \
+         non-empty help text — /metrics renders it as the family's # HELP line",
+    ),
+    (
         BAD_ALLOW,
         "a ph-lint allow directive must name known rules and carry a non-empty justification",
     ),
@@ -190,6 +196,7 @@ pub fn check_file(ctx: &FileCtx, ws: &WsCtx) -> Vec<Diagnostic> {
     error_convention::check(ctx, ws, &mut raw);
     wire_float::check(ctx, &mut raw);
     safety_comment::check(ctx, &mut raw);
+    metric_help::check(ctx, &mut raw);
     let mut out: Vec<Diagnostic> =
         raw.into_iter().filter(|d| !ctx.is_allowed(d.rule, d.line)).collect();
 

@@ -34,6 +34,7 @@ fn in_scope(rel: &str) -> bool {
         return false;
     }
     rel.starts_with("crates/server/src/")
+        || rel.starts_with("crates/obs/src/")
         || rel == "crates/core/src/session.rs"
         || rel == "crates/core/src/wal.rs"
         || rel == "crates/core/src/storage.rs"

@@ -1,0 +1,8 @@
+// Fixture (linted as crates/server/src/server.rs): metrics without help text.
+pub fn register(registry: &Registry, out: &mut String) {
+    let c = registry.counter("ph_bad_total", "", &[]); // line 3: metric-help
+    let g = registry.gauge("ph_bad_open", "", &[("endpoint", "query")]); // line 4: metric-help
+    let h = registry.histogram("ph_bad_seconds", "", 1e-6, &[]); // line 5: metric-help
+    push_header(out, "ph_bad_dynamic", "", Kind::Gauge); // line 6: metric-help
+    let _ = (c, g, h);
+}

@@ -1,0 +1,11 @@
+// Fixture (linted as crates/server/src/server.rs): every registration carries
+// help text; empty *label values* are not help text and must not fire.
+pub fn register(registry: &Registry, out: &mut String) {
+    let c = registry.counter("ph_good_total", "Requests served.", &[]);
+    let g = registry.gauge("ph_good_open", "Open connections.", &[("endpoint", "")]);
+    let h = registry.histogram("ph_good_seconds", "Request latency.", 1e-6, &[]);
+    push_header(out, "ph_good_dynamic", "Computed at scrape time.", Kind::Gauge);
+    // Help via a const is invisible to the token scan — out of scope, quiet.
+    let k = registry.counter("ph_good_const_total", HELP_TEXT, &[]);
+    let _ = (c, g, h, k);
+}

@@ -1,0 +1,8 @@
+// Fixture (linted as crates/obs/src/ring.rs): panic paths in the observability
+// substrate — instrumentation that can kill the thread it observes is worse
+// than no instrumentation.
+pub fn push(ring: &SpanRing, spans: &[SpanRec]) {
+    let mut inner = ring.inner.lock().unwrap(); // line 5: no-panic-serving
+    let first = spans[0]; // line 6: no-panic-serving (slice index)
+    inner.push(first.stage.code());
+}

@@ -1,0 +1,8 @@
+// Fixture (linted as crates/obs/src/ring.rs): the sanctioned shapes — poison
+// recovery on the ring mutex, iteration instead of indexing.
+pub fn push(ring: &SpanRing, spans: &[SpanRec]) {
+    let mut inner = ring.inner.lock().unwrap_or_else(|p| p.into_inner());
+    for s in spans {
+        inner.push(s.stage.code());
+    }
+}

@@ -163,6 +163,37 @@ fn safety_comment_fires_on_bad_and_not_on_good() {
     assert!(good.is_empty(), "{good:?}");
 }
 
+/// `ph_obs` is serving-path code: spans and ring pushes run inside query
+/// execution, so R2 holds it to the same panic-freedom as `ph_server`.
+#[test]
+fn no_panic_covers_the_obs_crate() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("obs_ring_bad.rs", "crates/obs/src/ring.rs", &ws);
+    let r2_lines: Vec<u32> =
+        bad.iter().filter(|d| d.rule == "no-panic-serving").map(|d| d.line).collect();
+    assert_eq!(r2_lines, [5, 6], "lock unwrap + slice index: {bad:?}");
+
+    let good = lint_fixture("obs_ring_good.rs", "crates/obs/src/ring.rs", &ws);
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn metric_help_fires_on_bad_and_not_on_good() {
+    let ws = WsCtx::default();
+    let bad = lint_fixture("metric_help_bad.rs", "crates/server/src/server.rs", &ws);
+    let fired: Vec<u32> =
+        bad.iter().filter(|d| d.rule == "metric-help").map(|d| d.line).collect();
+    assert_eq!(fired, [3, 4, 5, 6], "{bad:?}");
+
+    let good = lint_fixture("metric_help_good.rs", "crates/server/src/server.rs", &ws);
+    assert!(!good.iter().any(|d| d.rule == "metric-help"), "{good:?}");
+
+    // Registrations in tests are out of scope.
+    let src = read_fixture("metric_help_bad.rs");
+    let d = lint_source("crates/obs/tests/registry.rs", &src, &ws);
+    assert!(!d.iter().any(|d| d.rule == "metric-help"), "{d:?}");
+}
+
 #[test]
 fn bad_allow_audit_catches_all_three_failure_modes() {
     let ws = WsCtx::default();

@@ -1,0 +1,125 @@
+//! Slow-query forensics: the last N requests whose total latency crossed a
+//! threshold, each with its full stage breakdown.
+//!
+//! Entries carry the query's **SQL fingerprint** (the same canonical-form
+//! FNV the plan cache and PHQL1 query log key on), never raw text — the
+//! surface stays log-compatible and leaks no literals. The ring is a mutexed
+//! `VecDeque` touched only when a query is actually slow, so the fast path
+//! pays one threshold comparison.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::trace::SpanRec;
+
+/// One slow request: identity, outcome, and where the time went.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Canonical SQL fingerprint (plan-cache / query-log compatible).
+    pub fingerprint: u64,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// HTTP status the request resolved to.
+    pub status: u16,
+    /// Wall-clock completion time, milliseconds since the Unix epoch
+    /// (captured by the caller — the ring itself never reads a clock).
+    pub unix_ms: u64,
+    /// Full span breakdown of the request.
+    pub spans: Vec<SpanRec>,
+}
+
+/// Bounded ring of recent slow queries with a runtime-adjustable threshold.
+#[derive(Debug)]
+pub struct SlowRing {
+    entries: Mutex<VecDeque<SlowQuery>>,
+    cap: usize,
+    threshold_us: AtomicU64,
+}
+
+impl SlowRing {
+    /// A ring keeping the most recent `cap` queries slower than
+    /// `threshold_us` microseconds.
+    pub fn new(cap: usize, threshold_us: u64) -> SlowRing {
+        SlowRing {
+            entries: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+            cap: cap.max(1),
+            threshold_us: AtomicU64::new(threshold_us),
+        }
+    }
+
+    /// Current threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the threshold (takes effect for subsequent offers).
+    pub fn set_threshold_us(&self, v: u64) {
+        self.threshold_us.store(v, Ordering::Relaxed);
+    }
+
+    /// Maximum retained entries.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Records `q` if it crossed the threshold; returns whether it was kept.
+    /// The oldest entry is evicted once the ring is full.
+    pub fn offer(&self, q: SlowQuery) -> bool {
+        if q.total_us < self.threshold_us() {
+            return false;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        while entries.len() >= self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(q);
+        true
+    }
+
+    /// All retained entries, most recent last.
+    pub fn snapshot(&self) -> Vec<SlowQuery> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).iter().cloned().collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(fp: u64, total_us: u64) -> SlowQuery {
+        SlowQuery { fingerprint: fp, total_us, status: 200, unix_ms: 0, spans: Vec::new() }
+    }
+
+    #[test]
+    fn threshold_filters_and_cap_holds() {
+        let ring = SlowRing::new(3, 1000);
+        assert!(!ring.offer(q(1, 999)));
+        for i in 0..10 {
+            assert!(ring.offer(q(i, 1000 + i)));
+        }
+        assert_eq!(ring.len(), 3);
+        let snap = ring.snapshot();
+        let fps: Vec<u64> = snap.iter().map(|e| e.fingerprint).collect();
+        assert_eq!(fps, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn threshold_is_adjustable() {
+        let ring = SlowRing::new(4, u64::MAX);
+        assert!(!ring.offer(q(1, 5_000_000)));
+        ring.set_threshold_us(0);
+        assert!(ring.offer(q(2, 1)));
+        assert_eq!(ring.threshold_us(), 0);
+    }
+}

@@ -45,6 +45,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ph-serve [--addr HOST:PORT] [--workers N] [--queue N] [--max-conns N] \
          [--read-timeout SECS] [--idle-timeout SECS] [--serve-seconds S] [--qlog PATH] \
+         [--slow-threshold-us MICROS] [--slow-cap N] [--no-tracing] \
          [--data-dir DIR | --demo ROWS]"
     );
     exit(2);
@@ -94,6 +95,14 @@ fn parse_args() -> Args {
                     Some(value("--serve-seconds").parse().unwrap_or_else(|_| usage()))
             }
             "--qlog" => args.cfg.query_log = Some(value("--qlog").into()),
+            "--slow-threshold-us" => {
+                args.cfg.slow_query_threshold_us =
+                    value("--slow-threshold-us").parse().unwrap_or_else(|_| usage())
+            }
+            "--slow-cap" => {
+                args.cfg.slow_query_cap = value("--slow-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-tracing" => ph_server::obs::set_tracing(false),
             "--data-dir" => args.data_dir = Some(value("--data-dir")),
             "--demo" => {
                 args.demo_rows = value("--demo").parse().unwrap_or_else(|_| usage())

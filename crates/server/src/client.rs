@@ -212,6 +212,23 @@ impl Client {
         body: &[u8],
         idempotent: bool,
     ) -> Result<(u16, Json), ClientError> {
+        let (status, text) = self.exchange_text(method, target, content_type, body, idempotent)?;
+        let doc = Json::parse(&text).map_err(|e| {
+            ClientError::Protocol(format!("response is not JSON: {e} in {text:?}"))
+        })?;
+        Ok((status, doc))
+    }
+
+    /// [`Client::exchange`] without the JSON parse — for endpoints that speak
+    /// plain text (`/metrics`).
+    fn exchange_text(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+        idempotent: bool,
+    ) -> Result<(u16, String), ClientError> {
         let mut first_error = None;
         let attempts = if idempotent { self.retry.attempts.max(2) } else { 1 };
         for k in 0..attempts {
@@ -228,10 +245,7 @@ impl Client {
                 Ok((status, _headers, body)) => {
                     let text = String::from_utf8(body)
                         .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
-                    let doc = Json::parse(&text).map_err(|e| {
-                        ClientError::Protocol(format!("response is not JSON: {e} in {text:?}"))
-                    })?;
-                    return Ok((status, doc));
+                    return Ok((status, text));
                 }
                 Err(HttpError::Io(m) | HttpError::Malformed(m)) => {
                     // Drop the (possibly half-dead) connection and retry once.
@@ -316,6 +330,24 @@ impl Client {
     /// `GET /stats` — the full session + server metrics document.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         let (status, doc) = self.exchange("GET", "/stats", "application/json", b"", true)?;
+        Self::ok_or_server_error(status, doc)
+    }
+
+    /// `GET /metrics` — the Prometheus text exposition body (what a scraper
+    /// sees: `# HELP`/`# TYPE` headers and one sample line per series).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let (status, text) = self.exchange_text("GET", "/metrics", "text/plain", b"", true)?;
+        if status == 200 {
+            Ok(text)
+        } else {
+            Err(ClientError::Protocol(format!("/metrics answered {status}: {text}")))
+        }
+    }
+
+    /// `GET /debug/slow` — the most recent over-threshold queries with their
+    /// stage breakdowns (SQL fingerprints, never raw text).
+    pub fn debug_slow(&mut self) -> Result<Json, ClientError> {
+        let (status, doc) = self.exchange("GET", "/debug/slow", "application/json", b"", true)?;
         Self::ok_or_server_error(status, doc)
     }
 

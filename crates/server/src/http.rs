@@ -276,8 +276,19 @@ pub fn try_parse_request(
 /// [`HttpConn::write_response`] emits, for loops that stage responses in a
 /// per-connection write backlog instead of writing through a stream.
 pub fn response_bytes(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    response_bytes_typed(status, "application/json", body, keep_alive)
+}
+
+/// [`response_bytes`] with an explicit `Content-Type` — the Prometheus
+/// `/metrics` exposition is text, not JSON.
+pub fn response_bytes_typed(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason_phrase(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

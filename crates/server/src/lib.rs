@@ -12,8 +12,10 @@
 //! | `POST /query`   | SQL in (raw text or `{"sql": …}`), JSON estimate with bounds out |
 //! | `POST /ingest`  | JSON rows or CSV into a named table (O(batch) segmented ingest) |
 //! | `GET /tables`   | catalog with per-table epoch / segment / row counts |
-//! | `GET /stats`    | plan-cache hit/miss, per-table footprint, per-endpoint latency histograms |
-//! | `GET /healthz`  | liveness |
+//! | `GET /stats`    | plan-cache hit/miss, per-table footprint, per-endpoint p50/p90/p99 latency |
+//! | `GET /healthz`  | liveness, version, uptime |
+//! | `GET /metrics`  | every metric family in Prometheus text exposition format ([`ph_obs`]) |
+//! | `GET /debug/slow` | last N over-threshold queries: SQL fingerprint + full stage breakdown |
 //!
 //! Three serving-layer guarantees the in-process library cannot give:
 //!
@@ -31,6 +33,14 @@
 //!   query log (the `PHQL1` format in [`ph_encoding`], after Xie et al.'s query
 //!   log compression work), replayable by the `logreplay` bench bin — and by
 //!   the tests, which assert a replayed log reproduces the served estimates.
+//! * **Self-description.** Every request is traced through the [`ph_obs`]
+//!   pipeline — HTTP read → admission → queue wait → parse → plan cache →
+//!   per-segment estimate → merge → serialize — feeding the
+//!   `ph_query_stage_seconds{stage}` histograms, a compact span flight
+//!   recorder, and the `/debug/slow` forensics ring (fingerprints, never raw
+//!   SQL). A 1 Hz scraper on `/metrics` costs the serving path nothing it
+//!   wasn't already paying: handles are relaxed atomics and table footprints
+//!   are cached on the immutable snapshot.
 //!
 //! The [`Client`] speaks the same wire format back: `Client::query` returns
 //! the same [`AqpAnswer`](ph_core::AqpAnswer) a local `Session::sql` call
@@ -56,6 +66,11 @@
 //! let mut client = Client::new(server.local_addr().to_string());
 //! let estimate = client.query_scalar("SELECT COUNT(y) FROM demo WHERE x >= 50;").unwrap();
 //! assert!(estimate.lo <= estimate.value && estimate.value <= estimate.hi);
+//!
+//! // Scrape the observability surface like Prometheus would.
+//! let metrics = client.metrics().unwrap();
+//! assert!(metrics.contains("# TYPE ph_queries_total counter"));
+//! assert!(metrics.contains("ph_queries_total 1"));
 //! server.shutdown();
 //! ```
 //!
@@ -80,6 +95,9 @@ pub mod wire;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use json::Json;
+/// The observability substrate, re-exported for embedders and the `ph-serve`
+/// bin (runtime tracing switch, registry/ring types).
+pub use ph_obs as obs;
 pub use load::{run_closed_loop, run_load, LoadProfile, LoadReport};
 pub use querylog::{read_query_log, read_query_log_lossy, QueryLogWriter};
 pub use server::{Server, ServerConfig, ServerStats};

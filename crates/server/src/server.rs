@@ -58,13 +58,17 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use ph_core::{BatchSession, Session};
+use ph_obs::{
+    push_header, push_sample, span, Counter, Gauge, Histogram, Kind, Registry, SlowQuery,
+    SlowRing, SpanRing, Stage, Trace,
+};
 use ph_types::PhError;
 use polling::{Event, Poller};
 
-use crate::http::{response_bytes, try_parse_request, HttpError, Request};
+use crate::http::{response_bytes, response_bytes_typed, try_parse_request, HttpError, Request};
 use crate::ingest::dataset_from_body;
 use crate::json::{obj, Json};
 use crate::querylog::QueryLogWriter;
@@ -120,6 +124,14 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Where to append the query log (`None` → no log).
     pub query_log: Option<PathBuf>,
+    /// Queries slower than this (end-to-end, microseconds) land in the
+    /// `GET /debug/slow` forensics ring. `0` records every query.
+    pub slow_query_threshold_us: u64,
+    /// How many slow queries `GET /debug/slow` retains (oldest evicted).
+    pub slow_query_cap: usize,
+    /// Span capacity of the flight-recorder ring behind `/debug/slow` and
+    /// `ph_query_stage_seconds` (varint/delta encoded; 64k spans < 1 MB).
+    pub span_ring_spans: usize,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +145,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             max_connections: 0,
             query_log: None,
+            slow_query_threshold_us: 100_000,
+            slow_query_cap: 64,
+            span_ring_spans: 16 * 1024,
         }
     }
 }
@@ -156,16 +171,20 @@ pub(crate) enum Endpoint {
     Tables,
     Stats,
     Healthz,
+    Metrics,
+    Debug,
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Query,
         Endpoint::Ingest,
         Endpoint::Tables,
         Endpoint::Stats,
         Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Debug,
         Endpoint::Other,
     ];
 
@@ -176,7 +195,9 @@ impl Endpoint {
             Endpoint::Tables => 2,
             Endpoint::Stats => 3,
             Endpoint::Healthz => 4,
-            Endpoint::Other => 5,
+            Endpoint::Metrics => 5,
+            Endpoint::Debug => 6,
+            Endpoint::Other => 7,
         }
     }
 
@@ -187,106 +208,164 @@ impl Endpoint {
             Endpoint::Tables => "tables",
             Endpoint::Stats => "stats",
             Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Debug => "debug",
             Endpoint::Other => "other",
         }
     }
 }
 
-/// Lock-free log₂ latency histogram: bucket `i` counts requests taking
-/// `[2^i, 2^(i+1))` µs. 40 buckets cover a microsecond to ~12 days.
-struct LatencyHist {
-    buckets: [AtomicU64; 40],
-}
-
-impl LatencyHist {
-    fn new() -> Self {
-        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-
-    fn record(&self, micros: u64) {
-        let idx = (63 - micros.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
-        if let Some(bucket) = self.buckets.get(idx) {
-            bucket.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Approximate quantile: the geometric midpoint of the bucket holding the
-    /// rank. Within 2x of the true value by construction — the right fidelity
-    /// for a monitoring endpoint that must never lock the hot path.
-    fn quantile_us(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64).round() as u64;
-        let mut seen = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen > rank {
-                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
-            }
-        }
-        2f64.powi(counts.len() as i32 - 1)
-    }
-}
-
+/// One endpoint's registry handles: request/error counters plus the log₂
+/// latency histogram that `/stats` quantiles and `/metrics` buckets both read.
 struct EndpointMetrics {
-    requests: AtomicU64,
-    status_4xx: AtomicU64,
-    status_5xx: AtomicU64,
-    latency: LatencyHist,
+    requests: Arc<Counter>,
+    status_4xx: Arc<Counter>,
+    status_5xx: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
 impl EndpointMetrics {
-    fn new() -> Self {
+    fn new(registry: &Registry, name: &'static str) -> Self {
+        let ep: &[(&str, &str)] = &[("endpoint", name)];
         Self {
-            requests: AtomicU64::new(0),
-            status_4xx: AtomicU64::new(0),
-            status_5xx: AtomicU64::new(0),
-            latency: LatencyHist::new(),
+            requests: registry.counter("ph_http_requests_total", "Requests served, by endpoint.", ep),
+            status_4xx: registry.counter(
+                "ph_http_errors_total",
+                "Error responses, by endpoint and status class.",
+                &[("endpoint", name), ("class", "4xx")],
+            ),
+            status_5xx: registry.counter(
+                "ph_http_errors_total",
+                "Error responses, by endpoint and status class.",
+                &[("endpoint", name), ("class", "5xx")],
+            ),
+            latency: registry.histogram(
+                "ph_http_request_seconds",
+                "End-to-end request latency, by endpoint.",
+                1e-6,
+                ep,
+            ),
         }
     }
 
     fn record(&self, status: u16, micros: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if (400..500).contains(&status) {
-            self.status_4xx.fetch_add(1, Ordering::Relaxed);
+            self.status_4xx.inc();
         } else if status >= 500 {
-            self.status_5xx.fetch_add(1, Ordering::Relaxed);
+            self.status_5xx.inc();
         }
-        self.latency.record(micros);
+        self.latency.observe(micros);
     }
 }
 
+/// Every serving metric, backed by one [`Registry`] so `GET /metrics` renders
+/// the lot without bespoke glue. Handles are relaxed atomics; the registry
+/// mutex is touched only here (startup) and at scrape.
 pub(crate) struct Metrics {
-    endpoints: [EndpointMetrics; 6],
+    registry: Registry,
+    endpoints: [EndpointMetrics; 8],
     /// Admission `503`s: connections shed at the door plus requests shed at
     /// the executor queue.
-    rejected: AtomicU64,
+    rejected: Arc<Counter>,
     /// Connections admitted past the cap since start.
-    accepted: AtomicU64,
-    /// Currently open connections (gauge).
-    open: AtomicU64,
+    accepted: Arc<Counter>,
+    /// Currently open connections.
+    open: Arc<Gauge>,
     /// Requests parsed while an earlier request on the same connection was
     /// still unanswered — the pipelining win counter.
-    pipelined: AtomicU64,
+    pipelined: Arc<Counter>,
+    /// `/query` requests executed (any status).
+    queries: Arc<Counter>,
+    /// `/ingest` batches applied successfully.
+    ingest_batches: Arc<Counter>,
+    /// Per-stage time from finished traces, indexed by [`Stage::code`].
+    stages: Vec<Arc<Histogram>>,
+    /// Jobs drained per executor wakeup — the snapshot-sharing batch size.
+    exec_batch: Arc<Histogram>,
+    /// Time the event loop spent blocked in the poller per iteration.
+    poll_wait: Arc<Histogram>,
+    /// Readiness events delivered per wakeup.
+    wake_events: Arc<Histogram>,
+    /// Timer-wheel entries fired (before lazy re-validation).
+    timer_fired: Arc<Counter>,
 }
 
 impl Metrics {
     fn new() -> Self {
+        let registry = Registry::new();
+        let endpoints = Endpoint::ALL.map(|e| EndpointMetrics::new(&registry, e.name()));
+        let stages = ph_obs::trace::ALL_STAGES
+            .iter()
+            .map(|s| {
+                registry.histogram(
+                    "ph_query_stage_seconds",
+                    "Time spent per pipeline stage, from request traces.",
+                    1e-9,
+                    &[("stage", s.name())],
+                )
+            })
+            .collect();
         Self {
-            endpoints: std::array::from_fn(|_| EndpointMetrics::new()),
-            rejected: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            open: AtomicU64::new(0),
-            pipelined: AtomicU64::new(0),
+            endpoints,
+            rejected: registry.counter(
+                "ph_requests_rejected_total",
+                "Admission 503s: connections shed at the door plus requests shed at the executor queue.",
+                &[],
+            ),
+            accepted: registry.counter(
+                "ph_connections_accepted_total",
+                "Connections admitted past the cap since start.",
+                &[],
+            ),
+            open: registry.gauge("ph_connections_open", "Currently open connections.", &[]),
+            pipelined: registry.counter(
+                "ph_pipelined_requests_total",
+                "Requests parsed behind an unanswered request on the same connection.",
+                &[],
+            ),
+            queries: registry.counter("ph_queries_total", "Queries executed (any status).", &[]),
+            ingest_batches: registry.counter(
+                "ph_ingest_batches_total",
+                "Ingest batches applied successfully.",
+                &[],
+            ),
+            stages,
+            exec_batch: registry.histogram(
+                "ph_exec_batch_size",
+                "Jobs drained per executor wakeup (one session snapshot per batch).",
+                1.0,
+                &[],
+            ),
+            poll_wait: registry.histogram(
+                "ph_loop_poll_wait_seconds",
+                "Time the event loop spent blocked in the poller per iteration.",
+                1e-6,
+                &[],
+            ),
+            wake_events: registry.histogram(
+                "ph_loop_events_per_wake",
+                "Readiness events delivered per event-loop wakeup.",
+                1.0,
+                &[],
+            ),
+            timer_fired: registry.counter(
+                "ph_timer_wheel_fired_total",
+                "Timer-wheel entries fired, before lazy re-validation.",
+                &[],
+            ),
+            registry,
         }
     }
 
     fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
-        // ph-lint: allow(no-panic-serving) — idx() enumerates Endpoint::ALL, 0..6
+        // ph-lint: allow(no-panic-serving) — idx() enumerates Endpoint::ALL, 0..8
         &self.endpoints[e.idx()]
+    }
+
+    /// The per-stage histogram for `stage`, if registered.
+    fn stage(&self, stage: Stage) -> Option<&Histogram> {
+        self.stages.get(stage.code() as usize).map(Arc::as_ref)
     }
 
     fn to_json(&self) -> Json {
@@ -298,11 +377,12 @@ impl Metrics {
                     (
                         e.name().to_string(),
                         obj(vec![
-                            ("requests", Json::Num(m.requests.load(Ordering::Relaxed) as f64)),
-                            ("status_4xx", Json::Num(m.status_4xx.load(Ordering::Relaxed) as f64)),
-                            ("status_5xx", Json::Num(m.status_5xx.load(Ordering::Relaxed) as f64)),
-                            ("p50_us", Json::Num(m.latency.quantile_us(0.50))),
-                            ("p99_us", Json::Num(m.latency.quantile_us(0.99))),
+                            ("requests", Json::Num(m.requests.get() as f64)),
+                            ("status_4xx", Json::Num(m.status_4xx.get() as f64)),
+                            ("status_5xx", Json::Num(m.status_5xx.get() as f64)),
+                            ("p50_us", Json::Num(m.latency.quantile(0.50))),
+                            ("p90_us", Json::Num(m.latency.quantile(0.90))),
+                            ("p99_us", Json::Num(m.latency.quantile(0.99))),
                         ]),
                     )
                 })
@@ -334,6 +414,11 @@ struct Job {
     seq: u64,
     keep_alive: bool,
     req: Request,
+    /// The request's trace (origin at its first byte, HTTP-read and admission
+    /// spans already recorded); `None` when tracing is off.
+    trace: Option<Trace>,
+    /// When the job entered the executor queue — the queue-wait span's start.
+    queued_at: Instant,
 }
 
 /// One finished response headed back to the loop.
@@ -430,6 +515,54 @@ pub(crate) struct Shared {
     done: Mutex<Vec<Done>>,
     stop: AtomicBool,
     started: Instant,
+    /// Flight recorder: the most recent spans across all traced requests.
+    span_ring: SpanRing,
+    /// Slow-query forensics behind `GET /debug/slow`.
+    slow: SlowRing,
+    /// Monotone trace IDs for the span ring.
+    trace_seq: AtomicU64,
+}
+
+impl Shared {
+    /// Drains the executing thread's finished trace into the per-stage
+    /// histograms, the span flight recorder, and — for a slow query — the
+    /// forensics ring. No-op when the request ran untraced.
+    fn finish_trace(&self, endpoint: Endpoint, status: u16, total_us: u64, req: &Request) {
+        let Some(trace) = ph_obs::trace::take() else { return };
+        let spans = trace.into_spans();
+        for s in &spans {
+            if let Some(h) = self.metrics.stage(s.stage) {
+                h.observe(s.dur_ns);
+            }
+        }
+        let trace_id = self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.span_ring.push_trace(trace_id, &spans);
+        // End-to-end latency from the trace origin (first byte): the furthest
+        // span end covers HTTP read and queue wait, which the executor-side
+        // clock does not.
+        let total_us = spans
+            .iter()
+            .map(|s| s.start_ns.saturating_add(s.dur_ns) / 1_000)
+            .max()
+            .unwrap_or(0)
+            .max(total_us);
+        if endpoint == Endpoint::Query && total_us >= self.slow.threshold_us() {
+            // Slow path only: re-deriving the canonical fingerprint re-parses
+            // the SQL, which is fine at forensics frequency. The raw text is
+            // never retained — unparseable queries fall back to a text hash.
+            let fingerprint = query_text(req)
+                .map(|sql| match ph_sql::parse_query(&sql) {
+                    Ok(q) => q.fingerprint(),
+                    Err(_) => ph_types::fnv1a(sql.as_bytes()),
+                })
+                .unwrap_or(0);
+            let unix_ms = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            self.slow.offer(SlowQuery { fingerprint, total_us, status, unix_ms, spans });
+        }
+    }
 }
 
 /// A running server. Dropping the handle **without** calling
@@ -471,13 +604,16 @@ impl Server {
         let shared = Arc::new(Shared {
             session,
             work: WorkQueue::new(cfg.queue_depth),
-            cfg,
             metrics: Metrics::new(),
             qlog,
             poller,
             done: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             started: Instant::now(),
+            span_ring: SpanRing::new(cfg.span_ring_spans),
+            slow: SlowRing::new(cfg.slow_query_cap, cfg.slow_query_threshold_us),
+            trace_seq: AtomicU64::new(0),
+            cfg,
         });
         let event_loop = {
             let shared = shared.clone();
@@ -505,19 +641,24 @@ impl Server {
 
     /// Admission `503`s so far (door + executor queue).
     pub fn rejected(&self) -> u64 {
-        self.shared.metrics.rejected.load(Ordering::Relaxed)
+        self.shared.metrics.rejected.get()
     }
 
     /// Connection- and queue-level counters.
     pub fn stats(&self) -> ServerStats {
         let m = &self.shared.metrics;
         ServerStats {
-            open_connections: m.open.load(Ordering::Relaxed),
-            accepted_connections: m.accepted.load(Ordering::Relaxed),
-            rejected_503: m.rejected.load(Ordering::Relaxed),
-            pipelined_requests: m.pipelined.load(Ordering::Relaxed),
+            open_connections: m.open.get().max(0) as u64,
+            accepted_connections: m.accepted.get(),
+            rejected_503: m.rejected.get(),
+            pipelined_requests: m.pipelined.get(),
             executor_queue_hwm: self.shared.work.hwm.load(Ordering::Relaxed),
         }
+    }
+
+    /// The Prometheus text exposition `GET /metrics` serves.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.shared)
     }
 
     /// Stops accepting, answers every request already parsed, flushes the
@@ -546,23 +687,20 @@ fn executor_loop(shared: &Shared) {
     while let Some(jobs) = shared.work.pop_batch(EXEC_BATCH) {
         // One snapshot pin per table for the whole batch — the point of
         // draining in batches.
+        shared.metrics.exec_batch.observe(jobs.len() as u64);
         let mut batch = shared.session.batch();
         let mut done = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            let t0 = Instant::now();
-            let (endpoint, status, body) = execute_request(shared, &mut batch, &job.req);
-            let micros = t0.elapsed().as_micros() as u64;
-            shared.metrics.endpoint(endpoint).record(status, micros);
-            if endpoint == Endpoint::Query {
-                if let Some(qlog) = &shared.qlog {
-                    qlog.append(status, micros, &query_text(&job.req).unwrap_or_default());
-                }
+        for mut job in jobs {
+            if let Some(mut trace) = job.trace.take() {
+                trace.record_between(Stage::QueueWait, job.queued_at, Instant::now());
+                ph_obs::trace::install(trace);
             }
+            let (_, _, bytes) = execute_traced(shared, &mut batch, &job.req, job.keep_alive);
             done.push(Done {
                 key: job.key,
                 gen: job.gen,
                 seq: job.seq,
-                bytes: response_bytes(status, &body.to_string(), job.keep_alive),
+                bytes,
                 keep_alive: job.keep_alive,
             });
         }
@@ -572,6 +710,53 @@ fn executor_loop(shared: &Shared) {
         }
         let _ = shared.poller.notify();
     }
+}
+
+/// The request root stage for tracing, by path: queries and ingests get a
+/// whole-request root span; everything else runs untraced.
+fn root_stage(req: &Request) -> Option<Stage> {
+    match req.path.as_str() {
+        "/query" => Some(Stage::Query),
+        "/ingest" => Some(Stage::Ingest),
+        _ => None,
+    }
+}
+
+/// Runs one executor-bound request under its installed trace (if any): a root
+/// span wraps execution and serialization, endpoint metrics and the query log
+/// record the outcome, and the finished trace drains into the stage
+/// histograms and forensics rings.
+fn execute_traced(
+    shared: &Shared,
+    batch: &mut BatchSession<'_>,
+    req: &Request,
+    keep_alive: bool,
+) -> (Endpoint, u16, Vec<u8>) {
+    let t0 = Instant::now();
+    let traced = ph_obs::trace::is_active();
+    let root = root_stage(req).map(span);
+    let (endpoint, status, body) = execute_request(shared, batch, req);
+    let bytes = {
+        let _serialize = span(Stage::Serialize);
+        response_bytes(status, &body.to_string(), keep_alive)
+    };
+    drop(root);
+    let micros = t0.elapsed().as_micros() as u64;
+    shared.metrics.endpoint(endpoint).record(status, micros);
+    match endpoint {
+        Endpoint::Query => {
+            shared.metrics.queries.inc();
+            if let Some(qlog) = &shared.qlog {
+                qlog.append(status, micros, &query_text(req).unwrap_or_default());
+            }
+        }
+        Endpoint::Ingest if status == 200 => shared.metrics.ingest_batches.inc(),
+        _ => {}
+    }
+    if traced {
+        shared.finish_trace(endpoint, status, micros, req);
+    }
+    (endpoint, status, bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -677,6 +862,9 @@ struct Conn {
     peer_closed: bool,
     /// Armed at the first byte of a partial request; never extended.
     read_deadline: Option<Instant>,
+    /// When the first byte of the currently-buffered request arrived — the
+    /// trace origin, so the HTTP-read span starts at offset zero.
+    req_t0: Option<Instant>,
     /// Armed when a response backlog stalls in `out`.
     write_deadline: Option<Instant>,
     /// Rolling keep-alive deadline between requests.
@@ -731,10 +919,13 @@ impl<'a> EventLoop<'a> {
                 Some(d) => Some(d.min(Duration::from_secs(1))),
                 None => Some(Duration::from_secs(1)),
             };
+            let wait_t0 = Instant::now();
             if shared.poller.wait(&mut events, timeout).is_err() {
                 // A failing poller cannot serve; back off instead of spinning.
                 std::thread::sleep(Duration::from_millis(5));
             }
+            shared.metrics.poll_wait.observe(wait_t0.elapsed().as_micros() as u64);
+            shared.metrics.wake_events.observe(events.len() as u64);
             // Responses finished by the executor first: they free slots and
             // may retire connections before new bytes are read.
             let finished: Vec<Done> =
@@ -762,6 +953,7 @@ impl<'a> EventLoop<'a> {
             drop(batch);
             let now = Instant::now();
             for (key, gen) in self.wheel.drain_expired(now) {
+                shared.metrics.timer_fired.inc();
                 self.check_deadlines(key, gen, now);
             }
         }
@@ -800,7 +992,7 @@ impl<'a> EventLoop<'a> {
             }
             if self.open >= self.max_conns {
                 // Admission control: shed at the door, explicitly.
-                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.rejected.inc();
                 reject_at_door(stream);
                 continue;
             }
@@ -822,6 +1014,7 @@ impl<'a> EventLoop<'a> {
                 closing: false,
                 peer_closed: false,
                 read_deadline: None,
+                req_t0: None,
                 write_deadline: None,
                 idle_deadline: now + self.shared.cfg.idle_timeout,
                 interest_w: false,
@@ -849,8 +1042,8 @@ impl<'a> EventLoop<'a> {
             }
             self.wheel.schedule(key, gen, deadline);
             self.open += 1;
-            self.shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-            self.shared.metrics.open.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.accepted.inc();
+            self.shared.metrics.open.add(1);
         }
     }
 
@@ -895,6 +1088,11 @@ impl<'a> EventLoop<'a> {
                         }
                     }
                 }
+                if !conn.buf.is_empty() && conn.req_t0.is_none() {
+                    // First byte of the next request this wake: the trace
+                    // origin (and the span clock's zero) for that request.
+                    conn.req_t0 = Some(Instant::now());
+                }
             }
         }
         if fatal {
@@ -909,7 +1107,7 @@ impl<'a> EventLoop<'a> {
         let max_body = self.shared.cfg.max_body_bytes;
         loop {
             enum Parsed {
-                Req { seq: u64, keep: bool, req: Request },
+                Req { seq: u64, keep: bool, req: Request, trace: Option<Trace> },
                 Fatal { seq: u64, status: u16, kind: &'static str, message: String },
                 Silent,
                 Idle,
@@ -924,11 +1122,23 @@ impl<'a> EventLoop<'a> {
                 }
                 match try_parse_request(&mut conn.buf, max_body) {
                     Ok(Some(req)) => {
+                        // The first request parsed this wake is anchored at
+                        // its observed first byte; pipelined successors start
+                        // now. Only executor-bound endpoints are traced.
+                        let t0 = conn.req_t0.take();
+                        let trace = if ph_obs::tracing_on() && root_stage(&req).is_some() {
+                            let origin = t0.unwrap_or_else(Instant::now);
+                            let mut t = Trace::with_origin(origin);
+                            t.record_between(Stage::HttpRead, origin, Instant::now());
+                            Some(t)
+                        } else {
+                            None
+                        };
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
                         conn.inflight.push_back(None);
                         if conn.inflight.len() > 1 {
-                            self.shared.metrics.pipelined.fetch_add(1, Ordering::Relaxed);
+                            self.shared.metrics.pipelined.inc();
                         }
                         let keep =
                             req.keep_alive() && !self.shared.stop.load(Ordering::Acquire);
@@ -939,7 +1149,7 @@ impl<'a> EventLoop<'a> {
                             conn.buf.clear();
                         }
                         conn.idle_deadline = Instant::now() + self.shared.cfg.idle_timeout;
-                        Parsed::Req { seq, keep, req }
+                        Parsed::Req { seq, keep, req, trace }
                     }
                     Ok(None) => Parsed::Idle,
                     Err(HttpError::Malformed(m)) => {
@@ -962,7 +1172,9 @@ impl<'a> EventLoop<'a> {
                 }
             };
             match parsed {
-                Parsed::Req { seq, keep, req } => self.route(key, seq, keep, req, batch),
+                Parsed::Req { seq, keep, req, trace } => {
+                    self.route(key, seq, keep, req, trace, batch);
+                }
                 Parsed::Fatal { seq, status, kind, message } => {
                     let body = error_body(status, kind, &message, None);
                     self.fill(key, seq, response_bytes(status, &body.to_string(), false), false);
@@ -982,6 +1194,7 @@ impl<'a> EventLoop<'a> {
         seq: u64,
         keep: bool,
         req: Request,
+        mut trace: Option<Trace>,
         batch: &mut Option<BatchSession<'_>>,
     ) {
         let shared = self.shared;
@@ -990,6 +1203,16 @@ impl<'a> EventLoop<'a> {
             None => return,
         };
         let t0 = Instant::now();
+        if req.method == "GET" && req.path == "/metrics" {
+            // Text exposition, not JSON: answered here instead of route_inline.
+            let text = metrics_text(shared);
+            let micros = t0.elapsed().as_micros() as u64;
+            shared.metrics.endpoint(Endpoint::Metrics).record(200, micros);
+            let bytes =
+                response_bytes_typed(200, "text/plain; version=0.0.4", &text, keep);
+            self.fill(key, seq, bytes, keep);
+            return;
+        }
         if let Some((endpoint, status, body)) = route_inline(shared, &req) {
             let micros = t0.elapsed().as_micros() as u64;
             shared.metrics.endpoint(endpoint).record(status, micros);
@@ -997,21 +1220,24 @@ impl<'a> EventLoop<'a> {
             return;
         }
         if let Some(b) = batch.as_mut() {
-            let (endpoint, status, body) = execute_request(shared, b, &req);
-            let micros = t0.elapsed().as_micros() as u64;
-            shared.metrics.endpoint(endpoint).record(status, micros);
-            if endpoint == Endpoint::Query {
-                if let Some(qlog) = &shared.qlog {
-                    qlog.append(status, micros, &query_text(&req).unwrap_or_default());
-                }
+            // Inline mode: no queue, so admission is a zero-width marker and
+            // the trace installs on the loop thread itself.
+            if let Some(mut t) = trace.take() {
+                let now = Instant::now();
+                t.record_between(Stage::Admission, t0, now);
+                ph_obs::trace::install(t);
             }
-            self.fill(key, seq, response_bytes(status, &body.to_string(), keep), keep);
+            let (_, _, bytes) = execute_traced(shared, b, &req, keep);
+            self.fill(key, seq, bytes, keep);
             return;
         }
-        let job = Job { key, gen, seq, keep_alive: keep, req };
+        if let Some(t) = trace.as_mut() {
+            t.record_between(Stage::Admission, t0, Instant::now());
+        }
+        let job = Job { key, gen, seq, keep_alive: keep, req, trace, queued_at: Instant::now() };
         if shared.work.try_push(job).is_err() {
             // Admission control, stage two: the executor queue is full.
-            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected.inc();
             let body = error_body(
                 503,
                 "overload",
@@ -1221,7 +1447,7 @@ impl<'a> EventLoop<'a> {
         if let Some(conn) = self.conns.get_mut(key).and_then(|s| s.take()) {
             let _ = self.shared.poller.delete(&conn.stream);
             self.open = self.open.saturating_sub(1);
-            self.shared.metrics.open.fetch_sub(1, Ordering::Relaxed);
+            self.shared.metrics.open.sub(1);
             self.free.push(key);
         }
     }
@@ -1262,16 +1488,19 @@ fn route_inline(shared: &Shared, req: &Request) -> Option<(Endpoint, u16, Json)>
         ("POST", "/query") | ("POST", "/ingest") => None,
         ("GET", "/tables") => Some((Endpoint::Tables, 200, tables_json(shared))),
         ("GET", "/stats") => Some((Endpoint::Stats, 200, stats_json(shared))),
+        ("GET", "/debug/slow") => Some((Endpoint::Debug, 200, slow_json(shared))),
         ("GET", "/healthz") => Some((
             Endpoint::Healthz,
             200,
             obj(vec![
                 ("status", Json::Str("ok".into())),
+                ("version", Json::Str(env!("CARGO_PKG_VERSION").into())),
                 ("tables", Json::Num(shared.session.tables().len() as f64)),
                 ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
             ]),
         )),
-        (_, "/query" | "/ingest" | "/tables" | "/stats" | "/healthz") => {
+        (_, "/query" | "/ingest" | "/tables" | "/stats" | "/healthz" | "/metrics"
+        | "/debug/slow") => {
             let body = error_body(
                 405,
                 "method_not_allowed",
@@ -1286,7 +1515,7 @@ fn route_inline(shared: &Shared, req: &Request) -> Option<(Endpoint, u16, Json)>
                 "no_such_endpoint",
                 &format!(
                     "{:?} is not an endpoint (have: POST /query, POST /ingest, GET /tables, \
-                     GET /stats, GET /healthz)",
+                     GET /stats, GET /healthz, GET /metrics, GET /debug/slow)",
                     req.path
                 ),
                 None,
@@ -1294,6 +1523,143 @@ fn route_inline(shared: &Shared, req: &Request) -> Option<(Endpoint, u16, Json)>
             Some((Endpoint::Other, 404, body))
         }
     }
+}
+
+/// The `GET /debug/slow` body: ring configuration plus the retained slow
+/// queries, most recent last, each with its full stage breakdown. Queries are
+/// identified by fingerprint — raw SQL never appears here.
+fn slow_json(shared: &Shared) -> Json {
+    let entries = shared
+        .slow
+        .snapshot()
+        .into_iter()
+        .map(|q| {
+            let spans = q
+                .spans
+                .iter()
+                .map(|s| {
+                    obj(vec![
+                        ("stage", Json::Str(s.stage.name().into())),
+                        ("id", Json::Num(f64::from(s.id))),
+                        ("parent", Json::Num(f64::from(s.parent))),
+                        ("start_us", Json::Num(s.start_ns as f64 / 1_000.0)),
+                        ("dur_us", Json::Num(s.dur_ns as f64 / 1_000.0)),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("fingerprint", Json::Str(format!("{:016x}", q.fingerprint))),
+                ("total_us", Json::Num(q.total_us as f64)),
+                ("status", Json::Num(f64::from(q.status))),
+                ("unix_ms", Json::Num(q.unix_ms as f64)),
+                ("spans", Json::Arr(spans)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("threshold_us", Json::Num(shared.slow.threshold_us() as f64)),
+        ("cap", Json::Num(shared.slow.cap() as f64)),
+        ("count", Json::Num(shared.slow.len() as f64)),
+        ("slow", Json::Arr(entries)),
+    ])
+}
+
+/// The `GET /metrics` body: every registered family, then dynamic families
+/// computed at scrape time (uptime, queue high-water mark, plan cache, ring
+/// occupancy, per-table footprint). Table footprints read the snapshot cache
+/// on [`ph_core::FootprintReport`]'s side, so a 1 Hz scraper never recomputes
+/// synopsis sizes and cannot perturb serving.
+fn metrics_text(shared: &Shared) -> String {
+    let mut out = shared.metrics.registry.render();
+    push_header(&mut out, "ph_uptime_seconds", "Seconds since the server started.", Kind::Gauge);
+    push_sample(&mut out, "ph_uptime_seconds", &[], shared.started.elapsed().as_secs_f64());
+    push_header(
+        &mut out,
+        "ph_executor_queue_hwm",
+        "Deepest the executor queue has been since start.",
+        Kind::Gauge,
+    );
+    push_sample(
+        &mut out,
+        "ph_executor_queue_hwm",
+        &[],
+        shared.work.hwm.load(Ordering::Relaxed) as f64,
+    );
+    push_header(
+        &mut out,
+        "ph_span_ring_spans",
+        "Spans currently retained by the trace flight recorder.",
+        Kind::Gauge,
+    );
+    push_sample(&mut out, "ph_span_ring_spans", &[], shared.span_ring.len() as f64);
+    push_header(
+        &mut out,
+        "ph_slow_queries_retained",
+        "Slow queries currently retained by the forensics ring.",
+        Kind::Gauge,
+    );
+    push_sample(&mut out, "ph_slow_queries_retained", &[], shared.slow.len() as f64);
+    let stats = shared.session.stats();
+    push_header(
+        &mut out,
+        "ph_plan_cache_hits_total",
+        "Plan-cache hits since start.",
+        Kind::Counter,
+    );
+    push_sample(&mut out, "ph_plan_cache_hits_total", &[], stats.cache.hits as f64);
+    push_header(
+        &mut out,
+        "ph_plan_cache_misses_total",
+        "Plan-cache misses since start.",
+        Kind::Counter,
+    );
+    push_sample(&mut out, "ph_plan_cache_misses_total", &[], stats.cache.misses as f64);
+    push_header(
+        &mut out,
+        "ph_table_bytes",
+        "Per-table storage footprint by component, from the snapshot cache.",
+        Kind::Gauge,
+    );
+    for t in &stats.tables {
+        if let Ok(f) = shared.session.footprint_report(&t.name) {
+            let table = t.name.as_str();
+            push_sample(
+                &mut out,
+                "ph_table_bytes",
+                &[("table", table), ("component", "synopsis")],
+                f.synopsis_bytes as f64,
+            );
+            push_sample(
+                &mut out,
+                "ph_table_bytes",
+                &[("table", table), ("component", "row_store")],
+                f.row_store_bytes as f64,
+            );
+            push_sample(
+                &mut out,
+                "ph_table_bytes",
+                &[("table", table), ("component", "delta")],
+                f.delta_bytes as f64,
+            );
+        }
+    }
+    push_header(&mut out, "ph_table_rows", "Per-table row counts by tier.", Kind::Gauge);
+    for t in &stats.tables {
+        let table = t.name.as_str();
+        push_sample(
+            &mut out,
+            "ph_table_rows",
+            &[("table", table), ("tier", "sealed")],
+            t.sealed_rows as f64,
+        );
+        push_sample(
+            &mut out,
+            "ph_table_rows",
+            &[("table", table), ("tier", "delta")],
+            t.delta_rows as f64,
+        );
+    }
+    out
 }
 
 /// Executor-side routing: the two stateful endpoints. Everything else was
@@ -1477,17 +1843,17 @@ fn stats_json(shared: &Shared) -> Json {
                 ),
                 (
                     "rejected_503",
-                    Json::Num(m.rejected.load(Ordering::Relaxed) as f64),
+                    Json::Num(m.rejected.get() as f64),
                 ),
                 (
                     "connections",
                     obj(vec![
-                        ("open", Json::Num(m.open.load(Ordering::Relaxed) as f64)),
-                        ("accepted", Json::Num(m.accepted.load(Ordering::Relaxed) as f64)),
-                        ("rejected", Json::Num(m.rejected.load(Ordering::Relaxed) as f64)),
+                        ("open", Json::Num(m.open.get() as f64)),
+                        ("accepted", Json::Num(m.accepted.get() as f64)),
+                        ("rejected", Json::Num(m.rejected.get() as f64)),
                         (
                             "pipelined_requests",
-                            Json::Num(m.pipelined.load(Ordering::Relaxed) as f64),
+                            Json::Num(m.pipelined.get() as f64),
                         ),
                         (
                             "executor_queue_hwm",
@@ -1534,6 +1900,8 @@ mod tests {
                 headers: Vec::new(),
                 body: Vec::new(),
             },
+            trace: None,
+            queued_at: Instant::now(),
         }
     }
 
@@ -1582,17 +1950,46 @@ mod tests {
     }
 
     /// Latency buckets clamp: the u64 extremes land in the last bucket rather
-    /// than out of bounds, and quantiles stay finite.
+    /// than out of bounds, and quantiles stay finite. (The histogram itself
+    /// lives in ph_obs now; this pins the serving-side contract.)
     #[test]
     fn latency_hist_extremes_are_clamped() {
-        let hist = LatencyHist::new();
-        hist.record(0);
-        hist.record(1);
-        hist.record(u64::MAX);
-        let total: u64 =
-            hist.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
-        assert_eq!(total, 3, "every sample landed in some bucket");
-        assert!(hist.quantile_us(0.99).is_finite());
+        let m = Metrics::new();
+        let ep = m.endpoint(Endpoint::Query);
+        ep.record(200, 0);
+        ep.record(404, 1);
+        ep.record(500, u64::MAX);
+        assert_eq!(ep.latency.count(), 3, "every sample landed in some bucket");
+        assert_eq!(ep.requests.get(), 3);
+        assert_eq!(ep.status_4xx.get(), 1);
+        assert_eq!(ep.status_5xx.get(), 1);
+        assert!(ep.latency.quantile(0.99).is_finite());
+    }
+
+    /// The registry behind `/metrics` carries every family CI greps for, with
+    /// headers present even before the first increment.
+    #[test]
+    fn required_metric_families_render_from_start() {
+        let m = Metrics::new();
+        let text = m.registry.render();
+        for family in [
+            "ph_queries_total",
+            "ph_query_stage_seconds",
+            "ph_ingest_batches_total",
+            "ph_connections_open",
+            "ph_http_requests_total",
+            "ph_http_request_seconds",
+        ] {
+            assert!(text.contains(&format!("# TYPE {family}")), "missing family {family}");
+        }
+        // Every stage has a labeled histogram child.
+        for s in ph_obs::trace::ALL_STAGES {
+            assert!(
+                text.contains(&format!("stage=\"{}\"", s.name())),
+                "missing stage label {}",
+                s.name()
+            );
+        }
     }
 
     /// Wheel entries fire at-or-after their deadline, stale generations are

@@ -145,7 +145,11 @@
 //! with 503 admission control**, graceful shutdown) exposing `POST /query`,
 //! `POST /ingest` (JSON rows or CSV), `GET /tables`, `GET /stats`
 //! (plan-cache hit/miss via [`Session::stats`](ph_core::Session::stats),
-//! per-table footprints, per-endpoint latency histograms) and `GET /healthz`.
+//! per-table footprints, per-endpoint p50/p90/p99), `GET /healthz`,
+//! `GET /metrics` (Prometheus text exposition of every
+//! [`ph_obs`](ph_core::obs) family) and `GET /debug/slow` (recent
+//! over-threshold queries with their full stage breakdown, keyed by SQL
+//! fingerprint).
 //! Every [`PhError`](ph_types::PhError) maps to a structured 4xx/5xx JSON body
 //! ([`status_for`](ph_server::status_for)); parse errors carry the byte offset
 //! of the syntax error. Served queries are appended to a varint-compressed
@@ -169,6 +173,11 @@
 //! let mut client = Client::new(server.local_addr().to_string());
 //! let sql = "SELECT COUNT(y) FROM demo WHERE x >= 50;";
 //! assert_eq!(client.query(sql).unwrap(), session.sql(sql).unwrap()); // bit-identical
+//!
+//! // Every request was traced; scrape the metrics like Prometheus would.
+//! let metrics = client.metrics().unwrap();
+//! assert!(metrics.contains("# TYPE ph_queries_total counter"));
+//! assert!(metrics.contains("# TYPE ph_query_stage_seconds histogram"));
 //! server.shutdown();
 //! ```
 //!
